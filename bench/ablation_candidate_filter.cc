@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: migration-candidate filtering. Two knobs DESIGN.md calls
+ * out on top of the paper's description: (a) the minimum MEA count a
+ * tracked page needs to be migration-worthy (count-1 entries are
+ * often one-touch survivors of the last sweep), and (b) the hard cap
+ * on migrations per Pod per interval. Both throttle wasted swaps on
+ * diffuse workloads at some cost on concentrated ones.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/simulation.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mempod;
+    using namespace mempod::bench;
+
+    const Options opt = parseOptions(
+        argc, argv, "ablation_candidate_filter: hotness floor + cap");
+    banner("Ablation", "migration candidate filtering", opt);
+
+    const auto workloads = opt.sweepWorkloads();
+    std::vector<Trace> traces;
+    std::vector<double> base;
+    for (const auto &w : workloads) {
+        traces.push_back(makeTrace(w, opt.timingRequests(), opt.seed));
+        base.push_back(
+            runSimulation(SimConfig::paper(Mechanism::kNoMigration),
+                          traces.back(), w)
+                .ammatNs);
+    }
+
+    auto sweep = [&](const char *what, auto apply,
+                     const std::vector<std::uint32_t> &values) {
+        TablePrinter table({what, "norm. AMMAT", "migrations",
+                            "data moved (MiB)"});
+        for (const std::uint32_t v : values) {
+            std::vector<double> norm;
+            std::uint64_t migrations = 0;
+            double mib = 0;
+            for (std::size_t i = 0; i < workloads.size(); ++i) {
+                SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
+                apply(cfg, v);
+                const RunResult r =
+                    runSimulation(cfg, traces[i], workloads[i]);
+                norm.push_back(r.ammatNs / base[i]);
+                migrations += r.migration.migrations;
+                mib += r.dataMovedMiB();
+            }
+            table.addRow({std::to_string(v),
+                          TablePrinter::num(mean(norm), 3),
+                          std::to_string(migrations),
+                          TablePrinter::num(mib, 1)});
+        }
+        table.print();
+        std::printf("\n");
+        table.printCsv();
+        std::printf("\n");
+    };
+
+    std::printf("--- (a) minimum MEA count to migrate (2-bit "
+                "counters saturate at 3) ---\n");
+    sweep(
+        "min count",
+        [](SimConfig &cfg, std::uint32_t v) {
+            cfg.mempod.pod.minHotCount = v;
+        },
+        {1, 2, 3});
+
+    std::printf("--- (b) migration cap per Pod per interval ---\n");
+    sweep(
+        "cap",
+        [](SimConfig &cfg, std::uint32_t v) {
+            cfg.mempod.pod.maxMigrationsPerInterval = v;
+        },
+        {4, 16, 64});
+
+    return 0;
+}

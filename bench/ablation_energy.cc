@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: data-movement energy (Section 5.3). The clustered design
+ * guarantees migrations never cross the global switch; a centralized
+ * driver hauls every page through it. We estimate movement energy for
+ * each mechanism from its per-tier line counts, and additionally show
+ * MemPod's own migration energy under the counterfactual "centralized
+ * driver" assumption to isolate the locality benefit.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/energy.h"
+#include "sim/simulation.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mempod;
+    using namespace mempod::bench;
+
+    const Options opt = parseOptions(
+        argc, argv, "ablation_energy: data-movement energy");
+    banner("Ablation", "movement energy per mechanism (Section 5.3)",
+           opt);
+
+    const auto workloads = opt.sweepWorkloads();
+    const EnergyParams eparams;
+
+    struct Row
+    {
+        double demand = 0, migration = 0, bookkeeping = 0;
+        double migrationIfGlobal = 0; //!< counterfactual for MemPod
+    };
+    std::vector<std::pair<const char *, Mechanism>> mechanisms = {
+        {"NoMigration", Mechanism::kNoMigration},
+        {"MemPod", Mechanism::kMemPod},
+        {"HMA", Mechanism::kHma},
+        {"THM", Mechanism::kThm},
+        {"CAMEO", Mechanism::kCameo},
+    };
+
+    TablePrinter table({"mechanism", "demand (uJ)", "migration (uJ)",
+                        "bookkeeping (uJ)", "total (uJ)",
+                        "migration if centralized (uJ)"});
+
+    for (const auto &[label, mech] : mechanisms) {
+        Row acc;
+        for (const auto &w : workloads) {
+            const Trace trace =
+                makeTrace(w, opt.timingRequests(), opt.seed);
+            SimConfig cfg = SimConfig::paper(mech);
+            if (mech == Mechanism::kHma)
+                cfg.scaleHmaEpoch(40.0);
+            const RunResult r = runSimulation(cfg, trace, w);
+            const EnergyEstimate e = estimateEnergy(
+                r.memStats, r.podLocalMigrations, eparams);
+            acc.demand += e.demandUj;
+            acc.migration += e.migrationUj;
+            acc.bookkeeping += e.bookkeepingUj;
+            const EnergyEstimate global =
+                estimateEnergy(r.memStats, false, eparams);
+            acc.migrationIfGlobal += global.migrationUj;
+        }
+        table.addRow(
+            {label, TablePrinter::num(acc.demand, 1),
+             TablePrinter::num(acc.migration, 1),
+             TablePrinter::num(acc.bookkeeping, 1),
+             TablePrinter::num(
+                 acc.demand + acc.migration + acc.bookkeeping, 1),
+             TablePrinter::num(acc.migrationIfGlobal, 1)});
+        if (mech == Mechanism::kMemPod && acc.migrationIfGlobal > 0) {
+            std::printf("MemPod intra-pod migration saves %.1f%% of "
+                        "migration movement energy vs a centralized "
+                        "driver moving the same data.\n",
+                        100.0 * (1 - acc.migration /
+                                         acc.migrationIfGlobal));
+        }
+    }
+
+    std::printf("\n");
+    table.print();
+    std::printf("\n");
+    table.printCsv();
+    return 0;
+}

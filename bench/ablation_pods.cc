@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: the number of Pods (Section 5.1). One Pod is equivalent to
+ * a centralized migration controller with any-to-any flexibility but a
+ * single serial migration driver; more Pods trade flexibility for
+ * parallel migration and less global traffic. The paper's design
+ * point is 4 (one per slow-memory channel). We sweep 1 / 2 / 4 and
+ * report AMMAT, migration counts, blocked-demand counts and the
+ * drain parallelism.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/simulation.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mempod;
+    using namespace mempod::bench;
+
+    const Options opt =
+        parseOptions(argc, argv, "ablation_pods: pod-count sweep");
+    banner("Ablation", "Pod count (1 = centralized ... 4 = paper)", opt);
+
+    const auto workloads = opt.sweepWorkloads();
+    TablePrinter table({"pods", "norm. AMMAT", "migrations",
+                        "blocked demands", "per-pod data (MiB)"});
+
+    std::vector<Trace> traces;
+    std::vector<double> base;
+    for (const auto &w : workloads) {
+        traces.push_back(makeTrace(w, opt.timingRequests(), opt.seed));
+        base.push_back(
+            runSimulation(SimConfig::paper(Mechanism::kNoMigration),
+                          traces.back(), w)
+                .ammatNs);
+    }
+
+    for (const std::uint32_t pods : {1u, 2u, 4u}) {
+        std::vector<double> norm;
+        std::uint64_t migrations = 0, blocked = 0;
+        double data_mib = 0;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
+            cfg.geom.numPods = pods;
+            const RunResult r =
+                runSimulation(cfg, traces[i], workloads[i]);
+            norm.push_back(r.ammatNs / base[i]);
+            migrations += r.migration.migrations;
+            blocked += r.migration.blockedRequests;
+            data_mib += r.dataMovedMiB();
+        }
+        table.addRow({std::to_string(pods),
+                      TablePrinter::num(mean(norm), 3),
+                      std::to_string(migrations),
+                      std::to_string(blocked),
+                      TablePrinter::num(data_mib / pods, 1)});
+    }
+
+    table.print();
+    std::printf("\n");
+    table.printCsv();
+    std::printf(
+        "\nObservations to look for: one Pod serializes every swap\n"
+        "behind one driver (higher blocked counts); four Pods split\n"
+        "migration traffic ~4x per driver and migrate in parallel,\n"
+        "at a small flexibility cost (no inter-pod migration).\n");
+    return 0;
+}

@@ -1,0 +1,146 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+#include "trace/generator.h"
+
+namespace mempod::bench {
+
+namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            if (start < s.size())
+                out.push_back(s.substr(start));
+            break;
+        }
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+void
+listWorkloads()
+{
+    std::printf("homogeneous (8 copies of one benchmark):\n ");
+    for (const auto &w : homogeneousWorkloads())
+        std::printf(" %s", w.name.c_str());
+    std::printf("\n\nmixed (Table 3, normalized to 8 cores):\n");
+    for (const auto &w : mixedWorkloads()) {
+        std::printf("  %-6s:", w.name.c_str());
+        for (const auto &b : w.benchmarks)
+            std::printf(" %s", b.c_str());
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+Options
+parseOptions(int argc, char **argv, const char *what)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", what,
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--full") {
+            opt.full = true;
+        } else if (arg == "--requests") {
+            opt.requests = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--workloads") {
+            opt.workloads = splitCommas(next());
+        } else if (arg == "--list-workloads") {
+            listWorkloads();
+            std::exit(0);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "%s\noptions: --full | --requests N | --seed N |"
+                " --workloads a,b,c | --list-workloads\n",
+                what);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", what,
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    for (const auto &w : opt.workloads)
+        findWorkload(w); // fatal on typo, before any simulation runs
+    return opt;
+}
+
+std::vector<std::string>
+Options::sweepWorkloads() const
+{
+    if (!workloads.empty())
+        return workloads;
+    if (full) {
+        std::vector<std::string> all;
+        for (const auto &w : allWorkloads())
+            all.push_back(w.name);
+        return all;
+    }
+    return representativeWorkloads();
+}
+
+std::vector<std::string>
+Options::suiteWorkloads() const
+{
+    if (!workloads.empty())
+        return workloads;
+    std::vector<std::string> all;
+    for (const auto &w : allWorkloads())
+        all.push_back(w.name);
+    return all;
+}
+
+Trace
+makeTrace(const std::string &workload, std::uint64_t requests,
+          std::uint64_t seed)
+{
+    GeneratorConfig gc;
+    gc.totalRequests = requests;
+    gc.seed = seed;
+    return buildWorkloadTrace(findWorkload(workload), gc);
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double sum = 0;
+    for (double x : v)
+        sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+void
+banner(const char *figure, const char *caption, const Options &opt)
+{
+    std::printf("=== %s — %s ===\n", figure, caption);
+    std::printf("mode: %s (use --full for the paper-scale sweep)\n\n",
+                opt.full ? "FULL" : "reduced");
+}
+
+} // namespace mempod::bench

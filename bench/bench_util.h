@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table harnesses: CLI options
+ * (scale control, workload selection), workload-set helpers, and
+ * cached trace generation.
+ *
+ * Every harness accepts:
+ *   --full           paper-scale run (all workloads, long traces)
+ *   --requests N     trace length override
+ *   --workloads a,b  explicit workload list
+ *   --list-workloads print the suite (incl. Table 3 mixes) and exit
+ *   --seed N         generator seed
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+#include "trace/record.h"
+#include "trace/workloads.h"
+
+namespace mempod::bench {
+
+/** Parsed harness options. */
+struct Options
+{
+    bool full = false;
+    std::uint64_t requests = 0; //!< 0 = pick by mode
+    std::uint64_t seed = 42;
+    std::vector<std::string> workloads; //!< empty = pick by mode
+
+    /** Trace length for timing simulations. */
+    std::uint64_t
+    timingRequests() const
+    {
+        if (requests)
+            return requests;
+        return full ? 8'000'000 : 800'000;
+    }
+
+    /** Trace length for the offline (Section 3) studies. */
+    std::uint64_t
+    offlineRequests() const
+    {
+        if (requests)
+            return requests;
+        return full ? 4'000'000 : 600'000;
+    }
+
+    /** Workload set for timing sweeps (small unless --full). */
+    std::vector<std::string> sweepWorkloads() const;
+
+    /** Full suite (all 27) unless the user narrowed it. */
+    std::vector<std::string> suiteWorkloads() const;
+};
+
+/** Parse argv; prints usage and exits on --help / bad input. */
+Options parseOptions(int argc, char **argv, const char *what);
+
+/** Build (and memoize on disk is unnecessary — generation is fast). */
+Trace makeTrace(const std::string &workload, std::uint64_t requests,
+                std::uint64_t seed);
+
+/** Mean of a vector. */
+double mean(const std::vector<double> &v);
+
+/** Print the standard harness banner. */
+void banner(const char *figure, const char *caption,
+            const Options &opt);
+
+} // namespace mempod::bench

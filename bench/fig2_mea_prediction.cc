@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 2: MEA vs Full Counters *prediction* accuracy — hits on the
+ * next interval's top three page tiers, averaged per interval, for
+ * homogeneous (WL-HG), mixed (WL-MIX) and all (WL-ALL) workloads.
+ * The paper's headline: MEA beats FC by 16% / 81% / 68% on the three
+ * tiers on average, because MEA blends access counting with temporal
+ * recency.
+ */
+#include <cstdio>
+
+#include "analysis/interval_study.h"
+#include "bench_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mempod;
+    using namespace mempod::bench;
+
+    const Options opt = parseOptions(
+        argc, argv, "fig2_mea_prediction: next-interval prediction");
+    banner("Figure 2", "MEA vs FC future-hit prediction accuracy", opt);
+
+    IntervalStudyConfig study;
+
+    TablePrinter table({"group", "scheme", "hits 1-10", "hits 11-20",
+                        "hits 21-30"});
+
+    std::vector<double> mea_hg[3], mea_mix[3], fc_hg[3], fc_mix[3];
+    for (const auto &name : opt.suiteWorkloads()) {
+        const Trace trace =
+            makeTrace(name, opt.offlineRequests(), opt.seed);
+        const IntervalStudyResult r =
+            runIntervalStudy(pageStreamFromTrace(trace), study);
+        const bool homog = findWorkload(name).homogeneous;
+        for (int t = 0; t < 3; ++t) {
+            (homog ? mea_hg : mea_mix)[t].push_back(
+                r.meaPredictionHits[t]);
+            (homog ? fc_hg : fc_mix)[t].push_back(r.fcPredictionHits[t]);
+        }
+    }
+
+    auto addGroup = [&](const char *label, std::vector<double> *mea_a,
+                        std::vector<double> *mea_b,
+                        std::vector<double> *fc_a,
+                        std::vector<double> *fc_b) {
+        std::vector<double> m[3], f[3];
+        for (int t = 0; t < 3; ++t) {
+            m[t].insert(m[t].end(), mea_a[t].begin(), mea_a[t].end());
+            f[t].insert(f[t].end(), fc_a[t].begin(), fc_a[t].end());
+            if (mea_b) {
+                m[t].insert(m[t].end(), mea_b[t].begin(),
+                            mea_b[t].end());
+                f[t].insert(f[t].end(), fc_b[t].begin(), fc_b[t].end());
+            }
+        }
+        table.addRow({label, "MEA", TablePrinter::num(mean(m[0]), 2),
+                      TablePrinter::num(mean(m[1]), 2),
+                      TablePrinter::num(mean(m[2]), 2)});
+        table.addRow({label, "FC", TablePrinter::num(mean(f[0]), 2),
+                      TablePrinter::num(mean(f[1]), 2),
+                      TablePrinter::num(mean(f[2]), 2)});
+        if (mean(f[0]) > 0) {
+            std::printf("%s: MEA/FC advantage per tier: %+.0f%% %+.0f%% "
+                        "%+.0f%%\n",
+                        label,
+                        100 * (mean(m[0]) / mean(f[0]) - 1),
+                        100 * (mean(m[1]) / std::max(1e-9, mean(f[1])) -
+                               1),
+                        100 * (mean(m[2]) / std::max(1e-9, mean(f[2])) -
+                               1));
+        }
+    };
+    addGroup("WL-HG", mea_hg, nullptr, fc_hg, nullptr);
+    addGroup("WL-MIX", mea_mix, nullptr, fc_mix, nullptr);
+    addGroup("WL-ALL", mea_hg, mea_mix, fc_hg, fc_mix);
+
+    std::printf("\n");
+    table.print();
+    std::printf("\n");
+    table.printCsv();
+    std::printf("\npaper: MEA achieves more future hits than FC by 16%%, "
+                "81%% and 68%% on the three tiers.\n");
+    return 0;
+}

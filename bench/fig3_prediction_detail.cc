@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 3: per-workload prediction detail for the paper's selected
+ * interesting cases — cactus (the only workload where FC beats MEA),
+ * xalanc and mix9 (representative MEA wins), and bwaves / lbm /
+ * libquantum (streaming workloads where FC fails almost entirely
+ * while MEA still catches the interval-boundary pages).
+ */
+#include <cstdio>
+
+#include "analysis/interval_study.h"
+#include "bench_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mempod;
+    using namespace mempod::bench;
+
+    Options opt = parseOptions(
+        argc, argv, "fig3_prediction_detail: selected workloads");
+    banner("Figure 3", "per-workload MEA vs FC prediction detail", opt);
+
+    if (opt.workloads.empty()) {
+        opt.workloads = {"cactus", "xalanc",     "mix9",
+                         "bwaves", "libquantum", "lbm"};
+    }
+
+    IntervalStudyConfig study;
+    TablePrinter table({"workload", "scheme", "hits 1-10", "hits 11-20",
+                        "hits 21-30"});
+
+    for (const auto &name : opt.workloads) {
+        const Trace trace =
+            makeTrace(name, opt.offlineRequests(), opt.seed);
+        const IntervalStudyResult r =
+            runIntervalStudy(pageStreamFromTrace(trace), study);
+        table.addRow({name, "MEA",
+                      TablePrinter::num(r.meaPredictionHits[0], 2),
+                      TablePrinter::num(r.meaPredictionHits[1], 2),
+                      TablePrinter::num(r.meaPredictionHits[2], 2)});
+        table.addRow({name, "FC",
+                      TablePrinter::num(r.fcPredictionHits[0], 2),
+                      TablePrinter::num(r.fcPredictionHits[1], 2),
+                      TablePrinter::num(r.fcPredictionHits[2], 2)});
+    }
+
+    table.print();
+    std::printf("\n");
+    table.printCsv();
+    std::printf(
+        "\npaper: cactus is FC's only win; bwaves/libquantum show MEA "
+        "low-but-nonzero while FC scores ~0; lbm shows MEA hitting "
+        "outside tier 1 where FC fails entirely.\n");
+    return 0;
+}

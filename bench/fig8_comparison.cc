@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Figure 8: the headline performance comparison — AMMAT of MemPod,
+ * HMA, THM, CAMEO and an all-HBM system, normalized to a two-level
+ * memory with no migration, per workload plus HG/MIX/ALL averages.
+ * Bookkeeping caches are disabled, as in the paper.
+ *
+ * Scale note: HMA's published 100 ms epoch assumes seconds-long
+ * traces. The harness keeps the paper's epoch *ratios* instead
+ * (HMA epoch = 40x MemPod's, sort stall = 7% of the epoch — exactly
+ * the paper's 7 ms / 100 ms) so reduced traces still span many HMA
+ * epochs; see EXPERIMENTS.md.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/simulation.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mempod;
+    using namespace mempod::bench;
+
+    const Options opt = parseOptions(
+        argc, argv, "fig8_comparison: mechanism comparison");
+    banner("Figure 8",
+           "AMMAT normalized to a no-migration two-level memory", opt);
+
+    const auto workloads =
+        opt.full ? opt.suiteWorkloads() : opt.sweepWorkloads();
+
+    struct Config
+    {
+        const char *label;
+        SimConfig cfg;
+    };
+    std::vector<Config> configs;
+    configs.push_back({"MemPod", SimConfig::paper(Mechanism::kMemPod)});
+    {
+        SimConfig hma = SimConfig::paper(Mechanism::kHma);
+        hma.scaleHmaEpoch(40.0); // keep the paper's ratios at any scale
+        configs.push_back({"HMA", hma});
+    }
+    configs.push_back({"THM", SimConfig::paper(Mechanism::kThm)});
+    configs.push_back({"CAMEO", SimConfig::paper(Mechanism::kCameo)});
+    configs.push_back({"HBM-only", SimConfig::fastOnly()});
+
+    TablePrinter table({"workload", "type", "MemPod", "HMA", "THM",
+                        "CAMEO", "HBM-only"});
+    TablePrinter traffic({"workload", "MemPod MiB", "per-pod MiB",
+                          "HMA MiB", "THM MiB", "CAMEO MiB"});
+
+    std::vector<std::vector<double>> hg(configs.size()),
+        mx(configs.size());
+
+    for (const auto &name : workloads) {
+        const Trace trace =
+            makeTrace(name, opt.timingRequests(), opt.seed);
+        const double base =
+            runSimulation(SimConfig::paper(Mechanism::kNoMigration),
+                          trace, name)
+                .ammatNs;
+        const bool homog = findWorkload(name).homogeneous;
+
+        std::vector<std::string> row{name, homog ? "HG" : "MIX"};
+        std::vector<std::string> trow{name};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const RunResult r =
+                runSimulation(configs[c].cfg, trace, name);
+            const double norm = r.ammatNs / base;
+            (homog ? hg : mx)[c].push_back(norm);
+            row.push_back(TablePrinter::num(norm, 3));
+            if (configs[c].label == std::string("MemPod")) {
+                trow.push_back(TablePrinter::num(r.dataMovedMiB(), 1));
+                trow.push_back(TablePrinter::num(
+                    r.dataMovedMiB() /
+                        SystemGeometry::paper().numPods,
+                    1));
+            } else if (configs[c].label != std::string("HBM-only")) {
+                trow.push_back(TablePrinter::num(r.dataMovedMiB(), 1));
+            }
+        }
+        table.addRow(std::move(row));
+        traffic.addRow(std::move(trow));
+    }
+
+    auto avgRow = [&](const char *label,
+                      const std::vector<std::vector<double>> &a,
+                      const std::vector<std::vector<double>> *b) {
+        std::vector<std::string> row{label, "-"};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            std::vector<double> all = a[c];
+            if (b)
+                all.insert(all.end(), (*b)[c].begin(), (*b)[c].end());
+            row.push_back(TablePrinter::num(mean(all), 3));
+        }
+        table.addRow(std::move(row));
+    };
+    avgRow("AVG HG", hg, nullptr);
+    avgRow("AVG MIX", mx, nullptr);
+    avgRow("AVG ALL", hg, &mx);
+
+    table.print();
+    std::printf("\nmigration traffic (paper: CAMEO 3.9 GB > MemPod "
+                "3.1 GB total / 804 MB per pod > THM 865 MB > HMA "
+                "578 MB on full-length traces):\n");
+    traffic.print();
+    std::printf("\n");
+    table.printCsv();
+    std::printf("\npaper: MemPod improves AMMAT by 19%% on average over "
+                "TLM (normalized 0.81), beats HMA/THM by 9%% on average "
+                "and up to 29%%; CAMEO degrades by 41%% (normalized "
+                "1.41) at this 1:8 capacity ratio.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 9: bookkeeping-cache sensitivity. MemPod (remap-table cache,
+ * split across its four Pods), THM (segment-state cache) and HMA
+ * (counter cache) run with 16, 32 and 64 kB caches whose misses
+ * inject blocking reads into the request stream; AMMAT is normalized
+ * to the no-migration two-level memory. The paper reports MemPod at
+ * 4/7/9% improvement over TLM with 16/32/64 kB, still ahead of the
+ * others, and HMA's counterintuitive benefit from *smaller* caches.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/simulation.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mempod;
+    using namespace mempod::bench;
+
+    const Options opt = parseOptions(
+        argc, argv, "fig9_cache_sensitivity: metadata cache sweep");
+    banner("Figure 9", "AMMAT vs bookkeeping cache size (norm. to TLM)",
+           opt);
+
+    const auto workloads = opt.sweepWorkloads();
+    const std::vector<std::uint64_t> sizes{16 * 1024, 32 * 1024,
+                                           64 * 1024};
+
+    std::vector<Trace> traces;
+    std::vector<double> base;
+    for (const auto &w : workloads) {
+        traces.push_back(makeTrace(w, opt.timingRequests(), opt.seed));
+        base.push_back(
+            runSimulation(SimConfig::paper(Mechanism::kNoMigration),
+                          traces.back(), w)
+                .ammatNs);
+    }
+
+    auto makeCfg = [&](Mechanism m, std::uint64_t cache_bytes,
+                       bool enabled) {
+        SimConfig cfg = SimConfig::paper(m);
+        if (m == Mechanism::kHma)
+            cfg.scaleHmaEpoch(40.0);
+        switch (m) {
+          case Mechanism::kMemPod:
+            cfg.mempod.pod.metaCacheEnabled = enabled;
+            // The cache capacity is distributed over the four Pods.
+            cfg.mempod.pod.metaCacheBytes =
+                cache_bytes / cfg.geom.numPods;
+            break;
+          case Mechanism::kHma:
+            cfg.hma.metaCacheEnabled = enabled;
+            cfg.hma.metaCacheBytes = cache_bytes;
+            break;
+          case Mechanism::kThm:
+            cfg.thm.metaCacheEnabled = enabled;
+            cfg.thm.metaCacheBytes = cache_bytes;
+            break;
+          default:
+            break;
+        }
+        return cfg;
+    };
+
+    TablePrinter table({"mechanism", "cache", "norm. AMMAT",
+                        "impact vs no-cache %", "miss rate %"});
+
+    for (Mechanism m :
+         {Mechanism::kMemPod, Mechanism::kThm, Mechanism::kHma}) {
+        // Reference: same mechanism with free on-chip metadata.
+        std::vector<double> nocache_norm;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const RunResult r = runSimulation(makeCfg(m, 0, false),
+                                              traces[i], workloads[i]);
+            nocache_norm.push_back(r.ammatNs / base[i]);
+        }
+        const double ref = mean(nocache_norm);
+        table.addRow({mechanismName(m), "none",
+                      TablePrinter::num(ref, 3), "0.0", "-"});
+
+        for (const std::uint64_t size : sizes) {
+            std::vector<double> norm;
+            double hits = 0, misses = 0;
+            for (std::size_t i = 0; i < workloads.size(); ++i) {
+                const RunResult r = runSimulation(
+                    makeCfg(m, size, true), traces[i], workloads[i]);
+                norm.push_back(r.ammatNs / base[i]);
+                hits += static_cast<double>(r.migration.metaCacheHits);
+                misses +=
+                    static_cast<double>(r.migration.metaCacheMisses);
+            }
+            const double avg = mean(norm);
+            table.addRow(
+                {mechanismName(m),
+                 std::to_string(size / 1024) + " kB",
+                 TablePrinter::num(avg, 3),
+                 TablePrinter::num(100 * (avg - ref) / ref, 1),
+                 TablePrinter::num(100 * misses / (hits + misses), 1)});
+        }
+    }
+
+    table.print();
+    std::printf("\n");
+    table.printCsv();
+    std::printf("\npaper: with 16/32/64 kB MemPod improves 4/7/9%% over "
+                "TLM (cache costs it 16/14/12%% vs cache-free) and "
+                "stays ahead of THM and HMA.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the building blocks: MEA
+ * update throughput (the structure sits on the memory access path, so
+ * single-cycle behaviour matters), remap-table lookup/swap, metadata-
+ * cache probes, channel-controller throughput, trace generation, and
+ * a small end-to-end simulation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "core/remap_table.h"
+#include "dram/channel.h"
+#include "sim/metadata_cache.h"
+#include "sim/simulation.h"
+#include "tracking/full_counters.h"
+#include "tracking/mea.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace mempod;
+
+void
+BM_MeaTouch(benchmark::State &state)
+{
+    MeaTracker mea(static_cast<std::uint32_t>(state.range(0)), 2, 21);
+    Rng rng(1);
+    std::vector<std::uint64_t> ids(4096);
+    for (auto &id : ids)
+        id = rng.nextZipf(1 << 20, 1.0);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        mea.touch(ids[i++ & 4095]);
+        benchmark::DoNotOptimize(mea.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeaTouch)->Arg(16)->Arg(64)->Arg(512);
+
+void
+BM_FullCountersTouch(benchmark::State &state)
+{
+    FullCounters fc(1 << 22, 16);
+    Rng rng(2);
+    std::vector<std::uint64_t> ids(4096);
+    for (auto &id : ids)
+        id = rng.nextBelow(1 << 22);
+    std::size_t i = 0;
+    for (auto _ : state)
+        fc.touch(ids[i++ & 4095]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullCountersTouch);
+
+void
+BM_FullCountersTopN(benchmark::State &state)
+{
+    FullCounters fc(1 << 22, 16);
+    Rng rng(3);
+    for (int i = 0; i < 200000; ++i)
+        fc.touch(rng.nextZipf(1 << 22, 0.9));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fc.topN(64));
+}
+BENCHMARK(BM_FullCountersTopN);
+
+void
+BM_RemapLookup(benchmark::State &state)
+{
+    RemapTable rt(1179648, 131072); // one paper-scale pod
+    Rng rng(4);
+    for (int i = 0; i < 100000; ++i)
+        rt.swap(rng.nextBelow(1179648), rng.nextBelow(1179648));
+    std::uint64_t q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rt.locationOf(q));
+        q = (q + 977) % 1179648;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RemapLookup);
+
+void
+BM_MetadataCacheLookup(benchmark::State &state)
+{
+    MetadataCache cache(64 * 1024, 8, 4);
+    Rng rng(5);
+    std::uint64_t q = 0;
+    for (auto _ : state) {
+        if (!cache.lookup(q))
+            cache.fill(q);
+        q = rng.nextZipf(1 << 20, 1.0);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetadataCacheLookup);
+
+void
+BM_ChannelThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        Channel ch(eq, DramSpec::hbm1GHz().withChannelBytes(8_MiB),
+                   "bm", 0);
+        Rng rng(6);
+        for (int i = 0; i < 512; ++i) {
+            Request r;
+            r.type = rng.nextBool(0.3) ? AccessType::kWrite
+                                       : AccessType::kRead;
+            r.onComplete = [](TimePs) {};
+            ch.enqueue(std::move(r),
+                       ChannelAddr{static_cast<std::uint32_t>(
+                                       rng.nextBelow(16)),
+                                   static_cast<std::int64_t>(
+                                       rng.nextBelow(64))});
+        }
+        eq.runAll();
+        benchmark::DoNotOptimize(ch.stats().reads);
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_ChannelThroughput);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    GeneratorConfig gc;
+    gc.totalRequests = 50000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            buildWorkloadTrace(findWorkload("mix5"), gc));
+    }
+    state.SetItemsProcessed(state.iterations() * gc.totalRequests);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_EndToEndMemPod(benchmark::State &state)
+{
+    GeneratorConfig gc;
+    gc.totalRequests = 50000;
+    const Trace trace = buildWorkloadTrace(findWorkload("xalanc"), gc);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            runSimulation(SimConfig::paper(Mechanism::kMemPod), trace));
+    }
+    state.SetItemsProcessed(state.iterations() * gc.totalRequests);
+}
+BENCHMARK(BM_EndToEndMemPod);
+
+} // namespace
+
+BENCHMARK_MAIN();

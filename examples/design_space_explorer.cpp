@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Interactive design-space exploration of MemPod's knobs on a chosen
+ * workload: epoch length, MEA entry count and counter width — the
+ * Section 6.3.1 experiments as a single-workload CLI tool.
+ *
+ * Usage: design_space_explorer [workload] [requests]
+ *          [--epochs us,us,...] [--counters k,k,...] [--bits b,b,...]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+#include "sim/simulation.h"
+#include "trace/workloads.h"
+
+namespace {
+
+std::vector<std::uint64_t>
+parseList(const char *s)
+{
+    std::vector<std::uint64_t> out;
+    const std::string str(s);
+    std::size_t pos = 0;
+    while (pos < str.size()) {
+        out.push_back(std::strtoull(str.c_str() + pos, nullptr, 10));
+        const std::size_t comma = str.find(',', pos);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mempod;
+
+    std::string workload = "xalanc";
+    std::uint64_t requests = 300'000;
+    std::vector<std::uint64_t> epochs_us{25, 50, 100, 200};
+    std::vector<std::uint64_t> counters{16, 64, 256};
+    std::vector<std::uint64_t> bits{2};
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--epochs") && i + 1 < argc)
+            epochs_us = parseList(argv[++i]);
+        else if (!std::strcmp(argv[i], "--counters") && i + 1 < argc)
+            counters = parseList(argv[++i]);
+        else if (!std::strcmp(argv[i], "--bits") && i + 1 < argc)
+            bits = parseList(argv[++i]);
+        else if (positional == 0)
+            workload = argv[i], ++positional;
+        else
+            requests = std::strtoull(argv[i], nullptr, 10);
+    }
+
+    GeneratorConfig gen;
+    gen.totalRequests = requests;
+    const Trace trace =
+        buildWorkloadTrace(findWorkload(workload), gen);
+
+    const double base =
+        runSimulation(SimConfig::paper(Mechanism::kNoMigration), trace)
+            .ammatNs;
+    std::printf("workload %s, %llu requests; no-migration AMMAT "
+                "%.1f ns\n\n",
+                workload.c_str(),
+                static_cast<unsigned long long>(requests), base);
+
+    TablePrinter table({"epoch (us)", "counters", "bits", "AMMAT (ns)",
+                        "norm.", "migr/pod/interval", "fast %"});
+
+    double best = 1e30;
+    std::string best_desc;
+    for (const auto e : epochs_us) {
+        for (const auto k : counters) {
+            for (const auto b : bits) {
+                SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
+                cfg.mempod.interval = e * 1_us;
+                cfg.mempod.pod.meaEntries =
+                    static_cast<std::uint32_t>(k);
+                cfg.mempod.pod.meaCounterBits =
+                    static_cast<std::uint32_t>(b);
+                const RunResult r = runSimulation(cfg, trace, workload);
+                const double mpi =
+                    r.migration.intervals
+                        ? static_cast<double>(r.migration.migrations) /
+                              4.0 / r.migration.intervals
+                        : 0.0;
+                table.addRow({std::to_string(e), std::to_string(k),
+                              std::to_string(b),
+                              TablePrinter::num(r.ammatNs, 1),
+                              TablePrinter::num(r.ammatNs / base, 3),
+                              TablePrinter::num(mpi, 1),
+                              TablePrinter::num(
+                                  100 * r.fastServiceFraction, 1)});
+                if (r.ammatNs < best) {
+                    best = r.ammatNs;
+                    best_desc = std::to_string(e) + " us / " +
+                                std::to_string(k) + " counters / " +
+                                std::to_string(b) + " bits";
+                }
+            }
+        }
+    }
+
+    table.print();
+    std::printf("\nbest: %s (AMMAT %.1f ns, %.1f%% better than "
+                "no-migration)\n",
+                best_desc.c_str(), best, 100 * (1 - best / base));
+    return 0;
+}

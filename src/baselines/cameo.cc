@@ -1,0 +1,183 @@
+#include "baselines/cameo.h"
+
+#include <bit>
+
+#include "common/log.h"
+
+namespace mempod {
+
+CameoManager::CameoManager(EventQueue &eq, MemorySystem &mem,
+                           const CameoParams &params)
+    : eq_(eq),
+      mem_(mem),
+      params_(params),
+      fastLines_(mem.geom().fastBytes / kLineBytes),
+      ratio_(mem.geom().slowBytes / mem.geom().fastBytes),
+      engine_(eq, mem, params.engineParallelism)
+{
+    MEMPOD_ASSERT(mem.geom().slowBytes % mem.geom().fastBytes == 0,
+                  "CAMEO needs an integer slow:fast capacity ratio");
+    MEMPOD_ASSERT(ratio_ >= 1 && ratio_ <= 14,
+                  "group ratio %llu does not fit the packed encoding",
+                  static_cast<unsigned long long>(ratio_));
+}
+
+std::uint64_t
+CameoManager::identityState() const
+{
+    std::uint64_t st = 0;
+    for (std::uint32_t m = 0; m <= ratio_; ++m)
+        packSlot(st, m, m);
+    return st;
+}
+
+std::uint64_t &
+CameoManager::groupState(std::uint64_t group)
+{
+    auto it = groups_.find(group);
+    if (it != groups_.end())
+        return it->second;
+    return groups_.emplace(group, identityState()).first->second;
+}
+
+std::pair<std::uint64_t, std::uint32_t>
+CameoManager::groupOf(LineId line) const
+{
+    if (line < fastLines_)
+        return {line, 0};
+    // Contiguous grouping: ratio consecutive slow lines share one fast
+    // slot, so spatially local streams swap on every line and thrash —
+    // the pathology the paper attributes to CAMEO at 1:8 ratios.
+    const std::uint64_t slow_idx = line - fastLines_;
+    return {slow_idx / ratio_,
+            1 + static_cast<std::uint32_t>(slow_idx % ratio_)};
+}
+
+LineId
+CameoManager::lineAt(std::uint64_t group, std::uint32_t slot) const
+{
+    if (slot == 0)
+        return group;
+    return fastLines_ + group * ratio_ + (slot - 1);
+}
+
+std::uint32_t
+CameoManager::slotOfMember(std::uint64_t group, std::uint32_t member) const
+{
+    auto it = groups_.find(group);
+    if (it == groups_.end())
+        return member; // untouched group: identity
+    return unpackSlot(it->second, member);
+}
+
+void
+CameoManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
+                           std::uint8_t core, CompletionFn done)
+{
+    proceed(BlockedDemand{home_addr, type, arrival, core,
+                          std::move(done)});
+}
+
+void
+CameoManager::proceed(BlockedDemand d)
+{
+    const LineId line = d.homeAddr / kLineBytes;
+    const auto [group, member] = groupOf(line);
+    if (locks_.isLocked(group)) {
+        ++mstats_.blockedRequests;
+        locks_.park(group, std::move(d));
+        return;
+    }
+
+    std::uint64_t &st = groupState(group);
+    const std::uint32_t slot = unpackSlot(st, member);
+
+    Request req;
+    req.addr =
+        lineAt(group, slot) * kLineBytes + d.homeAddr % kLineBytes;
+    req.type = d.type;
+    req.kind = Request::Kind::kDemand;
+    req.arrival = d.arrival;
+    req.core = d.core;
+    req.onComplete = [done = d.done](TimePs fin) {
+        if (done)
+            done(fin);
+    };
+    mem_.access(std::move(req));
+
+    if (slot == 0) {
+        st |= kUsedFlag; // the fast-resident line produced a hit
+        return;
+    }
+
+    // Event trigger: every slow access swaps the line into fast.
+    if (busyGroups_.contains(group))
+        return; // this group already has a swap in flight
+    if (engine_.queuedOps() >= params_.maxQueuedSwaps) {
+        ++swapsSkipped_;
+        return;
+    }
+    scheduleSwap(group, member);
+}
+
+void
+CameoManager::scheduleSwap(std::uint64_t group, std::uint32_t member)
+{
+    std::uint64_t &st = groupState(group);
+    // Find the current fast occupant.
+    std::uint32_t occupant = 0;
+    for (std::uint32_t m = 0; m <= ratio_; ++m) {
+        if (unpackSlot(st, m) == 0) {
+            occupant = m;
+            break;
+        }
+    }
+    MEMPOD_ASSERT(occupant != member, "swap of fast-resident line");
+    busyGroups_.insert(group);
+
+    MigrationEngine::SwapOp op;
+    op.locA = lineAt(group, unpackSlot(st, member)) * kLineBytes;
+    op.locB = lineAt(group, 0) * kLineBytes;
+    op.lines = 1;
+    op.onStart = [this, group] { locks_.lock(group); };
+    auto release = [this, group] {
+        busyGroups_.erase(group);
+        for (auto &d : locks_.unlock(group))
+            proceed(std::move(d));
+    };
+    op.onCommit = [this, group, member, occupant, release] {
+        std::uint64_t &s = groupState(group);
+        if ((s & kMigratedFlag) && !(s & kUsedFlag))
+            ++mstats_.wastedMigrations; // evicted before ever touched
+        const std::uint32_t slot_m = unpackSlot(s, member);
+        const std::uint32_t slot_o = unpackSlot(s, occupant);
+        packSlot(s, member, slot_o);
+        packSlot(s, occupant, slot_m);
+        s |= kMigratedFlag;
+        s &= ~kUsedFlag;
+        ++mstats_.migrations;
+        mstats_.bytesMoved += 2 * kLineBytes;
+        release();
+    };
+    op.onAbort = release;
+    engine_.submit(std::move(op));
+}
+
+std::uint64_t
+CameoManager::pendingWork() const
+{
+    return locks_.parkedCount() + engine_.queuedOps() +
+           engine_.activeOps();
+}
+
+std::uint64_t
+CameoManager::remapStorageBits() const
+{
+    // One location entry per fast line in the Line Location Table view
+    // the paper costs out (72 kB for 1 GB of fast memory): the slot of
+    // each group's fast-resident line needs log2(ratio+1) bits, and a
+    // full LLT needs one entry per line in the group.
+    return fastLines_ * (ratio_ + 1) * std::bit_width(ratio_);
+}
+
+} // namespace mempod

@@ -1,0 +1,182 @@
+#include "baselines/hma.h"
+
+#include "common/log.h"
+
+namespace mempod {
+
+HmaManager::HmaManager(EventQueue &eq, MemorySystem &mem,
+                       const HmaParams &params)
+    : eq_(eq),
+      mem_(mem),
+      params_(params),
+      counters_(mem.geom().totalPages(), params.counterBits),
+      placement_(mem.geom().totalPages(), mem.geom().fastPages()),
+      engine_(eq, mem, /*max_in_flight_ops=*/1)
+{
+    if (params_.metaCacheEnabled) {
+        const std::uint64_t fast_bytes = mem.geom().fastBytes;
+        metaPath_.emplace(
+            eq, mem, params_.metaCacheBytes, params_.metaCacheAssoc,
+            params_.counterEntryBytes, [fast_bytes](std::uint64_t block) {
+                // Counters live in a backing store carved out of
+                // stacked memory.
+                return (block * MetadataCache::kBlockBytes) % fast_bytes;
+            });
+    }
+}
+
+void
+HmaManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
+                         std::uint8_t core, CompletionFn done)
+{
+    BlockedDemand d{home_addr, type, arrival, core, std::move(done)};
+    if (!metaPath_) {
+        proceed(std::move(d));
+        return;
+    }
+    // The per-page counter must be fetched to be updated; a miss
+    // blocks the request just like the paper's model.
+    const PageId page = AddressMap::pageOf(home_addr);
+    const std::uint64_t misses_before = metaPath_->misses();
+    metaPath_->access(page, [this, d = std::move(d)]() mutable {
+        proceed(std::move(d));
+    });
+    if (metaPath_->misses() > misses_before)
+        ++mstats_.metaCacheMisses;
+    else
+        ++mstats_.metaCacheHits;
+}
+
+void
+HmaManager::proceed(BlockedDemand d)
+{
+    const PageId page = AddressMap::pageOf(d.homeAddr);
+    counters_.touch(page);
+    if (locks_.isLocked(page)) {
+        ++mstats_.blockedRequests;
+        locks_.park(page, std::move(d));
+        return;
+    }
+    issueToCurrentLocation(d);
+}
+
+void
+HmaManager::issueToCurrentLocation(const BlockedDemand &d)
+{
+    const PageId page = AddressMap::pageOf(d.homeAddr);
+    const std::uint64_t slot = placement_.locationOf(page);
+    Request req;
+    req.addr = AddressMap::addrOfPage(slot) + d.homeAddr % kPageBytes;
+    req.type = d.type;
+    req.kind = Request::Kind::kDemand;
+    req.arrival = d.arrival;
+    req.core = d.core;
+    req.onComplete = [done = d.done](TimePs fin) {
+        if (done)
+            done(fin);
+    };
+    mem_.access(std::move(req));
+}
+
+void
+HmaManager::start()
+{
+    eq_.scheduleAfter(params_.interval, [this] {
+        onInterval();
+        start();
+    });
+}
+
+std::uint64_t
+HmaManager::findVictimSlot(
+    const std::unordered_set<std::uint64_t> &hot_set)
+{
+    const std::uint64_t fast_slots = placement_.fastSlots();
+    for (std::uint64_t n = 0; n < fast_slots; ++n) {
+        const std::uint64_t slot = victimScan_;
+        victimScan_ = (victimScan_ + 1) % fast_slots;
+        const std::uint64_t resident = placement_.residentOf(slot);
+        if (hot_set.contains(resident) || busy_.contains(resident))
+            continue;
+        return slot;
+    }
+    return ~std::uint64_t{0};
+}
+
+void
+HmaManager::onInterval()
+{
+    ++mstats_.intervals;
+
+    // The OS interrupt: the cores sort counters for sortStall; they
+    // issue no memory requests meanwhile (the application is paused,
+    // not queuing up memory stall).
+    if (stallHook_)
+        stallHook_(params_.sortStall);
+
+    engine_.clearQueued();
+
+    const auto ranked = counters_.topN(params_.maxMigrationsPerInterval);
+    std::unordered_set<std::uint64_t> hot_set;
+    hot_set.reserve(ranked.size() * 2);
+    for (const auto &e : ranked)
+        if (e.count >= params_.threshold)
+            hot_set.insert(e.id);
+
+    for (const auto &e : ranked) {
+        if (e.count < params_.threshold)
+            break; // ranked is sorted descending
+        const PageId page = e.id;
+        if (busy_.contains(page))
+            continue;
+        if (placement_.inFast(page)) {
+            ++mstats_.candidatesSkipped;
+            continue;
+        }
+        const std::uint64_t victim = findVictimSlot(hot_set);
+        if (victim == ~std::uint64_t{0})
+            break;
+        const std::uint64_t resident = placement_.residentOf(victim);
+        busy_.insert(page);
+        busy_.insert(resident);
+
+        MigrationEngine::SwapOp op;
+        op.locA = AddressMap::addrOfPage(placement_.locationOf(page));
+        op.locB = AddressMap::addrOfPage(victim);
+        op.lines = static_cast<std::uint32_t>(kLinesPerPage);
+        auto release = [this](std::uint64_t key) {
+            busy_.erase(key);
+            for (auto &d : locks_.unlock(key))
+                issueToCurrentLocation(d);
+        };
+        // Demands block only while the data is actually in flight.
+        op.onStart = [this, page, resident] {
+            locks_.lock(page);
+            locks_.lock(resident);
+        };
+        op.onCommit = [this, page, resident, release] {
+            placement_.swap(page, resident);
+            ++mstats_.migrations;
+            mstats_.bytesMoved += 2 * kPageBytes;
+            release(page);
+            release(resident);
+        };
+        op.onAbort = [page, resident, release] {
+            release(page);
+            release(resident);
+        };
+        engine_.submit(std::move(op));
+    }
+
+    counters_.reset();
+}
+
+std::uint64_t
+HmaManager::pendingWork() const
+{
+    return locks_.parkedCount() + engine_.queuedOps() +
+           engine_.activeOps() +
+           (metaPath_ ? metaPath_->outstandingFills() : 0);
+}
+
+} // namespace mempod

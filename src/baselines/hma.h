@@ -1,0 +1,108 @@
+/**
+ * @file
+ * HMA baseline (Meswani et al., HPCA 2015): a HW/SW mechanism with one
+ * full counter per page, OS-driven any-to-any migration at very large
+ * epochs, and a fixed sorting penalty that freezes memory intake at
+ * every epoch boundary (the paper models 7 ms after generously
+ * discounting a measured 1.95 s quicksort). HMA needs no remap table
+ * at runtime — the OS rewrites page tables — so lookups are free, but
+ * its counters are large (16 bits x every page = 9 MB) and its epochs
+ * 2000x longer than MemPod's.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "baselines/lock_table.h"
+#include "common/event_queue.h"
+#include "core/migration_engine.h"
+#include "core/remap_table.h"
+#include "mem/manager.h"
+#include "mem/memory_system.h"
+#include "sim/metadata_path.h"
+#include "tracking/full_counters.h"
+
+#include <optional>
+
+namespace mempod {
+
+/** HMA configuration. */
+struct HmaParams
+{
+    TimePs interval = 100_ms;     //!< paper's optimal epoch
+    TimePs sortStall = 7_ms;      //!< intake freeze per epoch
+    std::uint32_t counterBits = 16;
+    std::uint32_t threshold = 16; //!< min accesses to migrate a page
+    std::uint32_t maxMigrationsPerInterval = 2048;
+    /** Counter cache (Figure 9); disabled = free on-chip counters. */
+    bool metaCacheEnabled = false;
+    std::uint64_t metaCacheBytes = 16 * 1024;
+    std::uint32_t metaCacheAssoc = 8;
+    std::uint32_t counterEntryBytes = 2; //!< 16-bit packed counters
+};
+
+/** Full-counter, OS-epoch migration manager. */
+class HmaManager : public MemoryManager
+{
+  public:
+    HmaManager(EventQueue &eq, MemorySystem &mem, const HmaParams &params);
+
+    void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
+                      std::uint8_t core, CompletionFn done) override;
+
+    void start() override;
+
+    std::string name() const override { return "HMA"; }
+
+    const MigrationStats &migrationStats() const override
+    {
+        return mstats_;
+    }
+
+    std::uint64_t pendingWork() const override;
+
+    /**
+     * Hook invoked with the sort *duration* each epoch; the simulation
+     * wires it to TraceFrontend::suspendCores.
+     */
+    void setStallHook(std::function<void(TimePs)> hook)
+    {
+        stallHook_ = std::move(hook);
+    }
+
+    const FullCounters &counters() const { return counters_; }
+    const RemapTable &placement() const { return placement_; }
+    const MigrationEngine &engine() const { return engine_; }
+    const HmaParams &params() const { return params_; }
+
+    /** Modeled tracking storage (Table 1): 16 bits per page. */
+    std::uint64_t trackingStorageBits() const
+    {
+        return counters_.storageBits();
+    }
+
+  private:
+    void onInterval();
+    void issueToCurrentLocation(const BlockedDemand &d);
+    std::uint64_t findVictimSlot(
+        const std::unordered_set<std::uint64_t> &hot_set);
+
+    /** Count/park/issue; stage after any counter-cache fill. */
+    void proceed(BlockedDemand d);
+
+    EventQueue &eq_;
+    MemorySystem &mem_;
+    HmaParams params_;
+    FullCounters counters_;
+    RemapTable placement_; //!< models the OS page-table view
+    MigrationEngine engine_;
+    LockTable locks_; //!< pages whose swap has started (demand block)
+    /** Pages with a scheduled-or-active swap (candidate exclusion). */
+    std::unordered_set<std::uint64_t> busy_;
+    std::optional<MetadataPath> metaPath_;
+    std::function<void(TimePs)> stallHook_;
+    std::uint64_t victimScan_ = 0;
+};
+
+} // namespace mempod

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helper for migration blocking: while a swap involving a page
+ * (or segment/group) is in flight, demand requests touching it must be
+ * parked and re-issued after the swap commits, to preserve functional
+ * correctness (Section 4.3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/manager.h"
+
+namespace mempod {
+
+/** A demand access held while its page migrates. */
+struct BlockedDemand
+{
+    Addr homeAddr = 0;
+    AccessType type = AccessType::kRead;
+    TimePs arrival = 0;
+    std::uint8_t core = 0;
+    MemoryManager::CompletionFn done;
+};
+
+/** Lock/park bookkeeping keyed by a mechanism-defined region id. */
+class LockTable
+{
+  public:
+    bool isLocked(std::uint64_t key) const { return locked_.contains(key); }
+
+    void lock(std::uint64_t key) { locked_.insert(key); }
+
+    /** Park a demand against a locked key. */
+    void
+    park(std::uint64_t key, BlockedDemand d)
+    {
+        parked_[key].push_back(std::move(d));
+        ++parkedCount_;
+    }
+
+    /** Unlock `key` and return (draining) everything parked on it. */
+    std::vector<BlockedDemand>
+    unlock(std::uint64_t key)
+    {
+        locked_.erase(key);
+        auto it = parked_.find(key);
+        if (it == parked_.end())
+            return {};
+        std::vector<BlockedDemand> out = std::move(it->second);
+        parked_.erase(it);
+        parkedCount_ -= out.size();
+        return out;
+    }
+
+    std::uint64_t parkedCount() const { return parkedCount_; }
+    std::size_t lockedCount() const { return locked_.size(); }
+
+  private:
+    std::unordered_set<std::uint64_t> locked_;
+    std::unordered_map<std::uint64_t, std::vector<BlockedDemand>> parked_;
+    std::uint64_t parkedCount_ = 0;
+};
+
+} // namespace mempod

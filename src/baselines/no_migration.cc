@@ -1,0 +1,23 @@
+#include "baselines/no_migration.h"
+
+namespace mempod {
+
+void
+NoMigrationManager::handleDemand(Addr home_addr, AccessType type,
+                                 TimePs arrival, std::uint8_t core,
+                                 CompletionFn done)
+{
+    Request req;
+    req.addr = home_addr;
+    req.type = type;
+    req.kind = Request::Kind::kDemand;
+    req.arrival = arrival;
+    req.core = core;
+    req.onComplete = [done = std::move(done)](TimePs fin) {
+        if (done)
+            done(fin);
+    };
+    mem_.access(std::move(req));
+}
+
+} // namespace mempod

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The no-migration baseline: requests are served wherever the OS
+ * placed them. With the paper's two-level geometry this is the "TLM"
+ * normalization baseline of Figures 8-10; with a single-tier geometry
+ * it models the HBM-only / DDR-only configurations.
+ */
+#pragma once
+
+#include "mem/manager.h"
+#include "mem/memory_system.h"
+
+namespace mempod {
+
+/** Static placement; the identity memory manager. */
+class NoMigrationManager : public MemoryManager
+{
+  public:
+    explicit NoMigrationManager(MemorySystem &mem) : mem_(mem) {}
+
+    void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
+                      std::uint8_t core, CompletionFn done) override;
+
+    std::string name() const override { return "NoMigration"; }
+
+  private:
+    MemorySystem &mem_;
+};
+
+} // namespace mempod

@@ -1,0 +1,193 @@
+#include "baselines/thm.h"
+
+#include <bit>
+
+#include "common/log.h"
+
+namespace mempod {
+
+ThmManager::ThmManager(EventQueue &eq, MemorySystem &mem,
+                       const ThmParams &params)
+    : eq_(eq),
+      mem_(mem),
+      params_(params),
+      ratio_(mem.geom().slowPages() / mem.geom().fastPages()),
+      numSegments_(mem.geom().fastPages()),
+      engine_(eq, mem, /*max_in_flight_ops=*/1)
+{
+    MEMPOD_ASSERT(mem.geom().slowPages() % mem.geom().fastPages() == 0,
+                  "THM needs an integer slow:fast capacity ratio");
+    MEMPOD_ASSERT(ratio_ >= 1 && ratio_ <= 200,
+                  "implausible segment ratio %llu",
+                  static_cast<unsigned long long>(ratio_));
+    if (params_.metaCacheEnabled) {
+        const std::uint64_t fast_bytes = mem.geom().fastBytes;
+        metaPath_.emplace(
+            eq, mem, params_.metaCacheBytes, params_.metaCacheAssoc,
+            params_.segEntryBytes, [fast_bytes](std::uint64_t block) {
+                return (block * MetadataCache::kBlockBytes) % fast_bytes;
+            });
+    }
+}
+
+ThmManager::SegState &
+ThmManager::segState(std::uint64_t seg)
+{
+    auto it = segs_.find(seg);
+    if (it != segs_.end())
+        return it->second;
+    SegState st;
+    st.cc = CompetingCounter(params_.counterBits);
+    st.slotOf.resize(ratio_ + 1);
+    for (std::uint32_t m = 0; m <= ratio_; ++m)
+        st.slotOf[m] = static_cast<std::uint8_t>(m);
+    return segs_.emplace(seg, std::move(st)).first->second;
+}
+
+std::pair<std::uint64_t, std::uint32_t>
+ThmManager::segmentOf(PageId page) const
+{
+    if (page < numSegments_)
+        return {page, 0};
+    // Contiguous grouping: slow pages [s*ratio, (s+1)*ratio) belong to
+    // segment s. Spatially local regions therefore compete for one
+    // fast page — the restriction the paper analyzes (Section 2).
+    const std::uint64_t slow_idx = page - numSegments_;
+    return {slow_idx / ratio_,
+            1 + static_cast<std::uint32_t>(slow_idx % ratio_)};
+}
+
+PageId
+ThmManager::pageAt(std::uint64_t seg, std::uint32_t slot) const
+{
+    if (slot == 0)
+        return seg;
+    return numSegments_ + seg * ratio_ + (slot - 1);
+}
+
+std::uint32_t
+ThmManager::fastResidentMember(std::uint64_t seg) const
+{
+    auto it = segs_.find(seg);
+    if (it == segs_.end())
+        return 0;
+    for (std::uint32_t m = 0; m <= ratio_; ++m)
+        if (it->second.slotOf[m] == 0)
+            return m;
+    MEMPOD_PANIC("segment %llu has no fast resident",
+                 static_cast<unsigned long long>(seg));
+}
+
+void
+ThmManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
+                         std::uint8_t core, CompletionFn done)
+{
+    BlockedDemand d{home_addr, type, arrival, core, std::move(done)};
+    if (!metaPath_) {
+        proceed(std::move(d));
+        return;
+    }
+    const auto [seg, member] = segmentOf(AddressMap::pageOf(home_addr));
+    (void)member;
+    const std::uint64_t misses_before = metaPath_->misses();
+    metaPath_->access(seg, [this, d = std::move(d)]() mutable {
+        proceed(std::move(d));
+    });
+    if (metaPath_->misses() > misses_before)
+        ++mstats_.metaCacheMisses;
+    else
+        ++mstats_.metaCacheHits;
+}
+
+void
+ThmManager::proceed(BlockedDemand d)
+{
+    const auto [seg, member] = segmentOf(AddressMap::pageOf(d.homeAddr));
+    if (locks_.isLocked(seg)) {
+        ++mstats_.blockedRequests;
+        locks_.park(seg, std::move(d));
+        return;
+    }
+
+    SegState &st = segState(seg);
+    const std::uint32_t slot = st.slotOf[member];
+
+    // Service the access from the page's current location first.
+    issueAt(seg, slot, d);
+
+    // Then update the competing counter and maybe trigger a swap.
+    if (slot == 0) {
+        st.cc.accessFast();
+        return;
+    }
+    const bool trigger = st.cc.accessSlow(member, params_.threshold);
+    if (trigger)
+        scheduleSwap(seg, member);
+}
+
+void
+ThmManager::issueAt(std::uint64_t seg, std::uint32_t slot,
+                    const BlockedDemand &d)
+{
+    Request req;
+    req.addr = AddressMap::addrOfPage(pageAt(seg, slot)) +
+               d.homeAddr % kPageBytes;
+    req.type = d.type;
+    req.kind = Request::Kind::kDemand;
+    req.arrival = d.arrival;
+    req.core = d.core;
+    req.onComplete = [done = d.done](TimePs fin) {
+        if (done)
+            done(fin);
+    };
+    mem_.access(std::move(req));
+}
+
+void
+ThmManager::scheduleSwap(std::uint64_t seg, std::uint32_t member)
+{
+    SegState &st = segState(seg);
+    const std::uint32_t occupant = fastResidentMember(seg);
+    if (occupant == member)
+        return; // already resident
+    if (busySegs_.contains(seg))
+        return; // a swap for this segment is already scheduled
+    busySegs_.insert(seg);
+
+    MigrationEngine::SwapOp op;
+    op.locA = AddressMap::addrOfPage(pageAt(seg, st.slotOf[member]));
+    op.locB = AddressMap::addrOfPage(pageAt(seg, 0));
+    op.lines = static_cast<std::uint32_t>(kLinesPerPage);
+    op.onStart = [this, seg] { locks_.lock(seg); };
+    auto release = [this, seg] {
+        busySegs_.erase(seg);
+        for (auto &d : locks_.unlock(seg))
+            proceed(std::move(d));
+    };
+    op.onCommit = [this, seg, member, occupant, release] {
+        SegState &s = segState(seg);
+        std::swap(s.slotOf[member], s.slotOf[occupant]);
+        ++mstats_.migrations;
+        mstats_.bytesMoved += 2 * kPageBytes;
+        release();
+    };
+    op.onAbort = release;
+    engine_.submit(std::move(op));
+}
+
+std::uint64_t
+ThmManager::pendingWork() const
+{
+    return locks_.parkedCount() + engine_.queuedOps() +
+           engine_.activeOps() +
+           (metaPath_ ? metaPath_->outstandingFills() : 0);
+}
+
+std::uint64_t
+ThmManager::remapStorageBits() const
+{
+    // One "which member is fast-resident" pointer per segment.
+    return numSegments_ * std::bit_width(ratio_);
+}
+
+} // namespace mempod

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * THM baseline (Sim et al., MICRO-47): transparent hardware management
+ * with migrations restricted to *segments* — one fast page plus N slow
+ * pages (N = slow:fast capacity ratio). A per-segment competing
+ * counter triggers a threshold-based swap of the winning slow page
+ * with the current fast-resident page. Cheap bookkeeping, limited
+ * flexibility: at most one hot page per segment can live in fast
+ * memory, and unlucky counter races admit cold pages (false
+ * positives) — the tradeoffs Table 1 of the paper records.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/lock_table.h"
+#include "common/event_queue.h"
+#include "core/migration_engine.h"
+#include "mem/manager.h"
+#include "mem/memory_system.h"
+#include "sim/metadata_path.h"
+#include "tracking/competing_counter.h"
+
+namespace mempod {
+
+/** THM configuration. */
+struct ThmParams
+{
+    std::uint32_t threshold = 16;  //!< competing-counter trigger
+    std::uint32_t counterBits = 8; //!< paper: 8 bits per fast page
+    /** Segment-state cache (Figure 9); disabled = free lookups. */
+    bool metaCacheEnabled = false;
+    std::uint64_t metaCacheBytes = 16 * 1024;
+    std::uint32_t metaCacheAssoc = 8;
+    std::uint32_t segEntryBytes = 4; //!< counter + remap state packed
+};
+
+/** Segment-restricted threshold-triggered migration manager. */
+class ThmManager : public MemoryManager
+{
+  public:
+    ThmManager(EventQueue &eq, MemorySystem &mem, const ThmParams &params);
+
+    void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
+                      std::uint8_t core, CompletionFn done) override;
+
+    std::string name() const override { return "THM"; }
+
+    std::uint64_t pendingWork() const override;
+
+    std::uint64_t numSegments() const { return numSegments_; }
+    std::uint64_t slowPerSegment() const { return ratio_; }
+
+    /** Modeled tracking storage (Table 1): 8 bits per segment. */
+    std::uint64_t trackingStorageBits() const
+    {
+        return numSegments_ * params_.counterBits;
+    }
+
+    /** Modeled remap storage: one fast-slot pointer per segment. */
+    std::uint64_t remapStorageBits() const;
+
+    /** Current fast-resident member of a segment (0 = original). */
+    std::uint32_t fastResidentMember(std::uint64_t seg) const;
+
+    const MigrationEngine &engine() const { return engine_; }
+    const ThmParams &params() const { return params_; }
+
+  private:
+    /** Per-segment migration state, allocated on first touch. */
+    struct SegState
+    {
+        CompetingCounter cc;
+        std::vector<std::uint8_t> slotOf; //!< member -> slot (0 = fast)
+    };
+
+    SegState &segState(std::uint64_t seg);
+
+    /** (segment, member) of a home page; member 0 is the fast page. */
+    std::pair<std::uint64_t, std::uint32_t> segmentOf(PageId page) const;
+
+    /** Home page of (segment, slot). */
+    PageId pageAt(std::uint64_t seg, std::uint32_t slot) const;
+
+    void proceed(BlockedDemand d);
+    void issueAt(std::uint64_t seg, std::uint32_t slot,
+                 const BlockedDemand &d);
+    void scheduleSwap(std::uint64_t seg, std::uint32_t member);
+
+    EventQueue &eq_;
+    MemorySystem &mem_;
+    ThmParams params_;
+    std::uint64_t ratio_;
+    std::uint64_t numSegments_;
+    std::unordered_map<std::uint64_t, SegState> segs_;
+    MigrationEngine engine_;
+    LockTable locks_; //!< segments whose swap started (demand block)
+    /** Segments with a scheduled-or-active swap. */
+    std::unordered_set<std::uint64_t> busySegs_;
+    std::optional<MetadataPath> metaPath_;
+};
+
+} // namespace mempod

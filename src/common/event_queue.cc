@@ -1,0 +1,56 @@
+#include "common/event_queue.h"
+
+#include "common/log.h"
+
+namespace mempod {
+
+void
+EventQueue::schedule(TimePs when, Callback cb)
+{
+    MEMPOD_ASSERT(when >= now_,
+                  "event scheduled in the past (when=%llu now=%llu)",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(now_));
+    heap_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+TimePs
+EventQueue::nextTime() const
+{
+    return heap_.empty() ? kTimeNever : heap_.top().when;
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because pop() follows immediately.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runAll(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && runOne())
+        ++n;
+    return n;
+}
+
+void
+EventQueue::runUntil(TimePs until)
+{
+    while (!heap_.empty() && heap_.top().when <= until)
+        runOne();
+    if (now_ < until)
+        now_ = until;
+}
+
+} // namespace mempod

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Discrete-event scheduler driving the whole simulation.
+ *
+ * Every active component (channel controllers, interval timers, the
+ * trace frontend, migration engines) schedules callbacks on a single
+ * global queue; components that are idle schedule nothing, so
+ * simulated idle time costs no host time.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mempod {
+
+/** A single binary-heap discrete-event queue ordered by time. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time (time of the event being executed). */
+    TimePs now() const { return now_; }
+
+    /**
+     * Schedule `cb` at absolute time `when`. Scheduling in the past
+     * is a simulator bug (panics). Events at the same timestamp run
+     * in scheduling order (stable FIFO tie-break).
+     */
+    void schedule(TimePs when, Callback cb);
+
+    /** Schedule `cb` `delta` picoseconds from now. */
+    void scheduleAfter(TimePs delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** Whether any events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event, or kTimeNever. */
+    TimePs nextTime() const;
+
+    /** Execute the earliest event. Returns false if the queue is empty. */
+    bool runOne();
+
+    /** Run until the queue is empty or `limit` events have executed. */
+    std::uint64_t runAll(std::uint64_t limit = ~std::uint64_t{0});
+
+    /** Run all events with time <= `until`. */
+    void runUntil(TimePs until);
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        TimePs when;
+        std::uint64_t seq; //!< FIFO tie-break for equal timestamps
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    TimePs now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace mempod

@@ -1,0 +1,74 @@
+#include "common/log.h"
+
+#include <cstdarg>
+#include <vector>
+
+namespace mempod {
+
+namespace {
+bool g_quiet = false;
+} // namespace
+
+void
+setQuietLogging(bool quiet)
+{
+    g_quiet = quiet;
+}
+
+bool
+quietLogging()
+{
+    return g_quiet;
+}
+
+namespace detail {
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (needed < 0) {
+        va_end(ap2);
+        return fmt;
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!g_quiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!g_quiet)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace mempod

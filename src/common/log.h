@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-handling and status-message helpers following the gem5 idiom:
+ * panic() for internal invariant violations (simulator bugs) and
+ * fatal() for user-caused configuration errors; warn()/inform() for
+ * non-terminating diagnostics.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mempod {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort on a condition that indicates a simulator bug. */
+#define MEMPOD_PANIC(...)                                                     \
+    ::mempod::detail::panicImpl(__FILE__, __LINE__,                           \
+                                ::mempod::detail::format(__VA_ARGS__))
+
+/** Exit on a condition that indicates a user/configuration error. */
+#define MEMPOD_FATAL(...)                                                     \
+    ::mempod::detail::fatalImpl(__FILE__, __LINE__,                           \
+                                ::mempod::detail::format(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define MEMPOD_ASSERT(cond, ...)                                              \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::mempod::detail::panicImpl(                                      \
+                __FILE__, __LINE__,                                           \
+                std::string("assertion failed: " #cond " — ") +               \
+                    ::mempod::detail::format(__VA_ARGS__));                   \
+        }                                                                     \
+    } while (0)
+
+#define MEMPOD_WARN(...)                                                      \
+    ::mempod::detail::warnImpl(::mempod::detail::format(__VA_ARGS__))
+
+#define MEMPOD_INFORM(...)                                                    \
+    ::mempod::detail::informImpl(::mempod::detail::format(__VA_ARGS__))
+
+/** Globally silence warn/inform (benchmark harnesses use this). */
+void setQuietLogging(bool quiet);
+bool quietLogging();
+
+} // namespace mempod

@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace mempod {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    MEMPOD_ASSERT(bound > 0, "nextBelow(0)");
+    // Lemire's multiply-shift; bias is negligible for simulation use
+    // and the retry loop removes it entirely.
+    const std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    MEMPOD_ASSERT(lo <= hi, "bad range [%llu, %llu]",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi));
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double s)
+{
+    MEMPOD_ASSERT(n > 0, "nextZipf over empty domain");
+    if (n == 1)
+        return 0;
+    if (s <= 0.0)
+        return nextBelow(n);
+    const double u = nextDouble();
+    double rank;
+    if (std::fabs(s - 1.0) < 1e-9) {
+        // CDF of 1/x on [1, n+1): inverse is exp(u * ln(n+1)).
+        rank = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+    } else {
+        const double one_minus_s = 1.0 - s;
+        const double hi = std::pow(static_cast<double>(n) + 1.0, one_minus_s);
+        rank = std::pow(1.0 + u * (hi - 1.0), 1.0 / one_minus_s);
+    }
+    auto idx = static_cast<std::uint64_t>(rank) - 1;
+    return idx >= n ? n - 1 : idx;
+}
+
+std::uint64_t
+Rng::nextGeometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    const double p = 1.0 / mean;
+    const double u = nextDouble();
+    const double len = std::log1p(-u) / std::log1p(-p);
+    auto v = static_cast<std::uint64_t>(len) + 1;
+    return v == 0 ? 1 : v;
+}
+
+} // namespace mempod

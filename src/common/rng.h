@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A self-contained xoshiro256** implementation keeps the trace
+ * generator reproducible across standard libraries (std::mt19937 is
+ * portable but the std distributions are not); all distributions used
+ * by the generator live here.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace mempod {
+
+/** xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so that nearby seeds diverge immediately. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's reduction. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p. */
+    bool nextBool(double p);
+
+    /**
+     * Approximate Zipf sample over [0, n) with exponent s, using the
+     * inverse-CDF of the continuous bounded Pareto approximation.
+     * Rank 0 is the most popular element.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+    /** Geometric run length with mean `mean` (>= 1). */
+    std::uint64_t nextGeometric(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace mempod

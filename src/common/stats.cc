@@ -1,0 +1,54 @@
+#include "common/stats.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace mempod {
+
+void
+Log2Histogram::sample(std::uint64_t v)
+{
+    const std::size_t bucket = v == 0 ? 0 : std::bit_width(v);
+    if (bucket >= buckets_.size())
+        buckets_.resize(bucket + 1, 0);
+    ++buckets_[bucket];
+    ++count_;
+}
+
+std::uint64_t
+Log2Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const auto target = static_cast<std::uint64_t>(q * count_);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        seen += buckets_[b];
+        if (seen >= target)
+            return b == 0 ? 0 : (1ull << b) - 1; // bucket upper bound
+    }
+    return buckets_.empty() ? 0 : (1ull << (buckets_.size() - 1));
+}
+
+std::string
+Log2Histogram::toString() const
+{
+    std::string out;
+    char buf[64];
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        const std::uint64_t lo = b == 0 ? 0 : 1ull << (b - 1);
+        std::snprintf(buf, sizeof(buf), "[%llu..): %llu  ",
+                      static_cast<unsigned long long>(lo),
+                      static_cast<unsigned long long>(buckets_[b]));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace mempod

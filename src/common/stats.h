@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used throughout the simulator:
+ * scalar counters with mean/min/max, and a log2-bucketed histogram for
+ * latency distributions.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mempod {
+
+/** Running scalar statistic (count / sum / min / max / mean). */
+class ScalarStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        if (v < min_ || count_ == 1)
+            min_ = v;
+        if (v > max_ || count_ == 1)
+            max_ = v;
+    }
+
+    void reset() { *this = ScalarStat{}; }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Histogram with power-of-two buckets: [0,1), [1,2), [2,4), ... */
+class Log2Histogram
+{
+  public:
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+
+    /** Value below which `q` (0..1) of samples fall (bucket-granular). */
+    std::uint64_t percentile(double q) const;
+
+    /** Render a compact textual summary. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+};
+
+/** Ratio helper for hit-rate style statistics. */
+class RatioStat
+{
+  public:
+    void hit() { ++hits_; ++total_; }
+    void miss() { ++total_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t total() const { return total_; }
+    double rate() const
+    {
+        return total_ ? static_cast<double>(hits_) / total_ : 0.0;
+    }
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace mempod

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the MemPod simulator.
+ *
+ * All simulated time is kept in integer picoseconds so that channels
+ * with different clock periods (1 GHz HBM, 800 MHz DDR4-1600,
+ * 1.2 GHz DDR4-2400, 4 GHz overclocked HBM) share one exact timeline.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace mempod {
+
+/** Physical byte address in the flat (fast + slow) address space. */
+using Addr = std::uint64_t;
+
+/** Simulated time in picoseconds. */
+using TimePs = std::uint64_t;
+
+/** A clock-domain-local cycle count. */
+using Cycle = std::uint64_t;
+
+/** Global page number (address / kPageBytes). */
+using PageId = std::uint64_t;
+
+/** Global 64B line number (address / kLineBytes). */
+using LineId = std::uint64_t;
+
+/** Sentinel for "no time scheduled". */
+inline constexpr TimePs kTimeNever = ~TimePs{0};
+
+/** Data transfer granularity of one memory request (one LLC line). */
+inline constexpr std::uint64_t kLineBytes = 64;
+
+/** Migration granularity: one DRAM page (the paper uses 2 KB pages). */
+inline constexpr std::uint64_t kPageBytes = 2048;
+
+/** Number of line-sized requests needed to move one page. */
+inline constexpr std::uint64_t kLinesPerPage = kPageBytes / kLineBytes;
+
+/** Convenience literals for capacities. */
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+/** Time literals (picoseconds base). */
+inline constexpr TimePs operator""_ps(unsigned long long v) { return v; }
+inline constexpr TimePs operator""_ns(unsigned long long v)
+{
+    return v * 1000;
+}
+inline constexpr TimePs operator""_us(unsigned long long v)
+{
+    return v * 1000 * 1000;
+}
+inline constexpr TimePs operator""_ms(unsigned long long v)
+{
+    return v * 1000ull * 1000 * 1000;
+}
+
+/** Kind of a memory access. */
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+/** Which technology tier an address belongs to. */
+enum class MemTier : std::uint8_t { kFast, kSlow };
+
+} // namespace mempod

@@ -1,0 +1,93 @@
+#include "core/mempod_manager.h"
+
+#include "common/log.h"
+
+namespace mempod {
+
+MemPodManager::MemPodManager(EventQueue &eq, MemorySystem &mem,
+                             const MemPodParams &params)
+    : eq_(eq), mem_(mem), params_(params)
+{
+    const std::uint32_t n = mem.geom().numPods;
+    pods_.reserve(n);
+    for (std::uint32_t p = 0; p < n; ++p)
+        pods_.push_back(std::make_unique<Pod>(p, eq, mem, params.pod));
+}
+
+void
+MemPodManager::handleDemand(Addr home_addr, AccessType type,
+                            TimePs arrival, std::uint8_t core,
+                            CompletionFn done)
+{
+    const PageId page = AddressMap::pageOf(home_addr);
+    const std::uint32_t pod = mem_.map().podOfPage(page);
+    pods_[pod]->handleDemand(page, home_addr % kPageBytes, type, arrival,
+                             core, std::move(done));
+}
+
+void
+MemPodManager::start()
+{
+    onIntervalTimer();
+}
+
+void
+MemPodManager::onIntervalTimer()
+{
+    eq_.scheduleAfter(params_.interval, [this] {
+        // All Pods run their migration passes in parallel (each via its
+        // own engine); the timer then re-arms.
+        for (auto &pod : pods_)
+            pod->onInterval();
+        onIntervalTimer();
+    });
+}
+
+const MigrationStats &
+MemPodManager::migrationStats() const
+{
+    aggregated_ = MigrationStats{};
+    for (const auto &pod : pods_) {
+        const MigrationStats &s = pod->stats();
+        aggregated_.migrations += s.migrations;
+        aggregated_.bytesMoved += s.bytesMoved;
+        aggregated_.blockedRequests += s.blockedRequests;
+        aggregated_.intervals += s.intervals;
+        aggregated_.candidatesSkipped += s.candidatesSkipped;
+        aggregated_.metaCacheHits += s.metaCacheHits;
+        aggregated_.metaCacheMisses += s.metaCacheMisses;
+    }
+    // All pods share one timer; report timer firings, not the sum.
+    if (!pods_.empty())
+        aggregated_.intervals = pods_.front()->stats().intervals;
+    return aggregated_;
+}
+
+std::uint64_t
+MemPodManager::pendingWork() const
+{
+    std::uint64_t total = 0;
+    for (const auto &pod : pods_)
+        total += pod->pendingWork();
+    return total;
+}
+
+std::uint64_t
+MemPodManager::trackingStorageBits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &pod : pods_)
+        total += pod->trackingStorageBits();
+    return total;
+}
+
+std::uint64_t
+MemPodManager::remapStorageBits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &pod : pods_)
+        total += pod->remapStorageBits();
+    return total;
+}
+
+} // namespace mempod

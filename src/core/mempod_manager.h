@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The top-level MemPod mechanism (Section 5): N independent Pods
+ * behind one MemoryManager facade, plus the global interval timer
+ * that fires every Pod's migration pass in parallel.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "core/pod.h"
+#include "mem/manager.h"
+#include "mem/memory_system.h"
+
+namespace mempod {
+
+/** MemPod configuration. */
+struct MemPodParams
+{
+    TimePs interval = 50_us; //!< migration epoch (paper optimum)
+    PodParams pod;
+};
+
+/** Clustered interval-based migration manager. */
+class MemPodManager : public MemoryManager
+{
+  public:
+    MemPodManager(EventQueue &eq, MemorySystem &mem,
+                  const MemPodParams &params);
+
+    void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
+                      std::uint8_t core, CompletionFn done) override;
+
+    void start() override;
+
+    std::string name() const override { return "MemPod"; }
+
+    const MigrationStats &migrationStats() const override;
+
+    std::uint64_t pendingWork() const override;
+
+    std::size_t numPods() const { return pods_.size(); }
+    Pod &pod(std::size_t i) { return *pods_[i]; }
+    const Pod &pod(std::size_t i) const { return *pods_[i]; }
+
+    const MemPodParams &params() const { return params_; }
+
+    /** Total modeled tracking storage across Pods (Table 1). */
+    std::uint64_t trackingStorageBits() const;
+
+    /** Total modeled remap-table storage across Pods (Table 1). */
+    std::uint64_t remapStorageBits() const;
+
+  private:
+    void onIntervalTimer();
+
+    EventQueue &eq_;
+    MemorySystem &mem_;
+    MemPodParams params_;
+    std::vector<std::unique_ptr<Pod>> pods_;
+    mutable MigrationStats aggregated_;
+};
+
+} // namespace mempod

@@ -1,0 +1,111 @@
+#include "core/migration_engine.h"
+
+#include <memory>
+
+#include "common/log.h"
+
+namespace mempod {
+
+MigrationEngine::MigrationEngine(EventQueue &eq, MemorySystem &mem,
+                                 std::uint32_t max_in_flight_ops)
+    : eq_(eq), mem_(mem), maxInFlight_(max_in_flight_ops)
+{
+    MEMPOD_ASSERT(max_in_flight_ops >= 1, "engine needs one op slot");
+}
+
+void
+MigrationEngine::submit(SwapOp op)
+{
+    MEMPOD_ASSERT(op.lines > 0, "empty swap");
+    queue_.push_back(std::move(op));
+    tryStart();
+}
+
+void
+MigrationEngine::clearQueued()
+{
+    stats_.opsDropped += queue_.size();
+    // Dropped candidates must release any blocked state *without*
+    // committing the remap update (no data actually moved).
+    for (auto &op : queue_)
+        if (op.onAbort)
+            op.onAbort();
+    queue_.clear();
+}
+
+void
+MigrationEngine::tryStart()
+{
+    while (active_ < maxInFlight_ && !queue_.empty()) {
+        SwapOp op = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        run(std::move(op));
+    }
+}
+
+void
+MigrationEngine::run(SwapOp op)
+{
+    if (op.onStart)
+        op.onStart();
+    // Phase 1: read both candidates into the swap buffer; phase 2:
+    // write both back to their exchanged locations; then commit.
+    struct OpState
+    {
+        SwapOp op;
+        std::uint32_t readsLeft;
+        std::uint32_t writesLeft;
+    };
+    auto st = std::make_shared<OpState>(
+        OpState{std::move(op), 0, 0});
+    st->readsLeft = st->op.lines * 2;
+    st->writesLeft = st->op.lines * 2;
+
+    auto finishOp = [this, st] {
+        stats_.linesMoved += 2ull * st->op.lines;
+        stats_.bytesMoved += 2ull * st->op.lines * kLineBytes;
+        ++stats_.opsCommitted;
+        if (st->op.onCommit)
+            st->op.onCommit();
+        MEMPOD_ASSERT(active_ > 0, "engine slot underflow");
+        --active_;
+        tryStart();
+    };
+
+    auto startWrites = [this, st, finishOp] {
+        for (std::uint32_t i = 0; i < st->op.lines; ++i) {
+            for (const Addr base : {st->op.locA, st->op.locB}) {
+                Request w;
+                w.addr = base + i * kLineBytes;
+                w.type = AccessType::kWrite;
+                w.kind = Request::Kind::kMigration;
+                w.arrival = eq_.now();
+                w.onComplete = [st, finishOp](TimePs) {
+                    MEMPOD_ASSERT(st->writesLeft > 0, "write underflow");
+                    if (--st->writesLeft == 0)
+                        finishOp();
+                };
+                mem_.access(std::move(w));
+            }
+        }
+    };
+
+    for (std::uint32_t i = 0; i < st->op.lines; ++i) {
+        for (const Addr base : {st->op.locA, st->op.locB}) {
+            Request r;
+            r.addr = base + i * kLineBytes;
+            r.type = AccessType::kRead;
+            r.kind = Request::Kind::kMigration;
+            r.arrival = eq_.now();
+            r.onComplete = [st, startWrites](TimePs) {
+                MEMPOD_ASSERT(st->readsLeft > 0, "read underflow");
+                if (--st->readsLeft == 0)
+                    startWrites();
+            };
+            mem_.access(std::move(r));
+        }
+    }
+}
+
+} // namespace mempod

@@ -1,0 +1,224 @@
+#include "core/pod.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mempod {
+
+namespace {
+
+std::uint32_t
+effectiveMigrationCap(const PodParams &p)
+{
+    return p.maxMigrationsPerInterval ? p.maxMigrationsPerInterval
+                                      : p.meaEntries;
+}
+
+std::uint32_t
+podIdBits(std::uint64_t pages_per_pod)
+{
+    std::uint32_t bits = 0;
+    while ((1ull << bits) < pages_per_pod)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+Pod::Pod(std::uint32_t id, EventQueue &eq, MemorySystem &mem,
+         const PodParams &params)
+    : id_(id),
+      eq_(eq),
+      mem_(mem),
+      params_(params),
+      mea_(params.meaEntries, params.meaCounterBits,
+           podIdBits(mem.geom().pagesPerPod())),
+      remap_(mem.geom().pagesPerPod(), mem.geom().fastPagesPerPod()),
+      engine_(eq, mem, /*max_in_flight_ops=*/1)
+{
+    if (params_.metaCacheEnabled) {
+        metaPath_.emplace(eq, mem, params_.metaCacheBytes,
+                          params_.metaCacheAssoc, params_.remapEntryBytes,
+                          [this](std::uint64_t block) {
+                              return backingAddrOfBlock(block);
+                          });
+    }
+}
+
+Addr
+Pod::addrOfSlot(std::uint64_t slot) const
+{
+    return AddressMap::addrOfPage(mem_.map().pageOfPodLocal(id_, slot));
+}
+
+Addr
+Pod::backingAddrOfBlock(std::uint64_t block) const
+{
+    // The backing store occupies the tail of this Pod's fast slots.
+    const std::uint64_t byte_off = block * MetadataCache::kBlockBytes;
+    const std::uint64_t page_off = byte_off / kPageBytes;
+    const std::uint64_t fast_slots = remap_.fastSlots();
+    const std::uint64_t slot =
+        fast_slots - 1 - (page_off % fast_slots);
+    return addrOfSlot(slot) + byte_off % kPageBytes;
+}
+
+void
+Pod::handleDemand(PageId home_page, std::uint64_t offset_in_page,
+                  AccessType type, TimePs arrival, std::uint8_t core,
+                  MemoryManager::CompletionFn done)
+{
+    const std::uint64_t local = mem_.map().podLocalOfPage(home_page);
+    mea_.touch(local);
+    BlockedReq r{offset_in_page, type, arrival, core, std::move(done)};
+    if (!metaPath_) {
+        proceed(local, std::move(r));
+        return;
+    }
+    const std::uint64_t misses_before = metaPath_->misses();
+    metaPath_->access(local, [this, local, r = std::move(r)]() mutable {
+        proceed(local, std::move(r));
+    });
+    if (metaPath_->misses() > misses_before)
+        ++stats_.metaCacheMisses;
+    else
+        ++stats_.metaCacheHits;
+}
+
+void
+Pod::proceed(std::uint64_t local, BlockedReq r)
+{
+    if (locked_.contains(local)) {
+        ++stats_.blockedRequests;
+        ++blockedCount_;
+        blocked_[local].push_back(std::move(r));
+        return;
+    }
+    issueToCurrentLocation(local, std::move(r));
+}
+
+void
+Pod::issueToCurrentLocation(std::uint64_t local, BlockedReq r)
+{
+    const std::uint64_t slot = remap_.locationOf(local);
+    Request req;
+    req.addr = addrOfSlot(slot) + r.offset;
+    req.type = r.type;
+    req.kind = Request::Kind::kDemand;
+    req.arrival = r.arrival;
+    req.core = r.core;
+    req.onComplete = [done = std::move(r.done)](TimePs fin) {
+        if (done)
+            done(fin);
+    };
+    mem_.access(std::move(req));
+}
+
+std::uint64_t
+Pod::findVictimSlot(const std::unordered_set<std::uint64_t> &hot_set)
+{
+    const std::uint64_t fast_slots = remap_.fastSlots();
+    for (std::uint64_t n = 0; n < fast_slots; ++n) {
+        const std::uint64_t slot = victimScan_;
+        victimScan_ = (victimScan_ + 1) % fast_slots;
+        const std::uint64_t resident = remap_.residentOf(slot);
+        if (hot_set.contains(resident) || migrating_.contains(resident))
+            continue;
+        return slot;
+    }
+    return kNoSlot;
+}
+
+void
+Pod::scheduleSwap(std::uint64_t hot_local, std::uint64_t victim_resident)
+{
+    migrating_.insert(hot_local);
+    migrating_.insert(victim_resident);
+
+    MigrationEngine::SwapOp op;
+    op.locA = addrOfSlot(remap_.locationOf(hot_local));
+    op.locB = addrOfSlot(remap_.locationOf(victim_resident));
+    op.lines = static_cast<std::uint32_t>(kLinesPerPage);
+    op.onStart = [this, hot_local, victim_resident] {
+        locked_.insert(hot_local);
+        locked_.insert(victim_resident);
+    };
+    op.onCommit = [this, hot_local, victim_resident] {
+        remap_.swap(hot_local, victim_resident);
+        ++stats_.migrations;
+        stats_.bytesMoved += 2 * kPageBytes;
+        unlockAndDrain(hot_local);
+        unlockAndDrain(victim_resident);
+    };
+    op.onAbort = [this, hot_local, victim_resident] {
+        unlockAndDrain(hot_local);
+        unlockAndDrain(victim_resident);
+    };
+    engine_.submit(std::move(op));
+}
+
+void
+Pod::unlockAndDrain(std::uint64_t local)
+{
+    migrating_.erase(local);
+    locked_.erase(local);
+    auto it = blocked_.find(local);
+    if (it == blocked_.end())
+        return;
+    std::vector<BlockedReq> reqs = std::move(it->second);
+    blocked_.erase(it);
+    MEMPOD_ASSERT(blockedCount_ >= reqs.size(), "blocked accounting");
+    blockedCount_ -= reqs.size();
+    for (auto &r : reqs)
+        issueToCurrentLocation(local, std::move(r));
+}
+
+void
+Pod::onInterval()
+{
+    ++stats_.intervals;
+    // Candidates identified last interval but never started are stale.
+    engine_.clearQueued();
+
+    const auto hot = mea_.snapshot();
+    std::unordered_set<std::uint64_t> hot_set;
+    hot_set.reserve(hot.size() * 2);
+    for (const auto &e : hot)
+        hot_set.insert(e.id);
+
+    const std::uint32_t cap = effectiveMigrationCap(params_);
+    // Narrow counters saturate below the configured floor; clamp so a
+    // 1-bit configuration still migrates its (count-1) tracked pages.
+    const std::uint32_t min_hot =
+        std::min(params_.minHotCount, mea_.counterMax());
+    std::uint32_t scheduled = 0;
+    for (const auto &e : hot) {
+        if (scheduled >= cap)
+            break;
+        if (e.count < min_hot)
+            break; // hot list is sorted by count
+        const std::uint64_t h = e.id;
+        if (migrating_.contains(h))
+            continue;
+        if (remap_.inFast(h)) {
+            ++stats_.candidatesSkipped; // already resident in fast
+            continue;
+        }
+        const std::uint64_t victim = findVictimSlot(hot_set);
+        if (victim == kNoSlot)
+            break; // every fast slot is hot or busy
+        scheduleSwap(h, remap_.residentOf(victim));
+        ++scheduled;
+    }
+    mea_.reset();
+}
+
+std::uint64_t
+Pod::pendingWork() const
+{
+    return blockedCount_ + engine_.queuedOps() + engine_.activeOps() +
+           (metaPath_ ? metaPath_->outstandingFills() : 0);
+}
+
+} // namespace mempod

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * One memory Pod (Figure 5): the MEA activity-tracking unit, the
+ * per-Pod remap table with its inverted fast-slot view, the request
+ * forwarding path, and the Pod-local migration driver. Pods operate
+ * fully independently; migrations never cross Pod boundaries.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "core/migration_engine.h"
+#include "core/remap_table.h"
+#include "mem/manager.h"
+#include "mem/memory_system.h"
+#include "sim/metadata_path.h"
+#include "tracking/mea.h"
+
+namespace mempod {
+
+/** Per-Pod configuration knobs. */
+struct PodParams
+{
+    std::uint32_t meaEntries = 64;    //!< K counters (paper optimum)
+    std::uint32_t meaCounterBits = 2; //!< paper optimum at 50 us
+    /** Migration cap per interval; 0 means "up to K". */
+    std::uint32_t maxMigrationsPerInterval = 0;
+    /**
+     * Minimum MEA count for a tracked page to be migration-worthy.
+     * Entries at count 1 are often one-touch insertions that survived
+     * the last sweep by luck; moving them rarely amortizes the swap.
+     */
+    std::uint32_t minHotCount = 3;
+    /** Remap-table cache (Figure 9); disabled = free on-chip lookups. */
+    bool metaCacheEnabled = false;
+    std::uint64_t metaCacheBytes = 16 * 1024;
+    std::uint32_t metaCacheAssoc = 8;
+    std::uint32_t remapEntryBytes = 4; //!< packed remap entry size
+};
+
+/** A Pod: clustered MCs with private migration machinery. */
+class Pod
+{
+  public:
+    Pod(std::uint32_t id, EventQueue &eq, MemorySystem &mem,
+        const PodParams &params);
+
+    /**
+     * Forward one demand access whose home page belongs to this Pod.
+     * @param home_page Global page id of the OS-assigned home.
+     * @param offset_in_page Byte offset of the line within the page.
+     */
+    void handleDemand(PageId home_page, std::uint64_t offset_in_page,
+                      AccessType type, TimePs arrival, std::uint8_t core,
+                      MemoryManager::CompletionFn done);
+
+    /** Interval boundary: pick hot pages and schedule migrations. */
+    void onInterval();
+
+    std::uint32_t id() const { return id_; }
+    MeaTracker &mea() { return mea_; }
+    const RemapTable &remap() const { return remap_; }
+    const MigrationEngine &engine() const { return engine_; }
+    const MigrationStats &stats() const { return stats_; }
+    const MetadataPath *metaPath() const
+    {
+        return metaPath_ ? &*metaPath_ : nullptr;
+    }
+
+    /** Blocked demands + queued/active migration work. */
+    std::uint64_t pendingWork() const;
+
+    /** Modeled hardware cost of this Pod's structures, in bits. */
+    std::uint64_t trackingStorageBits() const
+    {
+        return mea_.storageBits();
+    }
+    std::uint64_t remapStorageBits() const
+    {
+        return remap_.storageBitsRemap();
+    }
+
+  private:
+    struct BlockedReq
+    {
+        std::uint64_t offset;
+        AccessType type;
+        TimePs arrival;
+        std::uint8_t core;
+        MemoryManager::CompletionFn done;
+    };
+
+    /** Stage 2: after any metadata-cache fill, check migration locks. */
+    void proceed(std::uint64_t local, BlockedReq r);
+
+    /** Stage 3: translate through the remap table and dispatch. */
+    void issueToCurrentLocation(std::uint64_t local, BlockedReq r);
+
+    /** Physical byte address of a pod-local slot. */
+    Addr addrOfSlot(std::uint64_t slot) const;
+
+    /** Backing-store address of a metadata block (in fast memory). */
+    Addr backingAddrOfBlock(std::uint64_t block) const;
+
+    std::uint64_t findVictimSlot(
+        const std::unordered_set<std::uint64_t> &hot_set);
+
+    void scheduleSwap(std::uint64_t hot_local,
+                      std::uint64_t victim_resident);
+
+    void unlockAndDrain(std::uint64_t local);
+
+    static constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
+
+    std::uint32_t id_;
+    EventQueue &eq_;
+    MemorySystem &mem_;
+    PodParams params_;
+    MeaTracker mea_;
+    RemapTable remap_;
+    MigrationEngine engine_;
+    std::optional<MetadataPath> metaPath_;
+
+    std::uint64_t victimScan_ = 0; //!< rotating fast-slot pointer
+    /** Pages with a scheduled or active swap (candidate exclusion). */
+    std::unordered_set<std::uint64_t> migrating_;
+    /** Pages whose swap has *started* (demands must block). */
+    std::unordered_set<std::uint64_t> locked_;
+    std::unordered_map<std::uint64_t, std::vector<BlockedReq>> blocked_;
+    std::uint64_t blockedCount_ = 0;
+
+    MigrationStats stats_;
+};
+
+} // namespace mempod

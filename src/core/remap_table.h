@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-Pod remap table (Section 5.2): a full permutation between a
+ * Pod's original page ids and their current locations, plus the
+ * inverted view needed to find the original page residing in each
+ * fast slot when choosing an eviction victim.
+ *
+ * Pod-local page ids: [0, fastSlots) are fast-memory locations,
+ * [fastSlots, numPages) are slow-memory locations. Initially the
+ * mapping is the identity (every page at its home).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mempod {
+
+/** Bidirectional page-location permutation for one Pod. */
+class RemapTable
+{
+  public:
+    /**
+     * @param num_pages Pages managed by this Pod (fast + slow).
+     * @param fast_slots How many of them are fast-memory locations.
+     */
+    RemapTable(std::uint64_t num_pages, std::uint64_t fast_slots);
+
+    /** Current location (slot) of original page `orig`. */
+    std::uint64_t locationOf(std::uint64_t orig) const;
+
+    /** Original page currently residing in `slot`. */
+    std::uint64_t residentOf(std::uint64_t slot) const;
+
+    /** Exchange the locations of two original pages. */
+    void swap(std::uint64_t orig_a, std::uint64_t orig_b);
+
+    std::uint64_t numPages() const { return location_.size(); }
+    std::uint64_t fastSlots() const { return fastSlots_; }
+
+    /** Is `orig` currently resident in fast memory? */
+    bool
+    inFast(std::uint64_t orig) const
+    {
+        return locationOf(orig) < fastSlots_;
+    }
+
+    /** True when no page has migrated. */
+    bool isIdentity() const;
+
+    /** Modeled hardware cost: one location entry per page. */
+    std::uint64_t storageBitsRemap() const;
+
+    /** Modeled hardware cost of the inverted fast-slot table. */
+    std::uint64_t storageBitsInverted() const;
+
+    /** Verify the permutation invariant; panics on corruption. */
+    void checkConsistency() const;
+
+  private:
+    std::uint64_t fastSlots_;
+    std::vector<std::uint32_t> location_; //!< orig -> slot
+    std::vector<std::uint32_t> resident_; //!< slot -> orig
+};
+
+} // namespace mempod

@@ -1,0 +1,81 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mempod {
+
+void
+Bank::activate(TimePs now, std::int64_t row, const DramTiming &t)
+{
+    MEMPOD_ASSERT(!isOpen(), "ACT to open bank");
+    MEMPOD_ASSERT(now >= actAllowedAt_, "ACT issued too early");
+    openRow_ = row;
+    casAllowedAt_ = std::max(casAllowedAt_, now + t.ps(t.tRCD));
+    preAllowedAt_ = std::max(preAllowedAt_, now + t.ps(t.tRAS));
+    actAllowedAt_ = std::max(actAllowedAt_, now + t.ps(t.tRC()));
+}
+
+void
+Bank::precharge(TimePs now, const DramTiming &t)
+{
+    MEMPOD_ASSERT(isOpen(), "PRE to closed bank");
+    MEMPOD_ASSERT(now >= preAllowedAt_, "PRE issued too early");
+    openRow_ = kNoRow;
+    actAllowedAt_ = std::max(actAllowedAt_, now + t.ps(t.tRP));
+}
+
+TimePs
+Bank::read(TimePs now, const DramTiming &t)
+{
+    MEMPOD_ASSERT(isOpen(), "read CAS to closed bank");
+    MEMPOD_ASSERT(now >= casAllowedAt_, "read CAS issued too early");
+    const TimePs data_end = now + t.ps(t.tCL + t.tBL);
+    preAllowedAt_ = std::max(preAllowedAt_, now + t.ps(t.tRTP));
+    casAllowedAt_ = std::max(casAllowedAt_, now + t.ps(t.tCCD));
+    return data_end;
+}
+
+TimePs
+Bank::write(TimePs now, const DramTiming &t)
+{
+    MEMPOD_ASSERT(isOpen(), "write CAS to closed bank");
+    MEMPOD_ASSERT(now >= casAllowedAt_, "write CAS issued too early");
+    const TimePs data_end = now + t.ps(t.tCWL + t.tBL);
+    preAllowedAt_ = std::max(preAllowedAt_, data_end + t.ps(t.tWR));
+    casAllowedAt_ = std::max(casAllowedAt_, now + t.ps(t.tCCD));
+    return data_end;
+}
+
+void
+Bank::blockUntil(TimePs until)
+{
+    actAllowedAt_ = std::max(actAllowedAt_, until);
+    casAllowedAt_ = std::max(casAllowedAt_, until);
+    preAllowedAt_ = std::max(preAllowedAt_, until);
+}
+
+TimePs
+Rank::actAllowedAt() const
+{
+    TimePs earliest = 0;
+    if (anyAct_)
+        earliest = lastActAt_ + timing_.ps(timing_.tRRD);
+    if (actWindow_.size() >= 4)
+        earliest = std::max(earliest,
+                            actWindow_.front() + timing_.ps(timing_.tFAW));
+    return earliest;
+}
+
+void
+Rank::recordAct(TimePs now)
+{
+    lastActAt_ = now;
+    anyAct_ = true;
+    actWindow_.push_back(now);
+    if (actWindow_.size() > 4)
+        actWindow_.erase(actWindow_.begin());
+}
+
+} // namespace mempod

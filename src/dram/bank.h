@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-bank and per-rank DRAM timing state. A Bank tracks its open row
+ * and the earliest times each command class may next be issued to it;
+ * a Rank enforces the cross-bank tRRD and tFAW activation constraints.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/spec.h"
+
+namespace mempod {
+
+/** Timing state of one DRAM bank (open-page policy). */
+class Bank
+{
+  public:
+    static constexpr std::int64_t kNoRow = -1;
+
+    /** Row currently latched in the row buffer, or kNoRow. */
+    std::int64_t openRow() const { return openRow_; }
+    bool isOpen() const { return openRow_ != kNoRow; }
+
+    TimePs actAllowedAt() const { return actAllowedAt_; }
+    TimePs casAllowedAt() const { return casAllowedAt_; }
+    TimePs preAllowedAt() const { return preAllowedAt_; }
+
+    /** Apply an ACTIVATE at time `now`. */
+    void activate(TimePs now, std::int64_t row, const DramTiming &t);
+
+    /** Apply a PRECHARGE at time `now`. */
+    void precharge(TimePs now, const DramTiming &t);
+
+    /** Apply a read CAS at `now`; returns the data-end time. */
+    TimePs read(TimePs now, const DramTiming &t);
+
+    /** Apply a write CAS at `now`; returns the data-end time. */
+    TimePs write(TimePs now, const DramTiming &t);
+
+    /** Push all command windows past a refresh completing at `until`. */
+    void blockUntil(TimePs until);
+
+  private:
+    std::int64_t openRow_ = kNoRow;
+    TimePs actAllowedAt_ = 0;
+    TimePs casAllowedAt_ = 0;
+    TimePs preAllowedAt_ = 0;
+};
+
+/** Cross-bank activation bookkeeping for one rank. */
+class Rank
+{
+  public:
+    explicit Rank(const DramTiming &t) : timing_(t) {}
+
+    /** Earliest time a new ACT may issue in this rank. */
+    TimePs actAllowedAt() const;
+
+    /** Record an ACT at `now`. */
+    void recordAct(TimePs now);
+
+  private:
+    const DramTiming &timing_;
+    TimePs lastActAt_ = 0;
+    bool anyAct_ = false;
+    std::vector<TimePs> actWindow_; //!< last up-to-4 ACT times (tFAW)
+};
+
+} // namespace mempod

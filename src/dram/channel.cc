@@ -1,0 +1,343 @@
+#include "dram/channel.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mempod {
+
+Channel::Channel(EventQueue &eq, const DramSpec &spec, std::string name,
+                 TimePs extra_latency_ps, ControllerPolicy policy)
+    : eq_(eq),
+      spec_(spec),
+      name_(std::move(name)),
+      extraLatencyPs_(extra_latency_ps),
+      policy_(policy),
+      banks_(spec_.org.totalBanks()),
+      autoPrePending_(spec_.org.totalBanks(), false)
+{
+    ranks_.reserve(spec_.org.ranks);
+    for (std::uint32_t r = 0; r < spec_.org.ranks; ++r)
+        ranks_.emplace_back(spec_.timing);
+    nextRefreshAt_ = spec_.timing.ps(spec_.timing.tREFI);
+}
+
+TimePs
+Channel::alignUp(TimePs t) const
+{
+    const TimePs p = spec_.timing.clockPeriodPs;
+    return (t + p - 1) / p * p;
+}
+
+void
+Channel::enqueue(Request req, ChannelAddr where)
+{
+    MEMPOD_ASSERT(where.bank < banks_.size(), "bank %u out of range",
+                  where.bank);
+    MEMPOD_ASSERT(where.row >= 0 &&
+                      where.row < static_cast<std::int64_t>(
+                                      spec_.org.rowsPerBank),
+                  "row out of range");
+    Entry e;
+    e.at = where;
+    e.enqueuedAt = eq_.now();
+    e.req = std::move(req);
+    auto &q = e.req.type == AccessType::kWrite ? writeQ_ : readQ_;
+    q.push_back(std::move(e));
+    stats_.maxQueueDepth = std::max<std::uint64_t>(
+        stats_.maxQueueDepth, readQ_.size() + writeQ_.size());
+    scheduleTick(alignUp(eq_.now()));
+}
+
+void
+Channel::scheduleTick(TimePs when)
+{
+    when = std::max(when, alignUp(eq_.now()));
+    if (scheduledTickAt_ <= when)
+        return; // an earlier or equal wakeup is already pending
+    scheduledTickAt_ = when;
+    eq_.schedule(when, [this, when] {
+        if (scheduledTickAt_ == when)
+            scheduledTickAt_ = kTimeNever;
+        tick();
+    });
+}
+
+void
+Channel::performRefresh()
+{
+    const TimePs now = eq_.now();
+    // All banks must be precharged; model the worst pending constraint.
+    TimePs start = now;
+    for (auto &b : banks_)
+        if (b.isOpen())
+            start = std::max(start, b.preAllowedAt());
+    const TimePs end =
+        start + spec_.timing.ps(spec_.timing.tRP + spec_.timing.tRFC);
+    for (auto &b : banks_) {
+        if (b.isOpen())
+            b.blockUntil(start); // wait out tRAS, then implicit PRE
+        // Force-close and block through the refresh cycle.
+        if (b.isOpen())
+            b.precharge(std::max(now, b.preAllowedAt()), spec_.timing);
+        b.blockUntil(end);
+    }
+    nextRefreshAt_ += spec_.timing.ps(spec_.timing.tREFI);
+    ++stats_.refreshes;
+}
+
+void
+Channel::tick()
+{
+    const TimePs now = eq_.now();
+
+    if (now >= nextRefreshAt_) {
+        performRefresh();
+        if (!readQ_.empty() || !writeQ_.empty())
+            scheduleTick(alignUp(earliestWork()));
+        else
+            scheduleTick(alignUp(nextRefreshAt_));
+        return;
+    }
+
+    // Closed-page policy: retire auto-precharges that became legal
+    // (even while the request queues are empty).
+    if (policy_.closedPage) {
+        for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+            if (!autoPrePending_[b] || !banks_[b].isOpen()) {
+                autoPrePending_[b] = false;
+                continue;
+            }
+            if (pendingHitFor(b, banks_[b].openRow()))
+                continue; // a new hit arrived; keep the row open
+            if (now >= banks_[b].preAllowedAt()) {
+                banks_[b].precharge(now, spec_.timing);
+                ++stats_.precharges;
+                autoPrePending_[b] = false;
+            }
+        }
+    }
+
+    if (readQ_.empty() && writeQ_.empty()) {
+        // Idle: stay armed only to finish pending auto-precharges;
+        // closed banks refresh lazily when work next arrives.
+        if (policy_.closedPage) {
+            for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+                if (autoPrePending_[b] && banks_[b].isOpen()) {
+                    scheduleTick(alignUp(std::max(
+                        now + spec_.timing.clockPeriodPs,
+                        banks_[b].preAllowedAt())));
+                    break;
+                }
+            }
+        }
+        return;
+    }
+
+    const bool issued = tryIssue();
+
+    // Reschedule: after issuing, try again next cycle; otherwise sleep
+    // until the earliest timing constraint expires.
+    if (issued)
+        scheduleTick(now + spec_.timing.clockPeriodPs);
+    else
+        scheduleTick(alignUp(std::min(earliestWork(), nextRefreshAt_)));
+}
+
+bool
+Channel::tryIssue()
+{
+    // Write-drain hysteresis.
+    if (writeQ_.size() >= kDrainHigh)
+        draining_ = true;
+    else if (writeQ_.size() <= kDrainLow)
+        draining_ = false;
+
+    const bool writes_first = draining_ || readQ_.empty();
+    if (writes_first) {
+        if (tryIssueFrom(writeQ_, true))
+            return true;
+        return tryIssueFrom(readQ_, false);
+    }
+    if (tryIssueFrom(readQ_, false))
+        return true;
+    return tryIssueFrom(writeQ_, true);
+}
+
+bool
+Channel::tryIssueFrom(std::vector<Entry> &q, bool is_write_queue)
+{
+    if (q.empty())
+        return false;
+
+    const TimePs now = eq_.now();
+    const TimePs cas_gate = is_write_queue ? nextWrCasAt_ : nextRdCasAt_;
+
+    // Anti-starvation: if the oldest entry has waited too long, only
+    // consider it. Plain FCFS always considers only the oldest.
+    const bool starved =
+        policy_.fcfs || now - q.front().enqueuedAt > kStarvationAgePs;
+    const std::size_t scan_limit = starved ? 1 : q.size();
+
+    // Pass 1 (FR-FCFS): oldest ready row hit.
+    for (std::size_t i = 0; i < scan_limit; ++i) {
+        Entry &e = q[i];
+        Bank &b = banks_[e.at.bank];
+        if (b.openRow() != e.at.row)
+            continue;
+        if (now < b.casAllowedAt() || now < cas_gate)
+            continue;
+        const TimePs data_start =
+            now + spec_.timing.ps(is_write_queue ? spec_.timing.tCWL
+                                                 : spec_.timing.tCL);
+        if (data_start < busFreeAt_)
+            continue;
+        issueCas(q, i, is_write_queue);
+        return true;
+    }
+
+    // Pass 2: oldest entry whose bank is closed -> ACT.
+    for (std::size_t i = 0; i < scan_limit; ++i) {
+        Entry &e = q[i];
+        Bank &b = banks_[e.at.bank];
+        if (b.isOpen())
+            continue;
+        const std::uint32_t rank = e.at.bank / spec_.org.banksPerRank;
+        const TimePs ready =
+            std::max(b.actAllowedAt(), ranks_[rank].actAllowedAt());
+        if (now < ready)
+            continue;
+        b.activate(now, e.at.row, spec_.timing);
+        ranks_[rank].recordAct(now);
+        e.causedAct = true;
+        ++stats_.activates;
+        return true;
+    }
+
+    // Pass 3: oldest conflicting entry -> PRE, unless the open row
+    // still has pending hits (and we are not starving).
+    for (std::size_t i = 0; i < scan_limit; ++i) {
+        Entry &e = q[i];
+        Bank &b = banks_[e.at.bank];
+        if (!b.isOpen() || b.openRow() == e.at.row)
+            continue;
+        if (!starved && pendingHitFor(e.at.bank, b.openRow()))
+            continue;
+        if (now < b.preAllowedAt())
+            continue;
+        b.precharge(now, spec_.timing);
+        ++stats_.precharges;
+        return true;
+    }
+
+    return false;
+}
+
+void
+Channel::issueCas(std::vector<Entry> &q, std::size_t idx,
+                  bool is_write_queue)
+{
+    const TimePs now = eq_.now();
+    Entry e = std::move(q[idx]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    Bank &b = banks_[e.at.bank];
+    const DramTiming &t = spec_.timing;
+    TimePs data_end;
+    if (is_write_queue) {
+        data_end = b.write(now, t);
+        ++stats_.writes;
+        nextWrCasAt_ = std::max(nextWrCasAt_, now + t.ps(t.tCCD));
+        nextRdCasAt_ =
+            std::max(nextRdCasAt_, now + t.ps(t.tCWL + t.tBL + t.tWTR));
+    } else {
+        data_end = b.read(now, t);
+        ++stats_.reads;
+        nextRdCasAt_ = std::max(nextRdCasAt_, now + t.ps(t.tCCD));
+        // Write data may start only after read data ends plus
+        // turnaround: wrCas + tCWL >= rdCas + tCL + tBL + tRTW.
+        const std::uint32_t rd_to_wr =
+            t.tCL + t.tBL + t.tRTW > t.tCWL
+                ? t.tCL + t.tBL + t.tRTW - t.tCWL
+                : 0;
+        nextWrCasAt_ = std::max(nextWrCasAt_, now + t.ps(rd_to_wr));
+    }
+    busFreeAt_ = std::max(busFreeAt_, data_end);
+
+    if (e.causedAct)
+        ++stats_.rowMisses;
+    else
+        ++stats_.rowHits;
+
+    // Closed-page: close the row once nothing queued still wants it.
+    if (policy_.closedPage)
+        autoPrePending_[e.at.bank] = true;
+
+    const TimePs finish = data_end + extraLatencyPs_;
+    if (e.req.onComplete) {
+        eq_.schedule(finish,
+                     [cb = std::move(e.req.onComplete), finish] {
+                         cb(finish);
+                     });
+    }
+}
+
+bool
+Channel::pendingHitFor(std::uint32_t bank, std::int64_t row) const
+{
+    for (const auto &e : readQ_)
+        if (e.at.bank == bank && e.at.row == row)
+            return true;
+    for (const auto &e : writeQ_)
+        if (e.at.bank == bank && e.at.row == row)
+            return true;
+    return false;
+}
+
+TimePs
+Channel::earliestWork() const
+{
+    const TimePs now = eq_.now();
+    TimePs best = kTimeNever;
+
+    auto consider = [&](const std::vector<Entry> &q, bool is_write) {
+        const TimePs cas_gate = is_write ? nextWrCasAt_ : nextRdCasAt_;
+        for (const auto &e : q) {
+            const Bank &b = banks_[e.at.bank];
+            TimePs ready;
+            if (b.openRow() == e.at.row) {
+                ready = std::max(b.casAllowedAt(), cas_gate);
+                const TimePs cl =
+                    spec_.timing.ps(is_write ? spec_.timing.tCWL
+                                             : spec_.timing.tCL);
+                if (ready + cl < busFreeAt_)
+                    ready = busFreeAt_ - cl;
+            } else if (!b.isOpen()) {
+                const std::uint32_t rank =
+                    e.at.bank / spec_.org.banksPerRank;
+                ready = std::max(b.actAllowedAt(),
+                                 ranks_[rank].actAllowedAt());
+            } else {
+                ready = b.preAllowedAt();
+            }
+            best = std::min(best, std::max(ready, now));
+        }
+    };
+    consider(readQ_, false);
+    consider(writeQ_, true);
+
+    if (best == kTimeNever)
+        return nextRefreshAt_;
+    // Never return "now" exactly: the caller already failed to issue at
+    // now, so wait at least one cycle to avoid a zero-progress respin.
+    return std::max(best, now + spec_.timing.clockPeriodPs);
+}
+
+double
+Channel::rowHitRate() const
+{
+    const std::uint64_t total = stats_.rowHits + stats_.rowMisses;
+    return total ? static_cast<double>(stats_.rowHits) / total : 0.0;
+}
+
+} // namespace mempod

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A cycle-level DRAM channel controller: per-bank open-page state,
+ * FR-FCFS scheduling with read priority and write-drain watermarks,
+ * rank activation windows (tRRD/tFAW), data-bus contention, bus
+ * turnaround penalties and periodic refresh.
+ *
+ * The controller is event-driven: it schedules itself on the global
+ * EventQueue only while it has work, and when blocked purely on timing
+ * it sleeps until the earliest constraint expires, so simulated idle
+ * memory is free.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/types.h"
+#include "dram/bank.h"
+#include "dram/spec.h"
+#include "mem/request.h"
+
+namespace mempod {
+
+/** Bank/row coordinates of a request within one channel. */
+struct ChannelAddr
+{
+    std::uint32_t bank = 0; //!< rank-merged bank index
+    std::int64_t row = 0;
+};
+
+/** Controller policy knobs (defaults match the paper's setup). */
+struct ControllerPolicy
+{
+    /**
+     * Row-buffer management: open-page leaves rows latched for
+     * spatial locality; closed-page auto-precharges once no queued
+     * request still targets the open row.
+     */
+    bool closedPage = false;
+    /**
+     * Scheduling: FR-FCFS (default) reorders for row hits; plain FCFS
+     * serves strictly oldest-first within each queue.
+     */
+    bool fcfs = false;
+};
+
+/** One memory channel and its controller. */
+class Channel
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t rowHits = 0;   //!< CAS that required no ACT
+        std::uint64_t rowMisses = 0; //!< CAS preceded by own ACT
+        std::uint64_t activates = 0;
+        std::uint64_t precharges = 0;
+        std::uint64_t refreshes = 0;
+        std::uint64_t maxQueueDepth = 0;
+    };
+
+    /**
+     * @param eq Global event queue.
+     * @param spec Device description (timing + organization).
+     * @param name For diagnostics ("hbm0", "ddr2", ...).
+     * @param extra_latency_ps Fixed interconnect latency added to every
+     *        completion (LLC-to-MC traversal both ways).
+     */
+    Channel(EventQueue &eq, const DramSpec &spec, std::string name,
+            TimePs extra_latency_ps = 5000,
+            ControllerPolicy policy = {});
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    /** Queue one line transfer. The controller wakes itself up. */
+    void enqueue(Request req, ChannelAddr where);
+
+    /** Requests accepted but not yet issued to the device. */
+    std::size_t queued() const { return readQ_.size() + writeQ_.size(); }
+
+    /** True when no request is queued (in-flight data may remain). */
+    bool idle() const { return queued() == 0; }
+
+    const Stats &stats() const { return stats_; }
+    const DramSpec &spec() const { return spec_; }
+    const std::string &name() const { return name_; }
+
+    /** Fraction of CAS commands that were row-buffer hits. */
+    double rowHitRate() const;
+
+  private:
+    struct Entry
+    {
+        Request req;
+        ChannelAddr at;
+        TimePs enqueuedAt = 0;
+        bool causedAct = false; //!< an ACT was issued on its behalf
+    };
+
+    void tick();
+    void scheduleTick(TimePs when);
+    void performRefresh();
+
+    /** Issue one command if possible; returns true if one was issued. */
+    bool tryIssue();
+
+    /** Attempt to issue for queue `q`; CAS/ACT/PRE per FR-FCFS. */
+    bool tryIssueFrom(std::vector<Entry> &q, bool is_write_queue);
+
+    /** Complete `e` with a CAS at the current time. */
+    void issueCas(std::vector<Entry> &q, std::size_t idx,
+                  bool is_write_queue);
+
+    /** Earliest future time any queued entry could issue a command. */
+    TimePs earliestWork() const;
+
+    /** True if some queued entry still targets this bank's open row. */
+    bool pendingHitFor(std::uint32_t bank, std::int64_t row) const;
+
+    TimePs alignUp(TimePs t) const;
+
+    EventQueue &eq_;
+    DramSpec spec_;
+    std::string name_;
+    TimePs extraLatencyPs_;
+    ControllerPolicy policy_;
+
+    std::vector<Bank> banks_;
+    std::vector<bool> autoPrePending_; //!< closed-page policy state
+    std::vector<Rank> ranks_;
+    std::vector<Entry> readQ_;
+    std::vector<Entry> writeQ_;
+
+    TimePs busFreeAt_ = 0;
+    TimePs nextRdCasAt_ = 0;
+    TimePs nextWrCasAt_ = 0;
+    TimePs nextRefreshAt_ = 0;
+    TimePs scheduledTickAt_ = kTimeNever;
+    bool draining_ = false;
+
+    /** Write-drain watermarks. */
+    static constexpr std::size_t kDrainHigh = 16;
+    static constexpr std::size_t kDrainLow = 4;
+    /** Anti-starvation: oldest-first overrides row hits past this age. */
+    static constexpr TimePs kStarvationAgePs = 2'000'000; // 2 us
+
+    Stats stats_;
+};
+
+} // namespace mempod

@@ -1,0 +1,121 @@
+#include "dram/spec.h"
+
+#include "common/log.h"
+
+namespace mempod {
+
+DramSpec
+DramSpec::hbm1GHz()
+{
+    DramSpec s;
+    s.name = "HBM-1GHz";
+    s.timing.clockPeriodPs = 1000; // 1 GHz
+    s.timing.tCL = 7;
+    s.timing.tCWL = 5;
+    s.timing.tRCD = 7;
+    s.timing.tRP = 7;
+    s.timing.tRAS = 17;
+    s.timing.tBL = 2; // 64B over a 128-bit DDR bus
+    s.timing.tCCD = 2;
+    s.timing.tWR = 8;
+    s.timing.tWTR = 4;
+    s.timing.tRTP = 4;
+    s.timing.tRTW = 2;
+    s.timing.tRRD = 4;
+    s.timing.tFAW = 16;
+    s.timing.tREFI = 3900; // 3.9 us
+    s.timing.tRFC = 260;   // 260 ns
+    s.org.ranks = 1;
+    s.org.banksPerRank = 16;
+    s.org.rowBufferBytes = 8192;
+    s.org.busBits = 128;
+    // 1 GB over 8 channels -> 128 MB per channel.
+    s.org.rowsPerBank = (128_MiB) / (16 * 8192);
+    return s;
+}
+
+DramSpec
+DramSpec::hbm4GHz()
+{
+    DramSpec s = hbm1GHz();
+    s.name = "HBM-4GHz";
+    s.timing.clockPeriodPs = 250; // same cycle counts, 4x faster clock
+    s.timing.tREFI = 3900 * 4;    // keep refresh cadence in wall time
+    s.timing.tRFC = 260 * 4;
+    return s;
+}
+
+DramSpec
+DramSpec::ddr4_1600()
+{
+    DramSpec s;
+    s.name = "DDR4-1600";
+    s.timing.clockPeriodPs = 1250; // 800 MHz clock, 1600 MT/s
+    s.timing.tCL = 11;
+    s.timing.tCWL = 9;
+    s.timing.tRCD = 11;
+    s.timing.tRP = 11;
+    s.timing.tRAS = 28;
+    s.timing.tBL = 4; // BL8 on a 64-bit bus
+    s.timing.tCCD = 4;
+    s.timing.tWR = 12;
+    s.timing.tWTR = 6;
+    s.timing.tRTP = 6;
+    s.timing.tRTW = 2;
+    s.timing.tRRD = 5;
+    s.timing.tFAW = 24;
+    s.timing.tREFI = 6240; // 7.8 us
+    s.timing.tRFC = 280;   // 350 ns
+    s.org.ranks = 1;
+    s.org.banksPerRank = 16;
+    s.org.rowBufferBytes = 8192;
+    s.org.busBits = 64;
+    // 8 GB over 4 channels -> 2 GB per channel.
+    s.org.rowsPerBank = (2_GiB) / (16 * 8192);
+    return s;
+}
+
+DramSpec
+DramSpec::ddr4_2400()
+{
+    DramSpec s = ddr4_1600();
+    s.name = "DDR4-2400";
+    s.timing.clockPeriodPs = 833; // 1200 MHz clock, 2400 MT/s
+    s.timing.tCL = 16;
+    s.timing.tCWL = 12;
+    s.timing.tRCD = 16;
+    s.timing.tRP = 16;
+    s.timing.tRAS = 39;
+    s.timing.tWR = 18;
+    s.timing.tWTR = 9;
+    s.timing.tRTP = 9;
+    s.timing.tRRD = 6;
+    s.timing.tFAW = 26;
+    s.timing.tREFI = 9360;
+    s.timing.tRFC = 420;
+    return s;
+}
+
+DramSpec
+DramSpec::withChannelBytes(std::uint64_t bytes) const
+{
+    DramSpec s = *this;
+    const std::uint64_t bank_row_bytes =
+        static_cast<std::uint64_t>(s.org.ranks) * s.org.banksPerRank *
+        s.org.rowBufferBytes;
+    MEMPOD_ASSERT(bytes % bank_row_bytes == 0,
+                  "channel size %llu not a multiple of one row per bank "
+                  "(%llu)",
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(bank_row_bytes));
+    s.org.rowsPerBank = bytes / bank_row_bytes;
+    return s;
+}
+
+TimePs
+DramSpec::idealReadLatencyPs() const
+{
+    return timing.ps(timing.tRCD + timing.tCL + timing.tBL);
+}
+
+} // namespace mempod

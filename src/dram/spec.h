@@ -1,0 +1,100 @@
+/**
+ * @file
+ * DRAM device descriptions: timing parameters, organization geometry
+ * and the named presets used by the paper's evaluation (Table 2 and
+ * the Figure 10 "future system" experiment).
+ *
+ * Timing values the paper specifies (tCAS-tRCD-tRP-tRAS: 7-7-7-17 for
+ * HBM at 1 GHz, 11-11-11-28 for DDR4-1600) are used verbatim; the
+ * remaining constraints use representative JEDEC values and are
+ * documented per preset.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace mempod {
+
+/** All timing constraints, expressed in device clock cycles. */
+struct DramTiming
+{
+    TimePs clockPeriodPs = 1000; //!< one device clock period
+
+    std::uint32_t tCL = 7;    //!< CAS latency (read command -> data)
+    std::uint32_t tCWL = 5;   //!< CAS write latency
+    std::uint32_t tRCD = 7;   //!< ACT -> CAS
+    std::uint32_t tRP = 7;    //!< PRE -> ACT
+    std::uint32_t tRAS = 17;  //!< ACT -> PRE
+    std::uint32_t tBL = 2;    //!< burst length on the data bus (cycles)
+    std::uint32_t tCCD = 2;   //!< CAS -> CAS, same channel
+    std::uint32_t tWR = 8;    //!< end of write data -> PRE
+    std::uint32_t tWTR = 4;   //!< end of write data -> read CAS
+    std::uint32_t tRTP = 4;   //!< read CAS -> PRE
+    std::uint32_t tRTW = 2;   //!< extra read -> write bus turnaround
+    std::uint32_t tRRD = 4;   //!< ACT -> ACT, same rank
+    std::uint32_t tFAW = 16;  //!< four-ACT window, same rank
+    std::uint32_t tREFI = 3900; //!< refresh interval
+    std::uint32_t tRFC = 260;   //!< refresh cycle time
+
+    /** Convert a cycle count of this domain into picoseconds. */
+    TimePs ps(std::uint64_t cycles) const { return cycles * clockPeriodPs; }
+
+    /** ACT -> ACT on the same bank (row cycle). */
+    std::uint32_t tRC() const { return tRAS + tRP; }
+};
+
+/** Per-channel organization. */
+struct DramOrganization
+{
+    std::uint32_t ranks = 1;
+    std::uint32_t banksPerRank = 16;
+    std::uint64_t rowsPerBank = 1024;
+    std::uint64_t rowBufferBytes = 8192;
+    std::uint32_t busBits = 128;
+
+    std::uint32_t totalBanks() const { return ranks * banksPerRank; }
+
+    std::uint64_t
+    channelBytes() const
+    {
+        return static_cast<std::uint64_t>(ranks) * banksPerRank *
+               rowsPerBank * rowBufferBytes;
+    }
+
+    /** 2 KB migration pages per 8 KB row buffer. */
+    std::uint64_t pagesPerRow() const { return rowBufferBytes / kPageBytes; }
+};
+
+/** A complete named device description. */
+struct DramSpec
+{
+    std::string name;
+    DramTiming timing;
+    DramOrganization org;
+
+    /** Paper Table 2: 1 GHz HBM, 128-bit bus, 16 banks, 8 KB rows. */
+    static DramSpec hbm1GHz();
+
+    /** Figure 10 "future" stacked memory: HBM timing at 4 GHz. */
+    static DramSpec hbm4GHz();
+
+    /** Paper Table 2: DDR4-1600 (800 MHz clock), 64-bit bus. */
+    static DramSpec ddr4_1600();
+
+    /** Figure 10 future off-chip memory: DDR4-2400 (1200 MHz clock). */
+    static DramSpec ddr4_2400();
+
+    /**
+     * Shrink rows-per-bank so one channel holds `bytes`; used to build
+     * laptop-sized unit-test instances with unchanged timing.
+     */
+    DramSpec withChannelBytes(std::uint64_t bytes) const;
+
+    /** Zero-load read latency (ACT+CAS+burst) in picoseconds. */
+    TimePs idealReadLatencyPs() const;
+};
+
+} // namespace mempod

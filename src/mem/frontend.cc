@@ -1,0 +1,123 @@
+#include "mem/frontend.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mempod {
+
+TraceFrontend::TraceFrontend(EventQueue &eq, MemoryManager &manager,
+                             const LogicalToPhysical &placement,
+                             std::uint32_t max_outstanding)
+    : eq_(eq),
+      manager_(manager),
+      placement_(placement),
+      maxOutstanding_(max_outstanding)
+{
+    MEMPOD_ASSERT(max_outstanding > 0, "need at least one MSHR");
+}
+
+void
+TraceFrontend::start()
+{
+    MEMPOD_ASSERT(trace_ != nullptr, "no trace set");
+    if (trace_->empty())
+        return;
+    schedulePump(std::max(eq_.now(), trace_->front().time));
+}
+
+void
+TraceFrontend::stallUntil(TimePs until)
+{
+    if (until <= stalledUntil_)
+        return;
+    stalledUntil_ = until;
+    schedulePump(until);
+}
+
+void
+TraceFrontend::suspendCores(TimePs duration)
+{
+    timeShift_ += duration;
+    stallUntil(eq_.now() + duration);
+}
+
+bool
+TraceFrontend::done() const
+{
+    return trace_ != nullptr && nextIdx_ == trace_->size() &&
+           outstanding_ == 0;
+}
+
+double
+TraceFrontend::ammatPs() const
+{
+    if (trace_ == nullptr || trace_->empty())
+        return 0.0;
+    return totalStallPs_ / static_cast<double>(trace_->size());
+}
+
+std::vector<double>
+TraceFrontend::perCoreAmmatPs() const
+{
+    std::vector<double> out;
+    out.reserve(perCore_.size());
+    for (const auto &pc : perCore_)
+        out.push_back(pc.requests ? pc.stallPs / pc.requests : 0.0);
+    return out;
+}
+
+void
+TraceFrontend::schedulePump(TimePs when)
+{
+    when = std::max(when, eq_.now());
+    if (pumpScheduledAt_ <= when)
+        return;
+    pumpScheduledAt_ = when;
+    eq_.schedule(when, [this, when] {
+        if (pumpScheduledAt_ == when)
+            pumpScheduledAt_ = kTimeNever;
+        pump();
+    });
+}
+
+void
+TraceFrontend::pump()
+{
+    const TimePs now = eq_.now();
+    if (now < stalledUntil_) {
+        schedulePump(stalledUntil_);
+        return;
+    }
+    while (nextIdx_ < trace_->size() && outstanding_ < maxOutstanding_) {
+        const TraceRecord &rec = (*trace_)[nextIdx_];
+        const TimePs due = rec.time + timeShift_;
+        if (due > now) {
+            schedulePump(due);
+            return;
+        }
+        ++nextIdx_;
+        ++outstanding_;
+        const Addr phys = placement_.physicalAddr(rec.core, rec.coreLocal);
+        const TimePs arrival = due;
+        const std::uint8_t core = rec.core;
+        if (core >= perCore_.size())
+            perCore_.resize(core + 1);
+        ++perCore_[core].requests;
+        manager_.handleDemand(
+            phys, rec.type, arrival, rec.core,
+            [this, arrival, core](TimePs fin) {
+                MEMPOD_ASSERT(fin >= arrival, "completion precedes arrival");
+                totalStallPs_ += static_cast<double>(fin - arrival);
+                perCore_[core].stallPs +=
+                    static_cast<double>(fin - arrival);
+                latencyNs_.sample((fin - arrival) / 1000);
+                ++completed_;
+                MEMPOD_ASSERT(outstanding_ > 0, "completion underflow");
+                --outstanding_;
+                pump();
+            });
+    }
+}
+
+} // namespace mempod

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace-replay frontend approximating Ramulator's simple CPU model:
+ * requests enter the memory system at their trace timestamps, subject
+ * to an MSHR-style cap on outstanding misses (resource-induced
+ * stalls), and an intake freeze hook used to model HMA's sorting
+ * penalty. AMMAT is accumulated here with a fixed denominator equal to
+ * the original trace length.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "mem/address_map.h"
+#include "mem/manager.h"
+#include "trace/record.h"
+
+namespace mempod {
+
+/** Replays a trace through a MemoryManager. */
+class TraceFrontend
+{
+  public:
+    /**
+     * @param eq Global event queue.
+     * @param manager Mechanism under test.
+     * @param placement OS allocation stand-in (core-local -> physical).
+     * @param max_outstanding MSHR-style cap on in-flight demands.
+     */
+    TraceFrontend(EventQueue &eq, MemoryManager &manager,
+                  const LogicalToPhysical &placement,
+                  std::uint32_t max_outstanding = 64);
+
+    /** Provide the trace (kept by reference; must outlive the run). */
+    void setTrace(const Trace &trace) { trace_ = &trace; }
+
+    /** Schedule the first arrival. */
+    void start();
+
+    /** Freeze intake until `until` (HMA sort stall). */
+    void stallUntil(TimePs until);
+
+    /**
+     * Suspend the cores for `duration` (HMA's OS sorting interrupt):
+     * no requests are issued meanwhile and the remaining trace shifts
+     * later by `duration`, so the pause does not masquerade as memory
+     * stall time — the cost of the long epoch is the *stale placement*
+     * it forces, exactly as in the paper's evaluation.
+     */
+    void suspendCores(TimePs duration);
+
+    /** All records admitted and completed. */
+    bool done() const;
+
+    /** Demand requests admitted but not yet completed. */
+    std::uint32_t outstanding() const { return outstanding_; }
+
+    /** Total memory stall time over all completed demands (ps). */
+    double totalStallPs() const { return totalStallPs_; }
+
+    /** AMMAT in picoseconds: total stall / original trace length. */
+    double ammatPs() const;
+
+    /** Per-request latency distribution. */
+    const Log2Histogram &latencyHistogramNs() const { return latencyNs_; }
+
+    std::uint64_t completed() const { return completed_; }
+
+    /** Per-core AMMAT in picoseconds (index = core id). */
+    std::vector<double> perCoreAmmatPs() const;
+
+  private:
+    void pump();
+    void schedulePump(TimePs when);
+
+    EventQueue &eq_;
+    MemoryManager &manager_;
+    const LogicalToPhysical &placement_;
+    const Trace *trace_ = nullptr;
+
+    std::uint32_t maxOutstanding_;
+    std::uint32_t outstanding_ = 0;
+    std::uint64_t nextIdx_ = 0;
+    std::uint64_t completed_ = 0;
+    TimePs stalledUntil_ = 0;
+    TimePs timeShift_ = 0; //!< accumulated core-suspension time
+    TimePs pumpScheduledAt_ = kTimeNever;
+
+    double totalStallPs_ = 0.0;
+    Log2Histogram latencyNs_;
+
+    struct PerCore
+    {
+        double stallPs = 0.0;
+        std::uint64_t requests = 0;
+    };
+    std::vector<PerCore> perCore_;
+};
+
+} // namespace mempod

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The dynamic memory-manager interface. A manager receives every
+ * demand request at its OS-assigned physical home address, may
+ * transparently remap it to the page's current location, updates its
+ * activity tracking, and is responsible for eventually completing the
+ * request (possibly after holding it while a migration involving its
+ * page commits).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace mempod {
+
+/** Statistics every migration mechanism reports. */
+struct MigrationStats
+{
+    std::uint64_t migrations = 0;      //!< committed swaps (pages or lines)
+    std::uint64_t bytesMoved = 0;      //!< total migration traffic
+    std::uint64_t blockedRequests = 0; //!< demands delayed by a migration
+    std::uint64_t intervals = 0;       //!< interval-trigger firings
+    std::uint64_t candidatesSkipped = 0; //!< hot pages already in fast
+    std::uint64_t wastedMigrations = 0;  //!< evicted before ever re-used
+    std::uint64_t metaCacheHits = 0;
+    std::uint64_t metaCacheMisses = 0;
+};
+
+/** Base class for MemPod and all baseline mechanisms. */
+class MemoryManager
+{
+  public:
+    using CompletionFn = std::function<void(TimePs finish)>;
+
+    virtual ~MemoryManager() = default;
+
+    /**
+     * Handle one demand line access.
+     *
+     * @param home_addr OS-assigned physical address (pre-remap).
+     * @param type Read or write.
+     * @param arrival Trace arrival time (AMMAT accounting).
+     * @param core Issuing core.
+     * @param done Called exactly once when the data transfer finishes.
+     */
+    virtual void handleDemand(Addr home_addr, AccessType type,
+                              TimePs arrival, std::uint8_t core,
+                              CompletionFn done) = 0;
+
+    /** Arm interval timers; called once before the trace starts. */
+    virtual void start() {}
+
+    /** Mechanism name for reports. */
+    virtual std::string name() const = 0;
+
+    virtual const MigrationStats &migrationStats() const { return mstats_; }
+
+    /**
+     * Demand requests (or parts of migrations) still owned by the
+     * manager, in addition to MemorySystem::inFlight(). The simulation
+     * drains until both are zero.
+     */
+    virtual std::uint64_t pendingWork() const { return 0; }
+
+  protected:
+    MigrationStats mstats_;
+};
+
+} // namespace mempod

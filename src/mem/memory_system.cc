@@ -1,0 +1,115 @@
+#include "mem/memory_system.h"
+
+#include "common/log.h"
+
+namespace mempod {
+
+MemorySystem::MemorySystem(EventQueue &eq, const SystemGeometry &geom,
+                           const DramSpec &fast, const DramSpec &slow,
+                           TimePs extra_latency_ps,
+                           ControllerPolicy policy)
+    : eq_(eq),
+      map_(geom,
+           fast.withChannelBytes(geom.fastBytes / geom.fastChannels).org,
+           geom.slowChannels
+               ? slow.withChannelBytes(geom.slowBytes / geom.slowChannels)
+                     .org
+               : slow.org)
+{
+    const DramSpec fast_sized =
+        fast.withChannelBytes(geom.fastBytes / geom.fastChannels);
+    channels_.reserve(geom.fastChannels + geom.slowChannels);
+    for (std::uint32_t c = 0; c < geom.fastChannels; ++c) {
+        channels_.push_back(std::make_unique<Channel>(
+            eq_, fast_sized, "fast" + std::to_string(c),
+            extra_latency_ps, policy));
+    }
+    if (geom.slowChannels > 0) {
+        const DramSpec slow_sized =
+            slow.withChannelBytes(geom.slowBytes / geom.slowChannels);
+        for (std::uint32_t c = 0; c < geom.slowChannels; ++c) {
+            channels_.push_back(std::make_unique<Channel>(
+                eq_, slow_sized, "slow" + std::to_string(c),
+                extra_latency_ps, policy));
+        }
+    }
+}
+
+void
+MemorySystem::access(Request req)
+{
+    const DecodedAddr d = map_.decode(req.addr);
+
+    const bool fast = d.tier == MemTier::kFast;
+    switch (req.kind) {
+      case Request::Kind::kDemand:
+        ++(fast ? stats_.demandFast : stats_.demandSlow);
+        break;
+      case Request::Kind::kMigration:
+        ++(fast ? stats_.migrationFast : stats_.migrationSlow);
+        break;
+      case Request::Kind::kBookkeeping:
+        ++(fast ? stats_.bookkeepingFast : stats_.bookkeepingSlow);
+        break;
+    }
+
+    ++inFlight_;
+    auto inner = std::move(req.onComplete);
+    req.onComplete = [this, cb = std::move(inner)](TimePs finish) {
+        --inFlight_;
+        if (cb)
+            cb(finish);
+    };
+
+    channels_[d.channel]->enqueue(std::move(req),
+                                  ChannelAddr{d.bank, d.row});
+}
+
+std::uint64_t
+MemorySystem::Stats::linesByKindTier(Request::Kind kind,
+                                     MemTier tier) const
+{
+    const bool fast = tier == MemTier::kFast;
+    switch (kind) {
+      case Request::Kind::kDemand:
+        return fast ? demandFast : demandSlow;
+      case Request::Kind::kMigration:
+        return fast ? migrationFast : migrationSlow;
+      case Request::Kind::kBookkeeping:
+        return fast ? bookkeepingFast : bookkeepingSlow;
+    }
+    return 0;
+}
+
+double
+MemorySystem::rowHitRate(MemTier tier) const
+{
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+    const std::uint32_t begin =
+        tier == MemTier::kFast ? 0 : geom().fastChannels;
+    const std::uint32_t end = tier == MemTier::kFast
+                                  ? geom().fastChannels
+                                  : geom().fastChannels +
+                                        geom().slowChannels;
+    for (std::uint32_t c = begin; c < end; ++c) {
+        hits += channels_[c]->stats().rowHits;
+        total += channels_[c]->stats().rowHits +
+                 channels_[c]->stats().rowMisses;
+    }
+    return total ? static_cast<double>(hits) / total : 0.0;
+}
+
+double
+MemorySystem::rowHitRate() const
+{
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_) {
+        hits += ch->stats().rowHits;
+        total += ch->stats().rowHits + ch->stats().rowMisses;
+    }
+    return total ? static_cast<double>(hits) / total : 0.0;
+}
+
+} // namespace mempod

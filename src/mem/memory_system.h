@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The physical memory system: all fast + slow channels behind one
+ * decode/dispatch facade. Managers direct post-remap physical
+ * addresses here; the MemorySystem decodes them, tracks tier/kind
+ * statistics and forwards to the owning channel controller.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "dram/channel.h"
+#include "mem/address_map.h"
+#include "mem/request.h"
+
+namespace mempod {
+
+/** All channels of the two-level memory plus shared statistics. */
+class MemorySystem
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t demandFast = 0; //!< demand lines served by HBM
+        std::uint64_t demandSlow = 0;
+        std::uint64_t migrationFast = 0; //!< migration lines on HBM
+        std::uint64_t migrationSlow = 0;
+        std::uint64_t bookkeepingFast = 0;
+        std::uint64_t bookkeepingSlow = 0;
+
+        std::uint64_t
+        migrationLines() const
+        {
+            return migrationFast + migrationSlow;
+        }
+        std::uint64_t
+        bookkeepingLines() const
+        {
+            return bookkeepingFast + bookkeepingSlow;
+        }
+        std::uint64_t
+        linesByKindTier(Request::Kind kind, MemTier tier) const;
+    };
+
+    MemorySystem(EventQueue &eq, const SystemGeometry &geom,
+                 const DramSpec &fast, const DramSpec &slow,
+                 TimePs extra_latency_ps = 5000,
+                 ControllerPolicy policy = {});
+
+    /** Dispatch one line transfer at a physical address. */
+    void access(Request req);
+
+    const AddressMap &map() const { return map_; }
+    const SystemGeometry &geom() const { return map_.geom(); }
+
+    std::size_t numChannels() const { return channels_.size(); }
+    Channel &channel(std::size_t i) { return *channels_[i]; }
+    const Channel &channel(std::size_t i) const { return *channels_[i]; }
+
+    /** Line transfers dispatched but not yet completed. */
+    std::uint64_t inFlight() const { return inFlight_; }
+
+    const Stats &stats() const { return stats_; }
+
+    /** Aggregate row-buffer hit rate over one tier's channels. */
+    double rowHitRate(MemTier tier) const;
+
+    /** Aggregate row-buffer hit rate over all channels. */
+    double rowHitRate() const;
+
+  private:
+    EventQueue &eq_;
+    AddressMap map_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::uint64_t inFlight_ = 0;
+    Stats stats_;
+};
+
+} // namespace mempod

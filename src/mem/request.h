@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The memory request type exchanged between the frontend, migration
+ * managers, and channel controllers. All requests move one 64 B line.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace mempod {
+
+/** One 64 B memory transaction. */
+struct Request
+{
+    /** Why this request exists; drives statistics attribution. */
+    enum class Kind : std::uint8_t
+    {
+        kDemand,      //!< an original LLC-miss from the trace
+        kMigration,   //!< page/line movement traffic
+        kBookkeeping, //!< metadata-cache miss fill
+    };
+
+    Addr addr = 0;          //!< physical (post-remap) byte address
+    AccessType type = AccessType::kRead;
+    Kind kind = Kind::kDemand;
+    TimePs arrival = 0;     //!< trace arrival time, for AMMAT accounting
+    std::uint8_t core = 0;  //!< issuing core (demand requests)
+
+    /** Invoked exactly once when the line transfer finishes. */
+    std::function<void(TimePs finish)> onComplete;
+};
+
+} // namespace mempod

@@ -1,0 +1,92 @@
+#include "sim/config.h"
+
+#include "common/log.h"
+
+namespace mempod {
+
+const char *
+mechanismName(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::kNoMigration:
+        return "NoMigration";
+      case Mechanism::kMemPod:
+        return "MemPod";
+      case Mechanism::kHma:
+        return "HMA";
+      case Mechanism::kThm:
+        return "THM";
+      case Mechanism::kCameo:
+        return "CAMEO";
+    }
+    return "?";
+}
+
+SimConfig
+SimConfig::paper(Mechanism m)
+{
+    SimConfig c;
+    c.mechanism = m;
+    return c;
+}
+
+SimConfig
+SimConfig::future(Mechanism m)
+{
+    SimConfig c;
+    c.mechanism = m;
+    c.fast = DramSpec::hbm4GHz();
+    c.slow = DramSpec::ddr4_2400();
+    // The paper reduces HMA's fixed sorting penalty by 40% for the
+    // faster future processor.
+    c.hma.sortStall = static_cast<TimePs>(c.hma.sortStall * 0.6);
+    return c;
+}
+
+SimConfig
+SimConfig::fastOnly(bool future)
+{
+    SimConfig c;
+    c.mechanism = Mechanism::kNoMigration;
+    c.geom = SystemGeometry::singleTier(9_GiB, 8);
+    c.fast = future ? DramSpec::hbm4GHz() : DramSpec::hbm1GHz();
+    return c;
+}
+
+SimConfig
+SimConfig::slowOnly(bool future)
+{
+    SimConfig c;
+    c.mechanism = Mechanism::kNoMigration;
+    c.geom = SystemGeometry::singleTier(9_GiB, 4);
+    c.fast = future ? DramSpec::ddr4_2400() : DramSpec::ddr4_1600();
+    return c;
+}
+
+void
+SimConfig::scaleHmaEpoch(double epoch_ratio)
+{
+    MEMPOD_ASSERT(epoch_ratio >= 1.0, "HMA epoch below MemPod interval");
+    const double stall_ratio =
+        static_cast<double>(hma.sortStall) /
+        static_cast<double>(hma.interval);
+    hma.interval =
+        static_cast<TimePs>(mempod.interval * epoch_ratio);
+    hma.sortStall = static_cast<TimePs>(hma.interval * stall_ratio);
+}
+
+std::string
+SimConfig::describe() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s on %s(%uch) + %s(%uch), %.1f+%.1f GiB, %u pods",
+                  mechanismName(mechanism), fast.name.c_str(),
+                  geom.fastChannels, slow.name.c_str(), geom.slowChannels,
+                  static_cast<double>(geom.fastBytes) / (1_GiB),
+                  static_cast<double>(geom.slowBytes) / (1_GiB),
+                  geom.numPods);
+    return buf;
+}
+
+} // namespace mempod

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Complete simulation configurations: which mechanism manages which
+ * memory system. Presets cover the paper's Table 2 system, the
+ * Figure 10 future system, and the single-technology baselines
+ * (HBM-only, DDR-only).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/cameo.h"
+#include "baselines/hma.h"
+#include "baselines/thm.h"
+#include "core/mempod_manager.h"
+#include "dram/channel.h"
+#include "dram/spec.h"
+#include "mem/address_map.h"
+
+namespace mempod {
+
+/** Which migration mechanism to instantiate. */
+enum class Mechanism
+{
+    kNoMigration,
+    kMemPod,
+    kHma,
+    kThm,
+    kCameo,
+};
+
+const char *mechanismName(Mechanism m);
+
+/** Everything needed to build one simulation. */
+struct SimConfig
+{
+    Mechanism mechanism = Mechanism::kNoMigration;
+    SystemGeometry geom = SystemGeometry::paper();
+    DramSpec fast = DramSpec::hbm1GHz();
+    DramSpec slow = DramSpec::ddr4_1600();
+
+    MemPodParams mempod;
+    HmaParams hma;
+    ThmParams thm;
+    CameoParams cameo;
+
+    std::uint32_t maxOutstanding = 64; //!< MSHR-style demand cap
+    std::uint64_t placementSeed = 1;
+    TimePs extraLatencyPs = 5000; //!< interconnect latency per access
+    std::uint8_t numCores = 8;
+    ControllerPolicy controller; //!< page policy + scheduler
+
+    /** Paper Table 2: 1 GB HBM-1GHz + 8 GB DDR4-1600, 4 Pods. */
+    static SimConfig paper(Mechanism m);
+
+    /** Figure 10 future system: HBM-4GHz + DDR4-2400. */
+    static SimConfig future(Mechanism m);
+
+    /** 9 GB of stacked memory only (the "HBM" bar of Figure 8). */
+    static SimConfig fastOnly(bool future = false);
+
+    /** 9 GB of off-chip DDR only (Figure 10 normalization). */
+    static SimConfig slowOnly(bool future = false);
+
+    /**
+     * Scale HMA's epoch machinery for reduced-length traces: keeps the
+     * paper's epoch:stall ratio (100:7) and the 2000x MemPod:HMA epoch
+     * ratio relative to `mempod.interval`, so short runs still see
+     * several HMA epochs. `epoch_ratio` = HMA epoch / MemPod interval.
+     */
+    void scaleHmaEpoch(double epoch_ratio);
+
+    std::string describe() const;
+};
+
+} // namespace mempod

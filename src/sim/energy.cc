@@ -1,0 +1,49 @@
+#include "sim/energy.h"
+
+namespace mempod {
+
+namespace {
+
+constexpr double kBitsPerLine = kLineBytes * 8.0;
+constexpr double kPjToUj = 1e-6;
+
+double
+linesEnergyUj(std::uint64_t fast_lines, std::uint64_t slow_lines,
+              double hop_pj_per_bit, const EnergyParams &p)
+{
+    const double fast_pj =
+        static_cast<double>(fast_lines) * kBitsPerLine *
+        (p.fastAccessPjPerBit + hop_pj_per_bit);
+    const double slow_pj =
+        static_cast<double>(slow_lines) * kBitsPerLine *
+        (p.slowAccessPjPerBit + hop_pj_per_bit);
+    return (fast_pj + slow_pj) * kPjToUj;
+}
+
+} // namespace
+
+EnergyEstimate
+estimateEnergy(const MemorySystem::Stats &stats,
+               bool pod_local_migrations, const EnergyParams &params)
+{
+    EnergyEstimate e;
+    // Demand traffic always traverses LLC <-> MC (global).
+    e.demandUj = linesEnergyUj(stats.demandFast, stats.demandSlow,
+                               params.globalHopPjPerBit, params);
+    // Migration traffic: Pod-local swaps ride short intra-Pod links;
+    // centralized drivers haul data across the global switch twice
+    // (to the driver's buffer and back out).
+    const double migration_hop =
+        pod_local_migrations ? params.localHopPjPerBit
+                             : 2.0 * params.globalHopPjPerBit;
+    e.migrationUj = linesEnergyUj(stats.migrationFast,
+                                  stats.migrationSlow, migration_hop,
+                                  params);
+    // Metadata fills behave like demand reads.
+    e.bookkeepingUj =
+        linesEnergyUj(stats.bookkeepingFast, stats.bookkeepingSlow,
+                      params.globalHopPjPerBit, params);
+    return e;
+}
+
+} // namespace mempod

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Data-movement energy model for Section 5.3's claim: by restricting
+ * migration to sibling MCs inside a Pod, MemPod bounds the distance
+ * migrated data travels, so its migration energy rides cheap local
+ * links while a centralized design hauls every page across the global
+ * switch.
+ *
+ * The model charges every 64 B line transfer (a) a DRAM access cost
+ * per tier and (b) an interconnect cost that depends on how far the
+ * data moves: demand traffic and bookkeeping always cross the global
+ * switch (LLC <-> MC); migration traffic crosses it only under a
+ * centralized driver. Per-bit figures are representative published
+ * values (HBM ~4 pJ/bit, DDR4 ~18 pJ/bit, on-die links ~0.5 pJ/bit,
+ * global switch + long wires ~2 pJ/bit) and are fully configurable.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "mem/memory_system.h"
+
+namespace mempod {
+
+/** Per-bit energy coefficients (picojoules per bit). */
+struct EnergyParams
+{
+    double fastAccessPjPerBit = 3.9;  //!< HBM array + IO
+    double slowAccessPjPerBit = 18.0; //!< DDR4 array + channel IO
+    double localHopPjPerBit = 0.5;    //!< intra-Pod link
+    double globalHopPjPerBit = 2.0;   //!< global switch traversal
+};
+
+/** Energy totals of one run, in microjoules. */
+struct EnergyEstimate
+{
+    double demandUj = 0.0;      //!< demand DRAM + global traversal
+    double migrationUj = 0.0;   //!< migration DRAM + link traversal
+    double bookkeepingUj = 0.0; //!< metadata fills
+
+    double
+    totalUj() const
+    {
+        return demandUj + migrationUj + bookkeepingUj;
+    }
+};
+
+/**
+ * Estimate movement energy from a run's per-tier line counts.
+ *
+ * @param stats Per-kind/per-tier line counters from the MemorySystem.
+ * @param pod_local_migrations True when the mechanism's migration
+ *        traffic stays inside a Pod (MemPod); false for centralized
+ *        drivers whose swaps cross the global switch (HMA/THM/CAMEO).
+ */
+EnergyEstimate estimateEnergy(const MemorySystem::Stats &stats,
+                              bool pod_local_migrations,
+                              const EnergyParams &params = {});
+
+} // namespace mempod

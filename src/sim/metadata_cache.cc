@@ -1,0 +1,63 @@
+#include "sim/metadata_cache.h"
+
+#include "common/log.h"
+
+namespace mempod {
+
+MetadataCache::MetadataCache(std::uint64_t capacity_bytes,
+                             std::uint32_t assoc,
+                             std::uint32_t entry_bytes)
+    : capacityBytes_(capacity_bytes), assoc_(assoc)
+{
+    MEMPOD_ASSERT(entry_bytes >= 1 && entry_bytes <= kBlockBytes,
+                  "entry size %u out of range", entry_bytes);
+    MEMPOD_ASSERT(assoc >= 1, "need at least one way");
+    entriesPerBlock_ = kBlockBytes / entry_bytes;
+    const std::uint64_t blocks = capacity_bytes / kBlockBytes;
+    MEMPOD_ASSERT(blocks >= assoc, "cache smaller than one set");
+    sets_ = blocks / assoc;
+    ways_.resize(sets_ * assoc);
+}
+
+bool
+MetadataCache::lookup(std::uint64_t entry_idx)
+{
+    const std::uint64_t block = blockOf(entry_idx);
+    const std::uint64_t set = block % sets_;
+    Way *base = &ways_[set * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == block) {
+            base[w].lastUse = ++useClock_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+MetadataCache::fill(std::uint64_t entry_idx)
+{
+    const std::uint64_t block = blockOf(entry_idx);
+    const std::uint64_t set = block % sets_;
+    Way *base = &ways_[set * assoc_];
+    Way *victim = &base[0];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == block) {
+            base[w].lastUse = ++useClock_; // already present (race fill)
+            return;
+        }
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = block;
+    victim->lastUse = ++useClock_;
+}
+
+} // namespace mempod

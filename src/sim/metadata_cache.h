@@ -1,0 +1,72 @@
+/**
+ * @file
+ * On-chip cache for migration bookkeeping state (Section 6.3.3).
+ * Remap-table entries / activity counters are packed into 64 B blocks
+ * in a backing store carved out of stacked memory; this set-
+ * associative LRU cache front-ends it. A miss must be filled by an
+ * injected read request (the caller's job) before the blocked demand
+ * request may proceed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mempod {
+
+/** Set-associative LRU cache over fixed-size metadata entries. */
+class MetadataCache
+{
+  public:
+    static constexpr std::uint32_t kBlockBytes = 64;
+
+    /**
+     * @param capacity_bytes Total cache capacity.
+     * @param assoc Ways per set.
+     * @param entry_bytes Size of one metadata entry (packed in blocks).
+     */
+    MetadataCache(std::uint64_t capacity_bytes, std::uint32_t assoc,
+                  std::uint32_t entry_bytes);
+
+    /** Metadata block holding `entry_idx`. */
+    std::uint64_t
+    blockOf(std::uint64_t entry_idx) const
+    {
+        return entry_idx / entriesPerBlock_;
+    }
+
+    /**
+     * Probe for the block holding `entry_idx`.
+     * @return true on hit (LRU updated); false on miss (no allocation —
+     *         call fill() once the backing read returns).
+     */
+    bool lookup(std::uint64_t entry_idx);
+
+    /** Install the block holding `entry_idx`, evicting LRU. */
+    void fill(std::uint64_t entry_idx);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t capacityBytes() const { return capacityBytes_; }
+    std::uint32_t entriesPerBlock() const { return entriesPerBlock_; }
+    std::uint64_t numSets() const { return sets_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = ~std::uint64_t{0};
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t capacityBytes_;
+    std::uint32_t assoc_;
+    std::uint32_t entriesPerBlock_;
+    std::uint64_t sets_;
+    std::vector<Way> ways_; //!< sets_ x assoc_
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace mempod

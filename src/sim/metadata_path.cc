@@ -1,0 +1,46 @@
+#include "sim/metadata_path.h"
+
+#include "common/log.h"
+
+namespace mempod {
+
+MetadataPath::MetadataPath(EventQueue &eq, MemorySystem &mem,
+                           std::uint64_t capacity_bytes,
+                           std::uint32_t assoc, std::uint32_t entry_bytes,
+                           BlockAddrFn block_addr)
+    : eq_(eq),
+      mem_(mem),
+      cache_(capacity_bytes, assoc, entry_bytes),
+      blockAddr_(std::move(block_addr))
+{
+    MEMPOD_ASSERT(blockAddr_ != nullptr, "need a backing-store mapping");
+}
+
+void
+MetadataPath::access(std::uint64_t entry_idx, std::function<void()> ready)
+{
+    if (cache_.lookup(entry_idx)) {
+        ready();
+        return;
+    }
+    const std::uint64_t block = cache_.blockOf(entry_idx);
+    auto [it, first] = pending_.try_emplace(block);
+    it->second.push_back(std::move(ready));
+    if (!first)
+        return; // piggyback on the outstanding fill
+
+    Request fill;
+    fill.addr = blockAddr_(block);
+    fill.type = AccessType::kRead;
+    fill.kind = Request::Kind::kBookkeeping;
+    fill.arrival = eq_.now();
+    fill.onComplete = [this, block](TimePs) {
+        cache_.fill(block * cache_.entriesPerBlock());
+        auto node = pending_.extract(block);
+        for (auto &cont : node.mapped())
+            cont();
+    };
+    mem_.access(std::move(fill));
+}
+
+} // namespace mempod

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The full bookkeeping-cache access path shared by MemPod, HMA and
+ * THM (Section 6.3.3): a MetadataCache probe whose misses inject a
+ * blocking read into the memory stream (no priority over demand
+ * traffic) and wake every access waiting on the same metadata block
+ * when the fill returns.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "mem/memory_system.h"
+#include "sim/metadata_cache.h"
+
+namespace mempod {
+
+/** Cache + miss-fill machinery for migration bookkeeping state. */
+class MetadataPath
+{
+  public:
+    /** Maps a metadata block number to its backing-store address. */
+    using BlockAddrFn = std::function<Addr(std::uint64_t block)>;
+
+    MetadataPath(EventQueue &eq, MemorySystem &mem,
+                 std::uint64_t capacity_bytes, std::uint32_t assoc,
+                 std::uint32_t entry_bytes, BlockAddrFn block_addr);
+
+    /**
+     * Access the entry's metadata: `ready` runs immediately on a hit,
+     * or after the injected backing-store read completes on a miss
+     * (piggybacking on an outstanding fill of the same block).
+     */
+    void access(std::uint64_t entry_idx, std::function<void()> ready);
+
+    std::uint64_t hits() const { return cache_.hits(); }
+    std::uint64_t misses() const { return cache_.misses(); }
+    std::uint64_t outstandingFills() const { return pending_.size(); }
+    const MetadataCache &cache() const { return cache_; }
+
+  private:
+    EventQueue &eq_;
+    MemorySystem &mem_;
+    MetadataCache cache_;
+    BlockAddrFn blockAddr_;
+    std::unordered_map<std::uint64_t, std::vector<std::function<void()>>>
+        pending_;
+};
+
+} // namespace mempod

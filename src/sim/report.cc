@@ -1,0 +1,70 @@
+#include "sim/report.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace mempod {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    MEMPOD_ASSERT(cells.size() == headers_.size(),
+                  "row width %zu != header width %zu", cells.size(),
+                  headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            std::printf("%-*s  ", static_cast<int>(width[c]),
+                        row[c].c_str());
+        std::printf("\n");
+    };
+    printRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+void
+TablePrinter::printCsv() const
+{
+    auto printRow = [](const std::vector<std::string> &row) {
+        std::printf("CSV");
+        for (const auto &cell : row)
+            std::printf(",%s", cell.c_str());
+        std::printf("\n");
+    };
+    printRow(headers_);
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+} // namespace mempod

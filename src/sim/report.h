@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Run results and reporting helpers shared by the benchmark harnesses:
+ * the per-run statistics bundle, and a simple aligned-column table
+ * printer with a machine-readable CSV echo.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/manager.h"
+#include "mem/memory_system.h"
+
+namespace mempod {
+
+/** Everything measured by one simulation run. */
+struct RunResult
+{
+    std::string workload;
+    std::string mechanism;
+
+    double ammatNs = 0.0;          //!< the paper's headline metric
+    std::uint64_t demandRequests = 0;
+    std::uint64_t completed = 0;
+    double fastServiceFraction = 0.0; //!< demand lines served by HBM
+    double rowHitRate = 0.0;
+    double rowHitRateFast = 0.0;
+    TimePs simulatedPs = 0;
+    std::uint64_t eventsExecuted = 0;
+
+    MigrationStats migration;
+
+    /** Per-kind/per-tier line counters (energy accounting). */
+    MemorySystem::Stats memStats;
+
+    /** Whether migration traffic stayed Pod-local (MemPod). */
+    bool podLocalMigrations = false;
+
+    /** Per-core AMMAT in nanoseconds (index = core id). */
+    std::vector<double> perCoreAmmatNs;
+
+    /** Migration data volume in MiB. */
+    double
+    dataMovedMiB() const
+    {
+        return static_cast<double>(migration.bytesMoved) / (1 << 20);
+    }
+};
+
+/** Fixed-width console table with a trailing CSV block. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with `prec` decimals. */
+    static std::string num(double v, int prec = 3);
+
+    /** Print the aligned table to stdout. */
+    void print() const;
+
+    /** Print `CSV,`-prefixed machine-readable lines to stdout. */
+    void printCsv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mempod

@@ -1,0 +1,125 @@
+#include "sim/simulation.h"
+
+#include "baselines/no_migration.h"
+#include "common/log.h"
+
+namespace mempod {
+
+Simulation::Simulation(const SimConfig &config) : config_(config)
+{
+    config_.geom.validate();
+    mem_ = std::make_unique<MemorySystem>(eq_, config_.geom, config_.fast,
+                                          config_.slow,
+                                          config_.extraLatencyPs,
+                                          config_.controller);
+    placement_ = std::make_unique<LogicalToPhysical>(
+        config_.geom.totalPages(), config_.numCores,
+        config_.placementSeed);
+
+    switch (config_.mechanism) {
+      case Mechanism::kNoMigration:
+        manager_ = std::make_unique<NoMigrationManager>(*mem_);
+        break;
+      case Mechanism::kMemPod:
+        manager_ = std::make_unique<MemPodManager>(eq_, *mem_,
+                                                   config_.mempod);
+        break;
+      case Mechanism::kHma:
+        manager_ =
+            std::make_unique<HmaManager>(eq_, *mem_, config_.hma);
+        break;
+      case Mechanism::kThm:
+        manager_ =
+            std::make_unique<ThmManager>(eq_, *mem_, config_.thm);
+        break;
+      case Mechanism::kCameo:
+        manager_ =
+            std::make_unique<CameoManager>(eq_, *mem_, config_.cameo);
+        break;
+    }
+
+    frontend_ = std::make_unique<TraceFrontend>(
+        eq_, *manager_, *placement_, config_.maxOutstanding);
+
+    if (auto *hma = dynamic_cast<HmaManager *>(manager_.get())) {
+        hma->setStallHook([this](TimePs duration) {
+            frontend_->suspendCores(duration);
+        });
+    }
+}
+
+Simulation::~Simulation() = default;
+
+RunResult
+Simulation::run(const Trace &trace, const std::string &workload_name)
+{
+    frontend_->setTrace(trace);
+    manager_->start();
+    frontend_->start();
+
+    auto drained = [&] {
+        return frontend_->done() && mem_->inFlight() == 0 &&
+               manager_->pendingWork() == 0;
+    };
+    // Watchdog: recurring timers keep the queue non-empty forever, so
+    // a stuck drain would otherwise spin silently. One simulated
+    // second without any forward progress is a bug.
+    std::uint64_t last_progress = 0;
+    TimePs progress_at = 0;
+    while (!drained()) {
+        if (!eq_.runOne()) {
+            MEMPOD_PANIC(
+                "simulation deadlock: frontend done=%d inflight=%llu "
+                "managerPending=%llu",
+                frontend_->done() ? 1 : 0,
+                static_cast<unsigned long long>(mem_->inFlight()),
+                static_cast<unsigned long long>(
+                    manager_->pendingWork()));
+        }
+        // Timer self-rescheduling executes events without advancing
+        // the workload; only demand completions count as progress.
+        const std::uint64_t progress = frontend_->completed();
+        if (progress != last_progress || progress_at == 0) {
+            last_progress = progress;
+            progress_at = eq_.now();
+        } else if (eq_.now() > progress_at + 1'000'000'000'000ull) {
+            MEMPOD_PANIC("simulation livelock: no progress for 1 s of "
+                         "simulated time (pending=%llu)",
+                         static_cast<unsigned long long>(
+                             manager_->pendingWork()));
+        }
+    }
+
+    RunResult r;
+    r.workload = workload_name;
+    r.mechanism = manager_->name();
+    r.ammatNs = frontend_->ammatPs() / 1000.0;
+    r.demandRequests = trace.size();
+    r.completed = frontend_->completed();
+    const auto &ms = mem_->stats();
+    const std::uint64_t demand_total = ms.demandFast + ms.demandSlow;
+    r.fastServiceFraction =
+        demand_total
+            ? static_cast<double>(ms.demandFast) / demand_total
+            : 0.0;
+    r.rowHitRate = mem_->rowHitRate();
+    r.rowHitRateFast = mem_->rowHitRate(MemTier::kFast);
+    r.simulatedPs = eq_.now();
+    r.eventsExecuted = eq_.executed();
+    r.migration = manager_->migrationStats();
+    r.memStats = mem_->stats();
+    r.podLocalMigrations = config_.mechanism == Mechanism::kMemPod;
+    for (double ps : frontend_->perCoreAmmatPs())
+        r.perCoreAmmatNs.push_back(ps / 1000.0);
+    return r;
+}
+
+RunResult
+runSimulation(const SimConfig &config, const Trace &trace,
+              const std::string &workload_name)
+{
+    Simulation sim(config);
+    return sim.run(trace, workload_name);
+}
+
+} // namespace mempod

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The top-level simulation driver: builds the memory system, the
+ * configured migration manager and the trace frontend over one event
+ * queue, runs a trace to completion (including draining in-flight
+ * migrations), and returns the measured statistics.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/event_queue.h"
+#include "mem/frontend.h"
+#include "mem/manager.h"
+#include "mem/memory_system.h"
+#include "sim/config.h"
+#include "sim/report.h"
+#include "trace/record.h"
+
+namespace mempod {
+
+/** One configured system instance; run one trace through it. */
+class Simulation
+{
+  public:
+    explicit Simulation(const SimConfig &config);
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Replay `trace` to completion and collect statistics. */
+    RunResult run(const Trace &trace,
+                  const std::string &workload_name = "");
+
+    EventQueue &eq() { return eq_; }
+    MemorySystem &mem() { return *mem_; }
+    MemoryManager &manager() { return *manager_; }
+    TraceFrontend &frontend() { return *frontend_; }
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+    EventQueue eq_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::unique_ptr<LogicalToPhysical> placement_;
+    std::unique_ptr<MemoryManager> manager_;
+    std::unique_ptr<TraceFrontend> frontend_;
+};
+
+/** Convenience: build + run in one call. */
+RunResult runSimulation(const SimConfig &config, const Trace &trace,
+                        const std::string &workload_name = "");
+
+} // namespace mempod

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The synthetic multi-programmed trace generator: one behaviour model
+ * per core driven by its BenchmarkProfile, merged into a single
+ * time-ordered stream. Fully deterministic given (profiles, config).
+ *
+ * Per-core model, per request:
+ *  - with streamFraction: the next line from a monotonically advancing
+ *    cursor sweeping the footprint (wrapping);
+ *  - else with hotAccessProb: a Zipf-distributed page from the current
+ *    hot window (which rotates every phasePeriod);
+ *  - else: a uniform page from the whole footprint.
+ * Inter-arrival gaps are exponential with the profile's rate.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/profiles.h"
+#include "trace/record.h"
+
+namespace mempod {
+
+/** Knobs shared by all cores of one generated trace. */
+struct GeneratorConfig
+{
+    std::uint64_t totalRequests = 2'000'000; //!< across all cores
+    std::uint64_t seed = 42;
+    /** Shrink per-core footprints (unit tests on tiny geometries). */
+    double footprintScale = 1.0;
+    /** Scale request rates (load sensitivity studies). */
+    double rateScale = 1.0;
+};
+
+/**
+ * Generate a multi-programmed trace; one profile per core.
+ * Records are sorted by time; core-local addresses start at 0 for
+ * every core.
+ */
+Trace generateTrace(const std::vector<BenchmarkProfile> &core_profiles,
+                    const GeneratorConfig &config);
+
+} // namespace mempod

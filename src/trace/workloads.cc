@@ -1,0 +1,139 @@
+#include "trace/workloads.h"
+
+#include "common/log.h"
+#include "trace/profiles.h"
+
+namespace mempod {
+
+namespace {
+
+WorkloadSpec
+homogeneous(const std::string &bench)
+{
+    WorkloadSpec w;
+    w.name = bench;
+    w.homogeneous = true;
+    w.benchmarks.assign(8, bench);
+    return w;
+}
+
+WorkloadSpec
+mix(const std::string &name, std::vector<std::string> benches)
+{
+    MEMPOD_ASSERT(benches.size() == 8, "mix '%s' must have 8 cores",
+                  name.c_str());
+    WorkloadSpec w;
+    w.name = name;
+    w.homogeneous = false;
+    w.benchmarks = std::move(benches);
+    return w;
+}
+
+std::vector<WorkloadSpec>
+buildAll()
+{
+    std::vector<WorkloadSpec> all;
+    // The paper's 15 homogeneous workloads.
+    for (const char *b :
+         {"astar", "bwaves", "bzip", "cactus", "gcc", "lbm", "leslie",
+          "libquantum", "mcf", "milc", "omnetpp", "soplex", "sphinx",
+          "xalanc", "zeusmp"})
+        all.push_back(homogeneous(b));
+
+    // Table 3 mixes, normalized to 8 cores (see header comment).
+    all.push_back(mix("mix1", {"astar", "gcc", "gems", "lbm", "leslie",
+                               "mcf", "milc", "omnetpp"}));
+    all.push_back(mix("mix2", {"gcc", "gems", "leslie", "mcf", "omnetpp",
+                               "sphinx", "zeusmp", "gcc"}));
+    all.push_back(mix("mix3", {"gcc", "lbm", "leslie", "libquantum",
+                               "mcf", "milc", "sphinx", "gcc"}));
+    all.push_back(mix("mix4", {"bzip", "dealii", "dealii", "gcc", "mcf",
+                               "mcf", "milc", "soplex"}));
+    all.push_back(mix("mix5", {"bwaves", "bzip", "bzip", "cactus",
+                               "dealii", "dealii", "mcf", "xalanc"}));
+    all.push_back(mix("mix6", {"astar", "bwaves", "bzip", "gcc", "gcc",
+                               "lbm", "libquantum", "mcf"}));
+    all.push_back(mix("mix7", {"astar", "bwaves", "bwaves", "bzip",
+                               "bzip", "dealii", "gems", "leslie"}));
+    all.push_back(mix("mix8", {"astar", "astar", "bwaves", "bzip",
+                               "cactus", "dealii", "omnetpp", "xalanc"}));
+    all.push_back(mix("mix9", {"bwaves", "dealii", "gems", "leslie",
+                               "sphinx", "bwaves", "dealii", "gems"}));
+    all.push_back(mix("mix10", {"astar", "astar", "gcc", "gcc", "lbm",
+                                "libquantum", "libquantum", "mcf"}));
+    all.push_back(mix("mix11", {"bzip", "bzip", "gems", "leslie",
+                                "leslie", "omnetpp", "sphinx", "bzip"}));
+    all.push_back(mix("mix12", {"bwaves", "cactus", "cactus", "dealii",
+                                "dealii", "xalanc", "bwaves", "cactus"}));
+
+    for (const auto &w : all)
+        for (const auto &b : w.benchmarks)
+            MEMPOD_ASSERT(hasProfile(b),
+                          "workload '%s' references unknown benchmark "
+                          "'%s'",
+                          w.name.c_str(), b.c_str());
+    return all;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+allWorkloads()
+{
+    static const std::vector<WorkloadSpec> all = buildAll();
+    return all;
+}
+
+std::vector<WorkloadSpec>
+homogeneousWorkloads()
+{
+    std::vector<WorkloadSpec> out;
+    for (const auto &w : allWorkloads())
+        if (w.homogeneous)
+            out.push_back(w);
+    return out;
+}
+
+std::vector<WorkloadSpec>
+mixedWorkloads()
+{
+    std::vector<WorkloadSpec> out;
+    for (const auto &w : allWorkloads())
+        if (!w.homogeneous)
+            out.push_back(w);
+    return out;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    MEMPOD_FATAL("unknown workload '%s'", name.c_str());
+}
+
+Trace
+buildWorkloadTrace(const WorkloadSpec &spec, const GeneratorConfig &config)
+{
+    std::vector<BenchmarkProfile> profiles;
+    profiles.reserve(spec.benchmarks.size());
+    for (const auto &b : spec.benchmarks)
+        profiles.push_back(findProfile(b));
+    // Decorrelate seeds across workloads deterministically.
+    GeneratorConfig cfg = config;
+    for (char ch : spec.name)
+        cfg.seed = cfg.seed * 131 + static_cast<unsigned char>(ch);
+    return generateTrace(profiles, cfg);
+}
+
+std::vector<std::string>
+representativeWorkloads()
+{
+    // One of each behaviour family: skewed-stable, streaming-huge,
+    // tiny-resident, pointer-chase, phase-changing, plus two mixes.
+    return {"xalanc", "lbm", "libquantum", "mcf", "zeusmp", "mix5",
+            "mix10"};
+}
+
+} // namespace mempod

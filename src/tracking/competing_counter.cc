@@ -1,0 +1,48 @@
+#include "tracking/competing_counter.h"
+
+namespace mempod {
+
+bool
+CompetingCounter::accessSlow(std::uint32_t member, std::uint32_t threshold)
+{
+    if (candidate_ == kNoCandidate) {
+        candidate_ = member;
+        count_ = 1;
+    } else if (member == candidate_) {
+        if (count_ < counterMax_)
+            ++count_;
+    } else {
+        // A competing slow page: weaken the current candidate and take
+        // over the slot when it drains.
+        if (count_ > 0) {
+            --count_;
+        }
+        if (count_ == 0) {
+            candidate_ = member;
+            count_ = 1;
+        }
+    }
+    if (candidate_ == member && count_ >= threshold) {
+        clear();
+        return true;
+    }
+    return false;
+}
+
+void
+CompetingCounter::accessFast()
+{
+    if (count_ > 0)
+        --count_;
+    if (count_ == 0)
+        candidate_ = kNoCandidate;
+}
+
+void
+CompetingCounter::clear()
+{
+    candidate_ = kNoCandidate;
+    count_ = 0;
+}
+
+} // namespace mempod

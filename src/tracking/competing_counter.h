@@ -1,0 +1,51 @@
+/**
+ * @file
+ * THM's per-segment "competing counter" (Sim et al., MICRO-47). Each
+ * segment (one fast page + N slow pages) keeps a single counter and a
+ * candidate slot: accesses to the candidate slow page strengthen it,
+ * accesses to other slow pages or to the fast page weaken it, and a
+ * different slow page takes over the candidacy when the counter drains
+ * to zero. Reaching the threshold triggers a swap of the candidate
+ * with the fast-resident page — occasionally a false positive, which
+ * is the cost the paper attributes to this scheme.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace mempod {
+
+/** One segment's competing counter. */
+class CompetingCounter
+{
+  public:
+    static constexpr std::uint32_t kNoCandidate = ~std::uint32_t{0};
+
+    explicit CompetingCounter(std::uint32_t counter_bits = 8)
+        : counterMax_((std::uint32_t{1} << counter_bits) - 1)
+    {
+    }
+
+    /**
+     * Record an access to slow-segment member `member`.
+     * @return true if the threshold was reached and a migration of the
+     *         current candidate should trigger (counter resets).
+     */
+    bool accessSlow(std::uint32_t member, std::uint32_t threshold);
+
+    /** Record an access to the fast-resident page (weakens candidate). */
+    void accessFast();
+
+    std::uint32_t candidate() const { return candidate_; }
+    std::uint32_t count() const { return count_; }
+
+    /** Clear after a triggered migration. */
+    void clear();
+
+  private:
+    std::uint32_t candidate_ = kNoCandidate;
+    std::uint32_t count_ = 0;
+    std::uint32_t counterMax_;
+};
+
+} // namespace mempod

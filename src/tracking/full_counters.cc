@@ -1,0 +1,89 @@
+#include "tracking/full_counters.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mempod {
+
+FullCounters::FullCounters(std::uint64_t num_ids,
+                           std::uint32_t counter_bits)
+    : numIds_(num_ids),
+      counterBits_(counter_bits),
+      counterMax_(counter_bits >= 16
+                      ? 0xFFFFu
+                      : (std::uint32_t{1} << counter_bits) - 1),
+      counters_(num_ids, 0)
+{
+    MEMPOD_ASSERT(counter_bits >= 1 && counter_bits <= 16,
+                  "FC counter width %u out of range", counter_bits);
+}
+
+void
+FullCounters::touch(std::uint64_t id)
+{
+    MEMPOD_ASSERT(id < numIds_, "page id %llu out of range",
+                  static_cast<unsigned long long>(id));
+    auto &c = counters_[id];
+    if (c == 0)
+        touched_.push_back(id);
+    if (c < counterMax_)
+        ++c;
+}
+
+void
+FullCounters::reset()
+{
+    // Zero only the touched counters: resets stay O(working set)
+    // instead of O(memory capacity).
+    for (std::uint64_t id : touched_)
+        counters_[id] = 0;
+    touched_.clear();
+}
+
+std::vector<TrackedEntry>
+FullCounters::snapshot() const
+{
+    std::vector<TrackedEntry> out;
+    out.reserve(touched_.size());
+    for (std::uint64_t id : touched_)
+        out.push_back(TrackedEntry{id, counters_[id]});
+    std::sort(out.begin(), out.end(),
+              [](const TrackedEntry &a, const TrackedEntry &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+std::vector<TrackedEntry>
+FullCounters::topN(std::size_t n) const
+{
+    std::vector<TrackedEntry> all;
+    all.reserve(touched_.size());
+    for (std::uint64_t id : touched_)
+        all.push_back(TrackedEntry{id, counters_[id]});
+    auto cmp = [](const TrackedEntry &a, const TrackedEntry &b) {
+        if (a.count != b.count)
+            return a.count > b.count;
+        return a.id < b.id;
+    };
+    if (n < all.size()) {
+        std::nth_element(all.begin(),
+                         all.begin() + static_cast<std::ptrdiff_t>(n),
+                         all.end(), cmp);
+        all.resize(n);
+    }
+    std::sort(all.begin(), all.end(), cmp);
+    return all;
+}
+
+std::uint64_t
+FullCounters::count(std::uint64_t id) const
+{
+    MEMPOD_ASSERT(id < numIds_, "page id out of range");
+    return counters_[id];
+}
+
+} // namespace mempod

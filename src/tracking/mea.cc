@@ -1,0 +1,88 @@
+#include "tracking/mea.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mempod {
+
+MeaTracker::MeaTracker(std::uint32_t entries, std::uint32_t counter_bits,
+                       std::uint32_t id_bits)
+    : entries_(entries),
+      counterBits_(counter_bits),
+      counterMax_(counter_bits >= 32
+                      ? ~std::uint32_t{0}
+                      : (std::uint32_t{1} << counter_bits) - 1),
+      idBits_(id_bits)
+{
+    MEMPOD_ASSERT(entries > 0, "MEA needs at least one entry");
+    MEMPOD_ASSERT(counter_bits >= 1 && counter_bits <= 32,
+                  "counter width %u out of range", counter_bits);
+    map_.reserve(entries * 2);
+}
+
+void
+MeaTracker::touch(std::uint64_t id)
+{
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+        // Operation (a): saturating increment.
+        if (it->second < counterMax_)
+            ++it->second;
+        return;
+    }
+    if (map_.size() < entries_) {
+        // Operation (b): claim a free entry.
+        map_.emplace(id, 1);
+        return;
+    }
+    // Operation (c): decrement all counters, evict zeros. In hardware
+    // this is one cycle of parallel subtract-and-compare.
+    ++sweeps_;
+    for (auto cur = map_.begin(); cur != map_.end();) {
+        if (--cur->second == 0)
+            cur = map_.erase(cur);
+        else
+            ++cur;
+    }
+}
+
+void
+MeaTracker::reset()
+{
+    map_.clear();
+}
+
+std::vector<TrackedEntry>
+MeaTracker::snapshot() const
+{
+    std::vector<TrackedEntry> out;
+    out.reserve(map_.size());
+    for (const auto &[id, count] : map_)
+        out.push_back(TrackedEntry{id, count});
+    std::sort(out.begin(), out.end(),
+              [](const TrackedEntry &a, const TrackedEntry &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+std::vector<std::uint64_t>
+MeaTracker::trackedIds() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(map_.size());
+    for (const auto &[id, count] : map_)
+        out.push_back(id);
+    return out;
+}
+
+std::uint64_t
+MeaTracker::storageBits() const
+{
+    return static_cast<std::uint64_t>(entries_) * (idBits_ + counterBits_);
+}
+
+} // namespace mempod

@@ -1,0 +1,202 @@
+/** @file Unit tests for geometry, decoding and placement. */
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "mem/address_map.h"
+
+namespace mempod {
+namespace {
+
+AddressMap
+paperMap()
+{
+    const SystemGeometry g = SystemGeometry::paper();
+    return AddressMap(
+        g,
+        DramSpec::hbm1GHz()
+            .withChannelBytes(g.fastBytes / g.fastChannels)
+            .org,
+        DramSpec::ddr4_1600()
+            .withChannelBytes(g.slowBytes / g.slowChannels)
+            .org);
+}
+
+TEST(SystemGeometry, PaperDerivedQuantities)
+{
+    const SystemGeometry g = SystemGeometry::paper();
+    EXPECT_EQ(g.totalBytes(), 9_GiB);
+    EXPECT_EQ(g.fastPages(), 524288u);  // 1 GB / 2 KB
+    EXPECT_EQ(g.slowPages(), 4194304u); // 8 GB / 2 KB
+    EXPECT_EQ(g.totalPages(), 4718592u);
+    // ~1.1M pages per pod, matching the paper's 21-bit page ids.
+    EXPECT_EQ(g.pagesPerPod(), 1179648u);
+    EXPECT_EQ(g.fastPagesPerPod(), 131072u);
+    EXPECT_EQ(g.fastChannelsPerPod(), 2u);
+    EXPECT_EQ(g.slowChannelsPerPod(), 1u);
+}
+
+TEST(SystemGeometry, ValidateAcceptsPresets)
+{
+    SystemGeometry::paper().validate();
+    SystemGeometry::tiny().validate();
+    SystemGeometry::singleTier(9_GiB, 8).validate();
+}
+
+TEST(SystemGeometryDeathTest, UnevenPodSplitPanics)
+{
+    SystemGeometry g = SystemGeometry::paper();
+    g.fastChannels = 6; // not a multiple of 4 pods
+    EXPECT_DEATH(g.validate(), "pods");
+}
+
+TEST(AddressMap, TierBoundary)
+{
+    const AddressMap m = paperMap();
+    EXPECT_EQ(m.tierOf(0), MemTier::kFast);
+    EXPECT_EQ(m.tierOf(1_GiB - 1), MemTier::kFast);
+    EXPECT_EQ(m.tierOf(1_GiB), MemTier::kSlow);
+    EXPECT_EQ(m.tierOf(9_GiB - 1), MemTier::kSlow);
+}
+
+TEST(AddressMap, PodLocalRoundTripFastAndSlow)
+{
+    const AddressMap m = paperMap();
+    for (PageId p : {PageId{0}, PageId{1}, PageId{524287}, PageId{524288},
+                     PageId{999999}, PageId{4718591}}) {
+        const std::uint32_t pod = m.podOfPage(p);
+        const std::uint64_t local = m.podLocalOfPage(p);
+        EXPECT_EQ(m.pageOfPodLocal(pod, local), p);
+        EXPECT_EQ(m.podLocalIsFast(local),
+                  m.tierOfPage(p) == MemTier::kFast);
+    }
+}
+
+TEST(AddressMap, PodsPartitionPagesEvenly)
+{
+    const AddressMap m = paperMap();
+    std::uint64_t per_pod[4] = {};
+    for (PageId p = 0; p < 4096; ++p)
+        ++per_pod[m.podOfPage(p)];
+    for (auto c : per_pod)
+        EXPECT_EQ(c, 1024u);
+}
+
+TEST(AddressMap, ChannelBelongsToOwningPod)
+{
+    // Figure 4 alignment: channel c serves only pages of pod c % 4.
+    const AddressMap m = paperMap();
+    for (Addr a = 0; a < 9_GiB; a += 97 * kPageBytes + 64) {
+        const DecodedAddr d = m.decode(a);
+        EXPECT_EQ(d.channel % m.geom().numPods, d.pod)
+            << "addr " << a;
+    }
+}
+
+TEST(AddressMap, DecodeFieldsWithinBounds)
+{
+    const AddressMap m = paperMap();
+    const auto fast_org = DramSpec::hbm1GHz()
+                              .withChannelBytes(128_MiB)
+                              .org;
+    const auto slow_org = DramSpec::ddr4_1600()
+                              .withChannelBytes(2_GiB)
+                              .org;
+    for (Addr a = 0; a < 9_GiB; a += 131 * kPageBytes + 192) {
+        const DecodedAddr d = m.decode(a);
+        const auto &org =
+            d.tier == MemTier::kFast ? fast_org : slow_org;
+        EXPECT_LT(d.bank, org.totalBanks());
+        EXPECT_LT(d.row, static_cast<std::int64_t>(org.rowsPerBank));
+        EXPECT_LT(d.offsetInRow, org.rowBufferBytes);
+        EXPECT_LT(d.channel, m.totalChannels());
+    }
+}
+
+TEST(AddressMap, ConsecutiveFastPagesOfAPodShareRows)
+{
+    // Pod-local fast slots s and s + fastChannelsPerPod land in the
+    // same channel; within it, consecutive channel-pages pack 4 to a
+    // row — the co-location effect behind the libquantum result.
+    const AddressMap m = paperMap();
+    const DecodedAddr a =
+        m.decode(AddressMap::addrOfPage(m.pageOfPodLocal(0, 0)));
+    const DecodedAddr b =
+        m.decode(AddressMap::addrOfPage(m.pageOfPodLocal(0, 2)));
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.bank, b.bank);
+}
+
+TEST(AddressMap, SequentialLinesWithinPageShareRow)
+{
+    const AddressMap m = paperMap();
+    const DecodedAddr first = m.decode(0);
+    const DecodedAddr last = m.decode(kPageBytes - kLineBytes);
+    EXPECT_EQ(first.row, last.row);
+    EXPECT_EQ(first.bank, last.bank);
+    EXPECT_EQ(first.channel, last.channel);
+}
+
+TEST(AddressMapDeathTest, OutOfRangePanics)
+{
+    const AddressMap m = paperMap();
+    EXPECT_DEATH(m.decode(9_GiB), "range");
+}
+
+TEST(LogicalToPhysical, BijectionOnSample)
+{
+    LogicalToPhysical l2p(100000, 8, 3);
+    std::unordered_set<PageId> seen;
+    for (std::uint64_t i = 0; i < 100000; ++i) {
+        const PageId p = l2p.physicalPage(i);
+        EXPECT_LT(p, 100000u);
+        EXPECT_TRUE(seen.insert(p).second) << "collision at " << i;
+    }
+}
+
+TEST(LogicalToPhysical, CoresDisjoint)
+{
+    LogicalToPhysical l2p(80000, 8, 5);
+    std::unordered_set<Addr> pages;
+    for (std::uint8_t core = 0; core < 8; ++core) {
+        for (std::uint64_t p = 0; p < 1000; ++p) {
+            const Addr a = l2p.physicalAddr(core, p * kPageBytes);
+            EXPECT_TRUE(pages.insert(a / kPageBytes).second);
+        }
+    }
+}
+
+TEST(LogicalToPhysical, OffsetWithinPagePreserved)
+{
+    LogicalToPhysical l2p(4096, 8, 1);
+    const Addr a = l2p.physicalAddr(2, 5 * kPageBytes + 777);
+    EXPECT_EQ(a % kPageBytes, 777u);
+}
+
+TEST(LogicalToPhysical, SeedChangesPlacement)
+{
+    LogicalToPhysical a(65536, 8, 1);
+    LogicalToPhysical b(65536, 8, 99);
+    int differing = 0;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        differing += a.physicalPage(i) != b.physicalPage(i) ? 1 : 0;
+    EXPECT_GT(differing, 90);
+}
+
+TEST(LogicalToPhysical, SpreadsAcrossTiers)
+{
+    // With a 1:8 fast:slow split, roughly 1/9 of a core's pages land
+    // in the fast region.
+    const std::uint64_t total = SystemGeometry::paper().totalPages();
+    LogicalToPhysical l2p(total, 8, 1);
+    const std::uint64_t fast_limit = SystemGeometry::paper().fastPages();
+    int fast = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i)
+        fast += l2p.physicalPage(i) < fast_limit ? 1 : 0;
+    EXPECT_NEAR(fast / static_cast<double>(kSamples), 1.0 / 9.0, 0.03);
+}
+
+} // namespace
+} // namespace mempod

@@ -1,0 +1,132 @@
+/** @file Unit tests for bank/rank timing state machines. */
+#include <gtest/gtest.h>
+
+#include "dram/bank.h"
+
+namespace mempod {
+namespace {
+
+DramTiming
+timing()
+{
+    return DramSpec::hbm1GHz().timing;
+}
+
+TEST(Bank, StartsClosed)
+{
+    Bank b;
+    EXPECT_FALSE(b.isOpen());
+    EXPECT_EQ(b.openRow(), Bank::kNoRow);
+}
+
+TEST(Bank, ActivateOpensRowAndSetsWindows)
+{
+    const DramTiming t = timing();
+    Bank b;
+    b.activate(1000, 42, t);
+    EXPECT_TRUE(b.isOpen());
+    EXPECT_EQ(b.openRow(), 42);
+    EXPECT_EQ(b.casAllowedAt(), 1000 + t.ps(t.tRCD));
+    EXPECT_EQ(b.preAllowedAt(), 1000 + t.ps(t.tRAS));
+    EXPECT_EQ(b.actAllowedAt(), 1000 + t.ps(t.tRC()));
+}
+
+TEST(Bank, ReadReturnsDataEnd)
+{
+    const DramTiming t = timing();
+    Bank b;
+    b.activate(0, 1, t);
+    const TimePs cas_at = b.casAllowedAt();
+    const TimePs data_end = b.read(cas_at, t);
+    EXPECT_EQ(data_end, cas_at + t.ps(t.tCL + t.tBL));
+}
+
+TEST(Bank, WriteExtendsPrechargeWindow)
+{
+    const DramTiming t = timing();
+    Bank b;
+    b.activate(0, 1, t);
+    const TimePs cas_at = b.casAllowedAt();
+    const TimePs data_end = b.write(cas_at, t);
+    EXPECT_EQ(data_end, cas_at + t.ps(t.tCWL + t.tBL));
+    EXPECT_GE(b.preAllowedAt(), data_end + t.ps(t.tWR));
+}
+
+TEST(Bank, PrechargeClosesAndArmsActivate)
+{
+    const DramTiming t = timing();
+    Bank b;
+    b.activate(0, 1, t);
+    const TimePs pre_at = b.preAllowedAt();
+    b.precharge(pre_at, t);
+    EXPECT_FALSE(b.isOpen());
+    EXPECT_GE(b.actAllowedAt(), pre_at + t.ps(t.tRP));
+}
+
+TEST(Bank, ReadPushesPrechargeByRtp)
+{
+    const DramTiming t = timing();
+    Bank b;
+    b.activate(0, 1, t);
+    // Read very late: tRTP now dominates tRAS.
+    const TimePs late = 1'000'000;
+    b.read(late, t);
+    EXPECT_GE(b.preAllowedAt(), late + t.ps(t.tRTP));
+}
+
+TEST(Bank, BlockUntilRaisesAllWindows)
+{
+    Bank b;
+    b.blockUntil(5000);
+    EXPECT_GE(b.actAllowedAt(), 5000u);
+    EXPECT_GE(b.casAllowedAt(), 5000u);
+    EXPECT_GE(b.preAllowedAt(), 5000u);
+}
+
+TEST(BankDeathTest, ProtocolViolationsPanic)
+{
+    const DramTiming t = timing();
+    Bank closed;
+    EXPECT_DEATH(closed.read(100, t), "closed");
+    EXPECT_DEATH(closed.precharge(100, t), "closed");
+    Bank open;
+    open.activate(0, 1, t);
+    EXPECT_DEATH(open.activate(1'000'000, 2, t), "open");
+    EXPECT_DEATH(open.read(0, t), "early");
+}
+
+TEST(Rank, RrdSpacesActivates)
+{
+    const DramTiming t = timing();
+    Rank r(t);
+    EXPECT_EQ(r.actAllowedAt(), 0u);
+    r.recordAct(1000);
+    EXPECT_EQ(r.actAllowedAt(), 1000 + t.ps(t.tRRD));
+}
+
+TEST(Rank, FawLimitsFourActivates)
+{
+    const DramTiming t = timing();
+    Rank r(t);
+    // Four ACTs spaced exactly tRRD apart.
+    TimePs at = 0;
+    for (int i = 0; i < 4; ++i) {
+        r.recordAct(at);
+        at += t.ps(t.tRRD);
+    }
+    // The fifth must wait for the FAW window from the first ACT.
+    EXPECT_GE(r.actAllowedAt(), t.ps(t.tFAW));
+}
+
+TEST(Rank, FawWindowSlides)
+{
+    const DramTiming t = timing();
+    Rank r(t);
+    for (int i = 0; i < 8; ++i)
+        r.recordAct(i * t.ps(t.tFAW)); // well spaced: never limited
+    EXPECT_LE(r.actAllowedAt(),
+              7 * t.ps(t.tFAW) + t.ps(t.tFAW));
+}
+
+} // namespace
+} // namespace mempod

@@ -1,0 +1,104 @@
+/** @file Unit tests for DRAM device presets and geometry math. */
+#include <gtest/gtest.h>
+
+#include "dram/spec.h"
+
+namespace mempod {
+namespace {
+
+TEST(DramSpec, Hbm1GHzMatchesPaperTable2)
+{
+    const DramSpec s = DramSpec::hbm1GHz();
+    EXPECT_EQ(s.timing.clockPeriodPs, 1000u); // 1 GHz
+    EXPECT_EQ(s.timing.tCL, 7u);
+    EXPECT_EQ(s.timing.tRCD, 7u);
+    EXPECT_EQ(s.timing.tRP, 7u);
+    EXPECT_EQ(s.timing.tRAS, 17u);
+    EXPECT_EQ(s.org.banksPerRank, 16u);
+    EXPECT_EQ(s.org.rowBufferBytes, 8192u);
+    EXPECT_EQ(s.org.busBits, 128u);
+    // 1 GB over 8 channels.
+    EXPECT_EQ(s.org.channelBytes(), 128_MiB);
+}
+
+TEST(DramSpec, Ddr4MatchesPaperTable2)
+{
+    const DramSpec s = DramSpec::ddr4_1600();
+    EXPECT_EQ(s.timing.clockPeriodPs, 1250u); // 800 MHz
+    EXPECT_EQ(s.timing.tCL, 11u);
+    EXPECT_EQ(s.timing.tRCD, 11u);
+    EXPECT_EQ(s.timing.tRP, 11u);
+    EXPECT_EQ(s.timing.tRAS, 28u);
+    EXPECT_EQ(s.org.busBits, 64u);
+    // 8 GB over 4 channels.
+    EXPECT_EQ(s.org.channelBytes(), 2_GiB);
+}
+
+TEST(DramSpec, BurstMovesOneLine)
+{
+    // tBL cycles x bus width x DDR must equal 64 bytes.
+    for (const DramSpec &s :
+         {DramSpec::hbm1GHz(), DramSpec::ddr4_1600(),
+          DramSpec::ddr4_2400(), DramSpec::hbm4GHz()}) {
+        const std::uint64_t bytes_per_cycle = s.org.busBits / 8 * 2;
+        EXPECT_EQ(s.timing.tBL * bytes_per_cycle, kLineBytes)
+            << s.name;
+    }
+}
+
+TEST(DramSpec, RowCycleIsRasPlusRp)
+{
+    const DramSpec s = DramSpec::hbm1GHz();
+    EXPECT_EQ(s.timing.tRC(), 24u);
+}
+
+TEST(DramSpec, FutureHbmIsFourTimesFaster)
+{
+    const DramSpec base = DramSpec::hbm1GHz();
+    const DramSpec fast = DramSpec::hbm4GHz();
+    EXPECT_EQ(fast.timing.clockPeriodPs * 4, base.timing.clockPeriodPs);
+    EXPECT_EQ(fast.idealReadLatencyPs() * 4, base.idealReadLatencyPs());
+}
+
+TEST(DramSpec, FutureSystemWidensLatencyRatio)
+{
+    // The Figure 10 premise: stacked memory accelerates more than
+    // off-chip, so the fast:slow latency ratio grows.
+    const double today =
+        static_cast<double>(DramSpec::ddr4_1600().idealReadLatencyPs()) /
+        DramSpec::hbm1GHz().idealReadLatencyPs();
+    const double future =
+        static_cast<double>(DramSpec::ddr4_2400().idealReadLatencyPs()) /
+        DramSpec::hbm4GHz().idealReadLatencyPs();
+    EXPECT_GT(future, today * 2);
+}
+
+TEST(DramSpec, WithChannelBytesResizesRows)
+{
+    const DramSpec s = DramSpec::hbm1GHz().withChannelBytes(2_MiB);
+    EXPECT_EQ(s.org.channelBytes(), 2_MiB);
+    EXPECT_EQ(s.org.rowsPerBank, 2_MiB / (16 * 8192));
+    // Timing is untouched.
+    EXPECT_EQ(s.timing.tCL, 7u);
+}
+
+TEST(DramSpecDeathTest, MisalignedChannelSizePanics)
+{
+    EXPECT_DEATH(DramSpec::hbm1GHz().withChannelBytes(100'000),
+                 "multiple");
+}
+
+TEST(DramSpec, IdealReadLatency)
+{
+    const DramSpec s = DramSpec::hbm1GHz();
+    // ACT->CAS->data end = (7 + 7 + 2) cycles at 1 ns.
+    EXPECT_EQ(s.idealReadLatencyPs(), 16000u);
+}
+
+TEST(DramSpec, PagesPerRow)
+{
+    EXPECT_EQ(DramSpec::hbm1GHz().org.pagesPerRow(), 4u);
+}
+
+} // namespace
+} // namespace mempod

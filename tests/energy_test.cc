@@ -1,0 +1,86 @@
+/** @file Unit tests for the data-movement energy model. */
+#include <gtest/gtest.h>
+
+#include "sim/energy.h"
+
+namespace mempod {
+namespace {
+
+MemorySystem::Stats
+stats(std::uint64_t df, std::uint64_t ds, std::uint64_t mf,
+      std::uint64_t ms, std::uint64_t bf = 0, std::uint64_t bs = 0)
+{
+    MemorySystem::Stats s;
+    s.demandFast = df;
+    s.demandSlow = ds;
+    s.migrationFast = mf;
+    s.migrationSlow = ms;
+    s.bookkeepingFast = bf;
+    s.bookkeepingSlow = bs;
+    return s;
+}
+
+TEST(Energy, ZeroTrafficZeroEnergy)
+{
+    const EnergyEstimate e = estimateEnergy(stats(0, 0, 0, 0), true);
+    EXPECT_DOUBLE_EQ(e.totalUj(), 0.0);
+}
+
+TEST(Energy, SlowAccessesCostMoreThanFast)
+{
+    const EnergyEstimate fast_only =
+        estimateEnergy(stats(1000, 0, 0, 0), true);
+    const EnergyEstimate slow_only =
+        estimateEnergy(stats(0, 1000, 0, 0), true);
+    EXPECT_GT(slow_only.demandUj, 2 * fast_only.demandUj);
+}
+
+TEST(Energy, PodLocalMigrationCheaperThanCentralized)
+{
+    const auto s = stats(0, 0, 5000, 5000);
+    const EnergyEstimate local = estimateEnergy(s, true);
+    const EnergyEstimate global = estimateEnergy(s, false);
+    EXPECT_LT(local.migrationUj, global.migrationUj);
+    // Demand/bookkeeping are unaffected by migration locality.
+    EXPECT_DOUBLE_EQ(local.demandUj, global.demandUj);
+}
+
+TEST(Energy, DemandEnergyMatchesHandComputation)
+{
+    EnergyParams p;
+    p.fastAccessPjPerBit = 4.0;
+    p.globalHopPjPerBit = 2.0;
+    // One fast line: 512 bits x (4 + 2) pJ = 3072 pJ = 3.072e-3 uJ.
+    const EnergyEstimate e =
+        estimateEnergy(stats(1, 0, 0, 0), true, p);
+    EXPECT_NEAR(e.demandUj, 3.072e-3, 1e-9);
+}
+
+TEST(Energy, MigrationEnergyScalesLinearly)
+{
+    const EnergyEstimate one =
+        estimateEnergy(stats(0, 0, 100, 100), true);
+    const EnergyEstimate ten =
+        estimateEnergy(stats(0, 0, 1000, 1000), true);
+    EXPECT_NEAR(ten.migrationUj, 10 * one.migrationUj, 1e-9);
+}
+
+TEST(Energy, BookkeepingCounted)
+{
+    const EnergyEstimate e =
+        estimateEnergy(stats(0, 0, 0, 0, 10, 10), true);
+    EXPECT_GT(e.bookkeepingUj, 0.0);
+    EXPECT_DOUBLE_EQ(e.demandUj, 0.0);
+    EXPECT_DOUBLE_EQ(e.migrationUj, 0.0);
+}
+
+TEST(Energy, TotalIsSumOfParts)
+{
+    const EnergyEstimate e =
+        estimateEnergy(stats(10, 20, 30, 40, 5, 5), false);
+    EXPECT_DOUBLE_EQ(e.totalUj(),
+                     e.demandUj + e.migrationUj + e.bookkeepingUj);
+}
+
+} // namespace
+} // namespace mempod

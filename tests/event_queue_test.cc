@@ -1,0 +1,125 @@
+/** @file Unit tests for the discrete-event queue. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.h"
+
+namespace mempod {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, FifoTieBreakAtEqualTimes)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(50, [&, i] { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesOnlyOnExecution)
+{
+    EventQueue eq;
+    eq.schedule(500, [] {});
+    EXPECT_EQ(eq.now(), 0u);
+    eq.runOne();
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    TimePs seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(50, [&] { seen = eq.now(); });
+    });
+    eq.runAll();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsScheduledDuringExecutionRun)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            eq.scheduleAfter(10, recurse);
+    };
+    eq.schedule(0, recurse);
+    eq.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextTime(), kTimeNever);
+    eq.schedule(70, [] {});
+    eq.schedule(30, [] {});
+    EXPECT_EQ(eq.nextTime(), 30u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    std::vector<TimePs> ran;
+    for (TimePs t : {10u, 20u, 30u, 40u})
+        eq.schedule(t, [&, t] { ran.push_back(t); });
+    eq.runUntil(30);
+    EXPECT_EQ(ran, (std::vector<TimePs>{10, 20, 30}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.size(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesNowWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(12345);
+    EXPECT_EQ(eq.now(), 12345u);
+}
+
+TEST(EventQueue, RunAllHonorsLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [&] { ++count; });
+    EXPECT_EQ(eq.runAll(4), 4u);
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.size(), 6u);
+}
+
+TEST(EventQueue, ExecutedCounterAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.runAll();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runOne();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+} // namespace
+} // namespace mempod

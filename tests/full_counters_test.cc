@@ -1,0 +1,108 @@
+/** @file Unit tests for the Full Counters baseline tracker. */
+#include <gtest/gtest.h>
+
+#include "tracking/full_counters.h"
+
+namespace mempod {
+namespace {
+
+TEST(FullCounters, ExactCounts)
+{
+    FullCounters fc(100, 16);
+    for (int i = 0; i < 5; ++i)
+        fc.touch(7);
+    fc.touch(3);
+    EXPECT_EQ(fc.count(7), 5u);
+    EXPECT_EQ(fc.count(3), 1u);
+    EXPECT_EQ(fc.count(0), 0u);
+}
+
+TEST(FullCounters, TouchedSetTracksNonZero)
+{
+    FullCounters fc(100, 16);
+    fc.touch(1);
+    fc.touch(1);
+    fc.touch(2);
+    EXPECT_EQ(fc.touchedCount(), 2u);
+}
+
+TEST(FullCounters, SnapshotSortedDescending)
+{
+    FullCounters fc(100, 16);
+    for (int i = 0; i < 3; ++i)
+        fc.touch(10);
+    for (int i = 0; i < 7; ++i)
+        fc.touch(20);
+    fc.touch(30);
+    const auto snap = fc.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].id, 20u);
+    EXPECT_EQ(snap[1].id, 10u);
+    EXPECT_EQ(snap[2].id, 30u);
+}
+
+TEST(FullCounters, TopNReturnsHottest)
+{
+    FullCounters fc(1000, 16);
+    for (std::uint64_t id = 0; id < 50; ++id)
+        for (std::uint64_t k = 0; k <= id; ++k)
+            fc.touch(id);
+    const auto top = fc.topN(5);
+    ASSERT_EQ(top.size(), 5u);
+    EXPECT_EQ(top[0].id, 49u);
+    EXPECT_EQ(top[4].id, 45u);
+    EXPECT_EQ(top[0].count, 50u);
+}
+
+TEST(FullCounters, TopNLargerThanTouchedReturnsAll)
+{
+    FullCounters fc(100, 16);
+    fc.touch(1);
+    fc.touch(2);
+    EXPECT_EQ(fc.topN(50).size(), 2u);
+}
+
+TEST(FullCounters, ResetZeroesTouchedOnly)
+{
+    FullCounters fc(100, 16);
+    fc.touch(5);
+    fc.reset();
+    EXPECT_EQ(fc.count(5), 0u);
+    EXPECT_EQ(fc.touchedCount(), 0u);
+    fc.touch(5);
+    EXPECT_EQ(fc.count(5), 1u);
+}
+
+TEST(FullCounters, SaturatesAtWidth)
+{
+    FullCounters fc(10, 4); // max 15
+    for (int i = 0; i < 100; ++i)
+        fc.touch(0);
+    EXPECT_EQ(fc.count(0), 15u);
+}
+
+TEST(FullCounters, StorageScalesLinearly)
+{
+    // The paper's 1+8 GB system: 4.5M pages x 16 bits = 9 MB.
+    FullCounters fc(4718592, 16);
+    EXPECT_EQ(fc.storageBits() / 8, 9437184u);
+}
+
+TEST(FullCountersDeathTest, OutOfRangeTouchPanics)
+{
+    FullCounters fc(10, 16);
+    EXPECT_DEATH(fc.touch(10), "range");
+}
+
+TEST(FullCounters, TiesBrokenById)
+{
+    FullCounters fc(100, 16);
+    fc.touch(9);
+    fc.touch(4);
+    const auto top = fc.topN(2);
+    EXPECT_EQ(top[0].id, 4u);
+    EXPECT_EQ(top[1].id, 9u);
+}
+
+} // namespace
+} // namespace mempod

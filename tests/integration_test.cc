@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Cross-module integration tests on the paper-scale geometry: these
+ * check the qualitative claims of the evaluation section end to end
+ * (short traces keep them fast).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "trace/workloads.h"
+
+namespace mempod {
+namespace {
+
+Trace
+paperTrace(const std::string &workload, std::uint64_t requests)
+{
+    GeneratorConfig gc;
+    gc.totalRequests = requests;
+    gc.seed = 42;
+    return buildWorkloadTrace(findWorkload(workload), gc);
+}
+
+TEST(Integration, MemPodImprovesAmmatOnPaperGeometry)
+{
+    const Trace t = paperTrace("xalanc", 150000);
+    const RunResult base =
+        runSimulation(SimConfig::paper(Mechanism::kNoMigration), t);
+    const RunResult pod =
+        runSimulation(SimConfig::paper(Mechanism::kMemPod), t);
+    EXPECT_LT(pod.ammatNs, base.ammatNs);
+    EXPECT_GT(pod.migration.migrations, 100u);
+}
+
+TEST(Integration, LibquantumWorkingSetBecomesFastResident)
+{
+    // The paper's Section 6.3.2 observation: libquantum's footprint
+    // fits in HBM; after a few epochs MemPod serves (nearly)
+    // everything from fast memory and the row-buffer hit rate of a
+    // no-migration system is left far behind.
+    const Trace t = paperTrace("libquantum", 400000);
+    const RunResult base =
+        runSimulation(SimConfig::paper(Mechanism::kNoMigration), t);
+    const RunResult pod =
+        runSimulation(SimConfig::paper(Mechanism::kMemPod), t);
+    EXPECT_GT(pod.fastServiceFraction, 0.35); // warmup included
+    EXPECT_GT(pod.fastServiceFraction, 3 * base.fastServiceFraction);
+}
+
+TEST(Integration, CameoMovesMoreDataInMoreQuanta)
+{
+    // Figure 8 commentary: CAMEO forces the most movement events.
+    const Trace t = paperTrace("mix5", 100000);
+    const RunResult cameo =
+        runSimulation(SimConfig::paper(Mechanism::kCameo), t);
+    const RunResult pod =
+        runSimulation(SimConfig::paper(Mechanism::kMemPod), t);
+    EXPECT_GT(cameo.migration.migrations, pod.migration.migrations);
+}
+
+TEST(Integration, MemPodBeatsThmWhenHotPagesShareSegments)
+{
+    // THM's structural limitation (Section 2): hot pages that fall in
+    // the same segment fight over its single fast slot, while MemPod
+    // migrates both. Drive both managers with pairs of hot slow pages
+    // that collide in THM's segment mapping.
+    const SystemGeometry geom = SystemGeometry::tiny();
+    auto run = [&](auto make_mgr) {
+        EventQueue eq;
+        MemorySystem mem(eq, geom, DramSpec::hbm1GHz(),
+                         DramSpec::ddr4_1600());
+        auto mgr = make_mgr(eq, mem);
+        for (int round = 0; round < 40; ++round) {
+            for (std::uint64_t s = 0; s < 40; ++s) {
+                // Two slow pages of the same contiguous THM segment.
+                for (const std::uint64_t member : {0ull, 1ull}) {
+                    const PageId page =
+                        geom.fastPages() + s * 8 + member;
+                    mgr->handleDemand(AddressMap::addrOfPage(page),
+                                      AccessType::kRead, eq.now(), 0,
+                                      nullptr);
+                }
+            }
+            eq.runUntil(eq.now() + 50_us);
+            if (auto *mp = dynamic_cast<MemPodManager *>(mgr.get())) {
+                for (std::size_t p = 0; p < mp->numPods(); ++p)
+                    mp->pod(p).onInterval();
+            }
+            eq.runUntil(eq.now() + 200_us);
+        }
+        const auto &s = mem.stats();
+        return static_cast<double>(s.demandFast) /
+               (s.demandFast + s.demandSlow);
+    };
+    const double thm_fast = run([](EventQueue &eq, MemorySystem &mem) {
+        return std::unique_ptr<MemoryManager>(
+            new ThmManager(eq, mem, ThmParams{}));
+    });
+    const double pod_fast = run([](EventQueue &eq, MemorySystem &mem) {
+        MemPodParams p;
+        p.pod.meaEntries = 64;
+        p.pod.minHotCount = 1; // pages see one touch per interval here
+        return std::unique_ptr<MemoryManager>(
+            new MemPodManager(eq, mem, p));
+    });
+    // THM can keep at most one of each colliding pair in fast memory
+    // (and its competing counters suppress the alternating pattern
+    // entirely); MemPod migrates both pages of every pair.
+    EXPECT_LT(thm_fast, 0.62);
+    EXPECT_GT(pod_fast, 0.8);
+    EXPECT_GT(pod_fast, thm_fast * 1.3);
+}
+
+TEST(Integration, MigrationTrafficDividesAcrossPods)
+{
+    const Trace t = paperTrace("mix10", 100000);
+    SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
+    Simulation sim(cfg);
+    sim.run(t);
+    auto &mgr = dynamic_cast<MemPodManager &>(sim.manager());
+    // Every pod participates (the per-pod traffic split the paper
+    // reports as 804 MB/pod vs 3.1 GB total).
+    for (std::size_t p = 0; p < mgr.numPods(); ++p)
+        EXPECT_GT(mgr.pod(p).stats().migrations, 0u)
+            << "pod " << p;
+}
+
+TEST(Integration, FutureSystemWidensMemPodAdvantage)
+{
+    // Figure 10: a higher fast:slow latency ratio increases migration
+    // payoff. Compare MemPod's relative AMMAT gain today vs future.
+    const Trace t = paperTrace("xalanc", 100000);
+    const RunResult base_now =
+        runSimulation(SimConfig::paper(Mechanism::kNoMigration), t);
+    const RunResult pod_now =
+        runSimulation(SimConfig::paper(Mechanism::kMemPod), t);
+    const RunResult base_fut =
+        runSimulation(SimConfig::future(Mechanism::kNoMigration), t);
+    const RunResult pod_fut =
+        runSimulation(SimConfig::future(Mechanism::kMemPod), t);
+    const double gain_now = 1.0 - pod_now.ammatNs / base_now.ammatNs;
+    const double gain_fut = 1.0 - pod_fut.ammatNs / base_fut.ammatNs;
+    EXPECT_GT(gain_fut, gain_now);
+}
+
+TEST(Integration, BookkeepingCacheCostsPerformance)
+{
+    // Figure 9: enabling the remap-table cache hurts MemPod relative
+    // to free on-chip lookups, and smaller caches hurt more.
+    const Trace t = paperTrace("xalanc", 100000);
+    SimConfig free_cfg = SimConfig::paper(Mechanism::kMemPod);
+    SimConfig small_cfg = free_cfg;
+    small_cfg.mempod.pod.metaCacheEnabled = true;
+    small_cfg.mempod.pod.metaCacheBytes = 4 * 1024; // 16 KB / 4 pods
+    SimConfig large_cfg = free_cfg;
+    large_cfg.mempod.pod.metaCacheEnabled = true;
+    large_cfg.mempod.pod.metaCacheBytes = 16 * 1024; // 64 KB / 4 pods
+    const RunResult rf = runSimulation(free_cfg, t);
+    const RunResult rs = runSimulation(small_cfg, t);
+    const RunResult rl = runSimulation(large_cfg, t);
+    EXPECT_GT(rs.ammatNs, rf.ammatNs);
+    EXPECT_GE(rs.migration.metaCacheMisses,
+              rl.migration.metaCacheMisses);
+}
+
+TEST(Integration, AmmatDeterministicOnPaperGeometry)
+{
+    const Trace t = paperTrace("mix1", 60000);
+    const RunResult a =
+        runSimulation(SimConfig::paper(Mechanism::kThm), t);
+    const RunResult b =
+        runSimulation(SimConfig::paper(Mechanism::kThm), t);
+    EXPECT_DOUBLE_EQ(a.ammatNs, b.ammatNs);
+}
+
+} // namespace
+} // namespace mempod

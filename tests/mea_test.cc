@@ -1,0 +1,186 @@
+/** @file Unit tests for the MEA tracker (paper Algorithm 1). */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tracking/mea.h"
+
+namespace mempod {
+namespace {
+
+TEST(Mea, InsertUntilFull)
+{
+    MeaTracker mea(4, 16);
+    for (std::uint64_t id = 0; id < 4; ++id)
+        mea.touch(id);
+    EXPECT_EQ(mea.size(), 4u);
+    for (std::uint64_t id = 0; id < 4; ++id)
+        EXPECT_TRUE(mea.contains(id));
+    EXPECT_EQ(mea.sweeps(), 0u);
+}
+
+TEST(Mea, PresentIdIncrements)
+{
+    MeaTracker mea(4, 16);
+    mea.touch(7);
+    mea.touch(7);
+    mea.touch(7);
+    const auto snap = mea.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].id, 7u);
+    EXPECT_EQ(snap[0].count, 3u);
+}
+
+TEST(Mea, FullMapDecrementsAllAndEvictsZeros)
+{
+    MeaTracker mea(2, 16);
+    mea.touch(1); // count 1
+    mea.touch(2); // count 1
+    mea.touch(2); // count 2
+    mea.touch(3); // sweep: 1 evicted, 2 drops to 1; 3 NOT inserted
+    EXPECT_EQ(mea.sweeps(), 1u);
+    EXPECT_FALSE(mea.contains(1));
+    EXPECT_FALSE(mea.contains(3));
+    ASSERT_TRUE(mea.contains(2));
+    EXPECT_EQ(mea.snapshot()[0].count, 1u);
+    // Now there is room: the next new id claims a free entry.
+    mea.touch(4);
+    EXPECT_TRUE(mea.contains(4));
+}
+
+TEST(Mea, CountersSaturate)
+{
+    MeaTracker mea(4, 2); // max count 3
+    for (int i = 0; i < 100; ++i)
+        mea.touch(9);
+    EXPECT_EQ(mea.snapshot()[0].count, 3u);
+    EXPECT_EQ(mea.counterMax(), 3u);
+}
+
+TEST(Mea, SaturatedSmallCountersFavorRecency)
+{
+    // With 2-bit counters, an old heavy hitter can be displaced by a
+    // burst of new pages after a few sweeps — the paper's key design
+    // point (small counters bias toward recency).
+    MeaTracker mea(2, 2);
+    for (int i = 0; i < 1000; ++i)
+        mea.touch(1); // saturates at 3 despite 1000 touches
+    // Six distinct new pages: each sweep removes one count.
+    for (std::uint64_t id = 100; id < 106; ++id)
+        mea.touch(id);
+    EXPECT_FALSE(mea.contains(1));
+}
+
+TEST(Mea, MajorityElementIsAlwaysFound)
+{
+    // Formal guarantee: an element occurring more than N/(K+1) times
+    // is tracked at the end (with non-saturating counters).
+    constexpr std::uint32_t kK = 8;
+    constexpr int kN = 9000;
+    Rng rng(5);
+    std::vector<std::uint64_t> stream;
+    // Majority element: strictly more than N/(K+1) = 1000 occurrences.
+    for (int i = 0; i < 1400; ++i)
+        stream.push_back(777);
+    while (stream.size() < kN)
+        stream.push_back(1000 + rng.nextBelow(4000));
+    // Shuffle deterministically.
+    for (std::size_t i = stream.size() - 1; i > 0; --i)
+        std::swap(stream[i], stream[rng.nextBelow(i + 1)]);
+
+    MeaTracker mea(kK, 32);
+    for (auto id : stream)
+        mea.touch(id);
+    EXPECT_TRUE(mea.contains(777));
+}
+
+TEST(Mea, SnapshotSortedByCountThenId)
+{
+    MeaTracker mea(8, 16);
+    for (int i = 0; i < 3; ++i)
+        mea.touch(5);
+    for (int i = 0; i < 3; ++i)
+        mea.touch(2);
+    mea.touch(9);
+    const auto snap = mea.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].id, 2u); // ties broken by id
+    EXPECT_EQ(snap[1].id, 5u);
+    EXPECT_EQ(snap[2].id, 9u);
+}
+
+TEST(Mea, ResetClearsState)
+{
+    MeaTracker mea(4, 16);
+    mea.touch(1);
+    mea.touch(2);
+    mea.reset();
+    EXPECT_EQ(mea.size(), 0u);
+    EXPECT_TRUE(mea.snapshot().empty());
+}
+
+TEST(Mea, StorageCostMatchesPaper)
+{
+    // 64 entries x (21-bit id + 2-bit counter) = 1472 bits = 184 B per
+    // Pod (Section 5.2).
+    MeaTracker mea(64, 2, 21);
+    EXPECT_EQ(mea.storageBits(), 64u * 23);
+    EXPECT_EQ(mea.storageBits() / 8, 184u);
+}
+
+TEST(Mea, NeverExceedsCapacity)
+{
+    MeaTracker mea(16, 4);
+    Rng rng(11);
+    for (int i = 0; i < 100000; ++i) {
+        mea.touch(rng.nextBelow(1000));
+        ASSERT_LE(mea.size(), 16u);
+    }
+}
+
+TEST(Mea, TrackedIdsMatchesSnapshot)
+{
+    MeaTracker mea(8, 16);
+    for (std::uint64_t id = 0; id < 5; ++id)
+        mea.touch(id);
+    auto ids = mea.trackedIds();
+    EXPECT_EQ(ids.size(), mea.snapshot().size());
+}
+
+TEST(MeaDeathTest, ZeroEntriesRejected)
+{
+    EXPECT_DEATH(MeaTracker(0, 2), "at least one");
+}
+
+/** Sweep entry count and counter width: invariants hold everywhere. */
+class MeaParamTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(MeaParamTest, HeavyHitterSurvivesUniformNoise)
+{
+    const auto [entries, bits] = GetParam();
+    MeaTracker mea(entries, bits);
+    Rng rng(17);
+    // One page gets 30% of all traffic; noise is spread over 10000.
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.nextBool(0.3))
+            mea.touch(42);
+        else
+            mea.touch(100 + rng.nextBelow(10000));
+    }
+    EXPECT_TRUE(mea.contains(42))
+        << "entries=" << entries << " bits=" << bits;
+    EXPECT_LE(mea.size(), entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, MeaParamTest,
+    ::testing::Combine(::testing::Values(16u, 64u, 128u, 512u),
+                       ::testing::Values(2u, 4u, 8u, 16u)));
+
+} // namespace
+} // namespace mempod

@@ -1,0 +1,116 @@
+/** @file Unit tests for the MemorySystem facade. */
+#include <gtest/gtest.h>
+
+#include "common/event_queue.h"
+#include "mem/memory_system.h"
+
+namespace mempod {
+namespace {
+
+struct MemFixture : ::testing::Test
+{
+    EventQueue eq;
+    MemorySystem mem{eq, SystemGeometry::tiny(), DramSpec::hbm1GHz(),
+                     DramSpec::ddr4_1600()};
+
+    TimePs
+    access(Addr a, AccessType t = AccessType::kRead,
+           Request::Kind k = Request::Kind::kDemand)
+    {
+        TimePs finish = 0;
+        Request r;
+        r.addr = a;
+        r.type = t;
+        r.kind = k;
+        r.onComplete = [&](TimePs f) { finish = f; };
+        mem.access(std::move(r));
+        eq.runAll();
+        return finish;
+    }
+};
+
+TEST_F(MemFixture, BuildsAllChannels)
+{
+    EXPECT_EQ(mem.numChannels(), 12u);
+    EXPECT_EQ(mem.channel(0).spec().name, "HBM-1GHz");
+    EXPECT_EQ(mem.channel(8).spec().name, "DDR4-1600");
+}
+
+TEST_F(MemFixture, ChannelCapacityMatchesGeometry)
+{
+    EXPECT_EQ(mem.channel(0).spec().org.channelBytes(),
+              SystemGeometry::tiny().fastBytes / 8);
+    EXPECT_EQ(mem.channel(8).spec().org.channelBytes(),
+              SystemGeometry::tiny().slowBytes / 4);
+}
+
+TEST_F(MemFixture, FastAccessFasterThanSlow)
+{
+    const TimePs fast = access(0);
+    const TimePs t0 = eq.now();
+    const TimePs slow = access(16_MiB); // first slow byte
+    EXPECT_LT(fast, slow - t0);
+}
+
+TEST_F(MemFixture, RoutesToCorrectChannel)
+{
+    access(0); // fast page 0 -> fast channel 0
+    EXPECT_EQ(mem.channel(0).stats().reads, 1u);
+    access(kPageBytes); // fast page 1 -> fast channel 1
+    EXPECT_EQ(mem.channel(1).stats().reads, 1u);
+    access(16_MiB); // slow page 0 -> global channel 8
+    EXPECT_EQ(mem.channel(8).stats().reads, 1u);
+}
+
+TEST_F(MemFixture, KindStatsAttributed)
+{
+    access(0, AccessType::kRead, Request::Kind::kDemand);
+    access(16_MiB, AccessType::kRead, Request::Kind::kDemand);
+    access(64, AccessType::kRead, Request::Kind::kMigration);
+    access(128, AccessType::kWrite, Request::Kind::kBookkeeping);
+    EXPECT_EQ(mem.stats().demandFast, 1u);
+    EXPECT_EQ(mem.stats().demandSlow, 1u);
+    EXPECT_EQ(mem.stats().migrationLines(), 1u);
+    EXPECT_EQ(mem.stats().bookkeepingLines(), 1u);
+}
+
+TEST_F(MemFixture, InFlightTracksOutstanding)
+{
+    Request r;
+    r.addr = 0;
+    r.onComplete = [](TimePs) {};
+    mem.access(std::move(r));
+    EXPECT_EQ(mem.inFlight(), 1u);
+    eq.runAll();
+    EXPECT_EQ(mem.inFlight(), 0u);
+}
+
+TEST_F(MemFixture, RowHitRatePerTier)
+{
+    // Two hits in fast, all misses in slow.
+    access(0);
+    access(64);
+    access(128);
+    access(16_MiB);
+    EXPECT_GT(mem.rowHitRate(MemTier::kFast), 0.5);
+    EXPECT_EQ(mem.rowHitRate(MemTier::kSlow), 0.0);
+    EXPECT_GT(mem.rowHitRate(), 0.0);
+}
+
+TEST(MemorySystem, SingleTierGeometryWorks)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, SystemGeometry::singleTier(64_MiB, 8),
+                     DramSpec::hbm1GHz(), DramSpec::ddr4_1600());
+    EXPECT_EQ(mem.numChannels(), 8u);
+    TimePs finish = 0;
+    Request r;
+    r.addr = 64_MiB - 64;
+    r.onComplete = [&](TimePs f) { finish = f; };
+    mem.access(std::move(r));
+    eq.runAll();
+    EXPECT_GT(finish, 0u);
+}
+
+} // namespace
+} // namespace mempod

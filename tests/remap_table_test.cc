@@ -1,0 +1,106 @@
+/** @file Unit tests for the per-Pod remap table. */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/remap_table.h"
+
+namespace mempod {
+namespace {
+
+TEST(RemapTable, StartsAsIdentity)
+{
+    RemapTable rt(100, 10);
+    EXPECT_TRUE(rt.isIdentity());
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(rt.locationOf(i), i);
+        EXPECT_EQ(rt.residentOf(i), i);
+    }
+}
+
+TEST(RemapTable, SwapExchangesLocations)
+{
+    RemapTable rt(100, 10);
+    rt.swap(3, 50);
+    EXPECT_EQ(rt.locationOf(3), 50u);
+    EXPECT_EQ(rt.locationOf(50), 3u);
+    EXPECT_EQ(rt.residentOf(3), 50u);
+    EXPECT_EQ(rt.residentOf(50), 3u);
+    EXPECT_FALSE(rt.isIdentity());
+}
+
+TEST(RemapTable, DoubleSwapRestoresIdentity)
+{
+    RemapTable rt(100, 10);
+    rt.swap(3, 50);
+    rt.swap(3, 50);
+    EXPECT_TRUE(rt.isIdentity());
+}
+
+TEST(RemapTable, InFastReflectsLocationNotOrigin)
+{
+    RemapTable rt(100, 10);
+    EXPECT_TRUE(rt.inFast(5));
+    EXPECT_FALSE(rt.inFast(50));
+    rt.swap(5, 50); // 50 moves into slot 5, 5 moves out
+    EXPECT_FALSE(rt.inFast(5));
+    EXPECT_TRUE(rt.inFast(50));
+}
+
+TEST(RemapTable, ChainedSwapsTrackCorrectly)
+{
+    RemapTable rt(10, 2);
+    rt.swap(0, 5); // 5 -> slot 0, 0 -> slot 5
+    rt.swap(5, 7); // 7 -> slot 0, 5 -> slot 7
+    EXPECT_EQ(rt.locationOf(7), 0u);
+    EXPECT_EQ(rt.locationOf(5), 7u);
+    EXPECT_EQ(rt.locationOf(0), 5u);
+    EXPECT_EQ(rt.residentOf(0), 7u);
+    rt.checkConsistency();
+}
+
+TEST(RemapTable, PermutationInvariantUnderRandomSwaps)
+{
+    RemapTable rt(512, 64);
+    Rng rng(23);
+    for (int i = 0; i < 10000; ++i)
+        rt.swap(rng.nextBelow(512), rng.nextBelow(512));
+    rt.checkConsistency(); // panics on corruption
+    // Every slot has exactly one resident.
+    std::vector<bool> seen(512, false);
+    for (std::uint64_t s = 0; s < 512; ++s) {
+        const auto r = rt.residentOf(s);
+        EXPECT_FALSE(seen[r]);
+        seen[r] = true;
+    }
+}
+
+TEST(RemapTable, SelfSwapIsNoOp)
+{
+    RemapTable rt(16, 4);
+    rt.swap(3, 3);
+    EXPECT_TRUE(rt.isIdentity());
+    rt.checkConsistency();
+}
+
+TEST(RemapTable, StorageBitsMatchPaperScale)
+{
+    // 1.125M pages per pod -> 21-bit entries; ~2.95 MB per pod, the
+    // paper's "2.8 MB / Pod" (they quote 21 bits x 1.1M).
+    RemapTable rt(1179648, 131072);
+    EXPECT_EQ(rt.storageBitsRemap(), 1179648ull * 21);
+    const double mib =
+        static_cast<double>(rt.storageBitsRemap()) / 8 / (1 << 20);
+    EXPECT_NEAR(mib, 2.95, 0.05);
+    // Inverted table covers only fast slots.
+    EXPECT_EQ(rt.storageBitsInverted(), 131072ull * 21);
+}
+
+TEST(RemapTableDeathTest, OutOfRangePanics)
+{
+    RemapTable rt(10, 2);
+    EXPECT_DEATH(rt.locationOf(10), "range");
+    EXPECT_DEATH(rt.swap(0, 10), "range");
+}
+
+} // namespace
+} // namespace mempod

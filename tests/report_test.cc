@@ -1,0 +1,87 @@
+/** @file Unit tests for reporting utilities and the log helpers. */
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "sim/report.h"
+
+namespace mempod {
+namespace {
+
+TEST(TablePrinter, NumFormatsPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::num(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinter, PrintsAlignedColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    ::testing::internal::CaptureStdout();
+    t.print();
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvEchoesAllRows)
+{
+    TablePrinter t({"h1", "h2"});
+    t.addRow({"x", "y"});
+    ::testing::internal::CaptureStdout();
+    t.printCsv();
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("CSV,h1,h2"), std::string::npos);
+    EXPECT_NE(out.find("CSV,x,y"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchPanics)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width");
+}
+
+TEST(RunResultTest, DataMovedConversion)
+{
+    RunResult r;
+    r.migration.bytesMoved = 3 << 20;
+    EXPECT_DOUBLE_EQ(r.dataMovedMiB(), 3.0);
+}
+
+TEST(Log, FormatBehavesLikePrintf)
+{
+    EXPECT_EQ(detail::format("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(detail::format("plain"), "plain");
+}
+
+TEST(Log, QuietFlagToggles)
+{
+    setQuietLogging(true);
+    EXPECT_TRUE(quietLogging());
+    setQuietLogging(false);
+    EXPECT_FALSE(quietLogging());
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(MEMPOD_PANIC("boom %d", 42), "boom 42");
+}
+
+TEST(LogDeathTest, FatalExits)
+{
+    EXPECT_DEATH(MEMPOD_FATAL("bad config %s", "x"), "bad config x");
+}
+
+TEST(LogDeathTest, AssertCarriesCondition)
+{
+    const int v = 3;
+    EXPECT_DEATH(MEMPOD_ASSERT(v == 4, "v was %d", v), "v == 4");
+}
+
+} // namespace
+} // namespace mempod

@@ -1,0 +1,162 @@
+/** @file Unit tests for the deterministic RNG and its distributions. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace mempod {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInBounds)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 2000; ++i)
+            EXPECT_LT(r.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = r.nextRange(10, 12);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 12u);
+        saw_lo |= v == 10;
+        saw_hi |= v == 12;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextBelowRoughlyUniform)
+{
+    Rng r(13);
+    constexpr int kBuckets = 8;
+    constexpr int kSamples = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[r.nextBelow(kBuckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, kSamples / kBuckets * 0.9);
+        EXPECT_LT(c, kSamples / kBuckets * 1.1);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(17);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BoolExtremes)
+{
+    Rng r(19);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(r.nextBool(0.0));
+        EXPECT_TRUE(r.nextBool(1.0));
+    }
+}
+
+TEST(Rng, BoolMatchesProbability)
+{
+    Rng r(23);
+    int heads = 0;
+    for (int i = 0; i < 50000; ++i)
+        heads += r.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(heads / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfRankZeroMostPopular)
+{
+    Rng r(29);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[r.nextZipf(100, 1.0)];
+    // Monotone-ish decay: rank 0 clearly beats rank 10 beats rank 50.
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[50]);
+}
+
+TEST(Rng, ZipfStaysInDomain)
+{
+    Rng r(31);
+    for (double s : {0.0, 0.5, 1.0, 1.5}) {
+        for (int i = 0; i < 5000; ++i)
+            EXPECT_LT(r.nextZipf(37, s), 37u);
+    }
+}
+
+TEST(Rng, ZipfSkewIncreasesHeadMass)
+{
+    Rng r(37);
+    auto head_mass = [&](double s) {
+        int head = 0;
+        for (int i = 0; i < 30000; ++i)
+            head += r.nextZipf(1000, s) < 10 ? 1 : 0;
+        return head;
+    };
+    const int low = head_mass(0.5);
+    const int high = head_mass(1.2);
+    EXPECT_GT(high, low);
+}
+
+TEST(Rng, ZipfDomainOne)
+{
+    Rng r(41);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextZipf(1, 1.0), 0u);
+}
+
+TEST(Rng, GeometricMeanApproximately)
+{
+    Rng r(43);
+    double sum = 0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i)
+        sum += static_cast<double>(r.nextGeometric(8.0));
+    EXPECT_NEAR(sum / kN, 8.0, 0.5);
+}
+
+TEST(Rng, GeometricMinimumOne)
+{
+    Rng r(47);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.nextGeometric(1.0), 1u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.nextGeometric(3.0), 1u);
+}
+
+} // namespace
+} // namespace mempod

@@ -1,0 +1,107 @@
+/** @file Unit tests for statistics accumulators. */
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace mempod {
+namespace {
+
+TEST(ScalarStat, EmptyIsZero)
+{
+    ScalarStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(ScalarStat, TracksMoments)
+{
+    ScalarStat s;
+    for (double v : {4.0, 2.0, 6.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(ScalarStat, SingleSample)
+{
+    ScalarStat s;
+    s.sample(-3.5);
+    EXPECT_DOUBLE_EQ(s.min(), -3.5);
+    EXPECT_DOUBLE_EQ(s.max(), -3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+}
+
+TEST(ScalarStat, ResetClears)
+{
+    ScalarStat s;
+    s.sample(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Log2Histogram, CountsSamples)
+{
+    Log2Histogram h;
+    for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Log2Histogram, PercentileMonotone)
+{
+    Log2Histogram h;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        h.sample(i);
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+    EXPECT_LE(h.percentile(0.9), h.percentile(1.0));
+}
+
+TEST(Log2Histogram, PercentileBracketsMedian)
+{
+    Log2Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.sample(64); // all in bucket [64,128)
+    const auto p50 = h.percentile(0.5);
+    EXPECT_GE(p50, 64u);
+    EXPECT_LE(p50, 127u);
+}
+
+TEST(Log2Histogram, EmptyPercentileIsZero)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Log2Histogram, ToStringMentionsBuckets)
+{
+    Log2Histogram h;
+    h.sample(5);
+    EXPECT_NE(h.toString().find(':'), std::string::npos);
+}
+
+TEST(RatioStat, ComputesRate)
+{
+    RatioStat r;
+    r.hit();
+    r.hit();
+    r.miss();
+    r.miss();
+    EXPECT_EQ(r.hits(), 2u);
+    EXPECT_EQ(r.total(), 4u);
+    EXPECT_DOUBLE_EQ(r.rate(), 0.5);
+}
+
+TEST(RatioStat, EmptyRateIsZero)
+{
+    RatioStat r;
+    EXPECT_DOUBLE_EQ(r.rate(), 0.0);
+}
+
+} // namespace
+} // namespace mempod

@@ -1,0 +1,103 @@
+/** @file Unit tests for the workload suite (Table 3). */
+#include <gtest/gtest.h>
+
+#include "trace/profiles.h"
+#include "trace/workloads.h"
+
+namespace mempod {
+namespace {
+
+TEST(Workloads, FifteenHomogeneousTwelveMixed)
+{
+    EXPECT_EQ(allWorkloads().size(), 27u);
+    EXPECT_EQ(homogeneousWorkloads().size(), 15u);
+    EXPECT_EQ(mixedWorkloads().size(), 12u);
+}
+
+TEST(Workloads, EveryWorkloadHasEightCores)
+{
+    for (const auto &w : allWorkloads())
+        EXPECT_EQ(w.benchmarks.size(), 8u) << w.name;
+}
+
+TEST(Workloads, HomogeneousRunsOneBenchmarkEightTimes)
+{
+    for (const auto &w : homogeneousWorkloads()) {
+        for (const auto &b : w.benchmarks)
+            EXPECT_EQ(b, w.name);
+    }
+}
+
+TEST(Workloads, MixesAreNamedSequentially)
+{
+    const auto mixes = mixedWorkloads();
+    for (std::size_t i = 0; i < mixes.size(); ++i)
+        EXPECT_EQ(mixes[i].name, "mix" + std::to_string(i + 1));
+}
+
+TEST(Workloads, AllBenchmarksExistAsProfiles)
+{
+    for (const auto &w : allWorkloads())
+        for (const auto &b : w.benchmarks)
+            EXPECT_TRUE(hasProfile(b)) << w.name << "/" << b;
+}
+
+TEST(Workloads, Table3SpotChecks)
+{
+    // Double-checked entries from the published table survive
+    // normalization: mix4 runs dealii and mcf twice.
+    const auto &m4 = findWorkload("mix4");
+    EXPECT_EQ(std::count(m4.benchmarks.begin(), m4.benchmarks.end(),
+                         "dealii"),
+              2);
+    EXPECT_EQ(std::count(m4.benchmarks.begin(), m4.benchmarks.end(),
+                         "mcf"),
+              2);
+    // mix10 runs libquantum twice.
+    const auto &m10 = findWorkload("mix10");
+    EXPECT_EQ(std::count(m10.benchmarks.begin(), m10.benchmarks.end(),
+                         "libquantum"),
+              2);
+}
+
+TEST(Workloads, FindByNameAndFatalOnUnknown)
+{
+    EXPECT_EQ(findWorkload("mix7").benchmarks.size(), 8u);
+    EXPECT_DEATH(findWorkload("mix99"), "unknown");
+}
+
+TEST(Workloads, BuildTraceIsDeterministicPerWorkload)
+{
+    GeneratorConfig c;
+    c.totalRequests = 5000;
+    c.footprintScale = 0.02;
+    const Trace a = buildWorkloadTrace(findWorkload("mix3"), c);
+    const Trace b = buildWorkloadTrace(findWorkload("mix3"), c);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i].coreLocal, b[i].coreLocal);
+}
+
+TEST(Workloads, DifferentWorkloadsGetDifferentSeeds)
+{
+    GeneratorConfig c;
+    c.totalRequests = 5000;
+    c.footprintScale = 0.02;
+    // Two homogeneous workloads of the same benchmark name would
+    // collide; different names must decorrelate.
+    const Trace a = buildWorkloadTrace(findWorkload("mix1"), c);
+    const Trace b = buildWorkloadTrace(findWorkload("mix2"), c);
+    int differing = 0;
+    for (std::size_t i = 0; i < 100; ++i)
+        differing += a[i].coreLocal != b[i].coreLocal ? 1 : 0;
+    EXPECT_GT(differing, 50);
+}
+
+TEST(Workloads, RepresentativeSubsetResolves)
+{
+    for (const auto &name : representativeWorkloads())
+        EXPECT_EQ(findWorkload(name).benchmarks.size(), 8u);
+}
+
+} // namespace
+} // namespace mempod

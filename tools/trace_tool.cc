@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Trace utility: generate workload traces to disk, inspect saved
+ * traces, and print per-core composition — so experiments can be run
+ * repeatedly against identical frozen inputs.
+ *
+ * Usage:
+ *   trace_tool gen  <workload> <file.bin> [requests] [seed]
+ *   trace_tool info <file.bin>
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/footprint.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace mempod;
+
+int
+cmdGen(int argc, char **argv)
+{
+    if (argc < 4) {
+        std::fprintf(stderr,
+                     "usage: trace_tool gen <workload> <file.bin> "
+                     "[requests] [seed]\n");
+        return 2;
+    }
+    GeneratorConfig gc;
+    gc.totalRequests =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1'000'000;
+    gc.seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
+    const WorkloadSpec &spec = findWorkload(argv[2]);
+    const Trace trace = buildWorkloadTrace(spec, gc);
+    saveTrace(trace, argv[3]);
+    const TraceSummary s = summarize(trace);
+    std::printf("wrote %llu records (%.1f req/us, %.2f ms) to %s\n",
+                static_cast<unsigned long long>(s.records),
+                s.requestsPerUs,
+                static_cast<double>(s.duration) / 1e9, argv[3]);
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: trace_tool info <file.bin>\n");
+        return 2;
+    }
+    const Trace trace = loadTrace(argv[2]);
+    const TraceSummary s = summarize(trace);
+    std::printf("records:      %llu\n",
+                static_cast<unsigned long long>(s.records));
+    std::printf("reads/writes: %llu / %llu (%.1f%% writes)\n",
+                static_cast<unsigned long long>(s.reads),
+                static_cast<unsigned long long>(s.writes),
+                s.records ? 100.0 * s.writes / s.records : 0.0);
+    std::printf("duration:     %.3f ms (%.1f req/us)\n",
+                static_cast<double>(s.duration) / 1e9, s.requestsPerUs);
+    std::printf("pages:        %llu distinct (core, page) pairs\n",
+                static_cast<unsigned long long>(s.touchedPages));
+
+    std::unordered_map<int, std::uint64_t> per_core;
+    for (const auto &r : trace)
+        ++per_core[r.core];
+    const FootprintStats f = analyzeFootprint(trace);
+    std::printf("concentration: hottest 1/10/100/1k/10k pages absorb "
+                "%.1f/%.1f/%.1f/%.1f/%.1f %% of accesses\n",
+                100 * f.concentration[0], 100 * f.concentration[1],
+                100 * f.concentration[2], 100 * f.concentration[3],
+                100 * f.concentration[4]);
+    std::printf("skew index:   %.3f; single-touch pages: %.1f %%; "
+                "mean 5500-req working set: %.0f pages\n",
+                f.skewIndex, 100 * f.singleTouchFraction,
+                f.meanWindowWorkingSet());
+    std::printf("per core:    ");
+    for (int c = 0; c < 256; ++c) {
+        auto it = per_core.find(c);
+        if (it != per_core.end())
+            std::printf(" c%d=%llu", c,
+                        static_cast<unsigned long long>(it->second));
+    }
+    std::printf("\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: trace_tool gen|info ...\n");
+        return 2;
+    }
+    if (!std::strcmp(argv[1], "gen"))
+        return cmdGen(argc, argv);
+    if (!std::strcmp(argv[1], "info"))
+        return cmdInfo(argc, argv);
+    std::fprintf(stderr, "unknown subcommand '%s'\n", argv[1]);
+    return 2;
+}
