@@ -23,29 +23,53 @@ main(int argc, char **argv)
     banner("Ablation", "migration candidate filtering", opt);
 
     const auto workloads = opt.sweepWorkloads();
-    std::vector<Trace> traces;
-    std::vector<double> base;
-    for (const auto &w : workloads) {
-        traces.push_back(makeTrace(w, opt.timingRequests(), opt.seed));
-        base.push_back(
-            runSimulation(SimConfig::paper(Mechanism::kNoMigration),
-                          traces.back(), w)
-                .ammatNs);
-    }
+    const std::size_t nw = workloads.size();
+    const std::vector<std::uint32_t> min_counts{1, 2, 3};
+    const std::vector<std::uint32_t> caps{4, 16, 64};
 
-    auto sweep = [&](const char *what, auto apply,
-                     const std::vector<std::uint32_t> &values) {
+    auto applyMinCount = [](SimConfig &cfg, std::uint32_t v) {
+        cfg.mempod.pod.minHotCount = v;
+    };
+    auto applyCap = [](SimConfig &cfg, std::uint32_t v) {
+        cfg.mempod.pod.maxMigrationsPerInterval = v;
+    };
+
+    // One batch: per-workload baselines, then both sweeps.
+    BatchRunner runner(runnerOptions(opt));
+    for (const auto &w : workloads)
+        runner.add(timingJob(SimConfig::paper(Mechanism::kNoMigration),
+                             w, opt, "TLM"));
+    auto addSweepJobs = [&](const char *tag, auto apply,
+                            const std::vector<std::uint32_t> &values) {
+        for (const std::uint32_t v : values) {
+            for (const auto &w : workloads) {
+                SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
+                apply(cfg, v);
+                runner.add(timingJob(cfg, w, opt,
+                                     std::string(tag) + "=" +
+                                         std::to_string(v)));
+            }
+        }
+    };
+    addSweepJobs("min", applyMinCount, min_counts);
+    addSweepJobs("cap", applyCap, caps);
+    const std::vector<JobResult> results = runner.runAll();
+
+    std::vector<double> base;
+    for (std::size_t i = 0; i < nw; ++i)
+        base.push_back(need(results[i]).ammatNs);
+    std::size_t idx = nw;
+
+    auto printSweep = [&](const char *what,
+                          const std::vector<std::uint32_t> &values) {
         TablePrinter table({what, "norm. AMMAT", "migrations",
                             "data moved (MiB)"});
         for (const std::uint32_t v : values) {
             std::vector<double> norm;
             std::uint64_t migrations = 0;
             double mib = 0;
-            for (std::size_t i = 0; i < workloads.size(); ++i) {
-                SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
-                apply(cfg, v);
-                const RunResult r =
-                    runSimulation(cfg, traces[i], workloads[i]);
+            for (std::size_t i = 0; i < nw; ++i) {
+                const RunResult &r = need(results[idx++]);
                 norm.push_back(r.ammatNs / base[i]);
                 migrations += r.migration.migrations;
                 mib += r.dataMovedMiB();
@@ -63,20 +87,10 @@ main(int argc, char **argv)
 
     std::printf("--- (a) minimum MEA count to migrate (2-bit "
                 "counters saturate at 3) ---\n");
-    sweep(
-        "min count",
-        [](SimConfig &cfg, std::uint32_t v) {
-            cfg.mempod.pod.minHotCount = v;
-        },
-        {1, 2, 3});
+    printSweep("min count", min_counts);
 
     std::printf("--- (b) migration cap per Pod per interval ---\n");
-    sweep(
-        "cap",
-        [](SimConfig &cfg, std::uint32_t v) {
-            cfg.mempod.pod.maxMigrationsPerInterval = v;
-        },
-        {4, 16, 64});
+    printSweep("cap", caps);
 
     return 0;
 }

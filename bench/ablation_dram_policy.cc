@@ -23,9 +23,6 @@ main(int argc, char **argv)
     banner("Ablation", "controller policy under migration", opt);
 
     const auto workloads = opt.sweepWorkloads();
-    std::vector<Trace> traces;
-    for (const auto &w : workloads)
-        traces.push_back(makeTrace(w, opt.timingRequests(), opt.seed));
 
     struct Policy
     {
@@ -43,18 +40,28 @@ main(int argc, char **argv)
                         "MemPod AMMAT (ns)", "MemPod row-hit %",
                         "MemPod gain %"});
 
+    BatchRunner runner(runnerOptions(opt));
     for (const auto &p : policies) {
-        double tlm_ammat = 0, tlm_hits = 0, pod_ammat = 0,
-               pod_hits = 0;
-        for (std::size_t i = 0; i < workloads.size(); ++i) {
+        for (const auto &w : workloads) {
             SimConfig base = SimConfig::paper(Mechanism::kNoMigration);
             base.controller = p.pol;
             SimConfig pod = SimConfig::paper(Mechanism::kMemPod);
             pod.controller = p.pol;
-            const RunResult rb =
-                runSimulation(base, traces[i], workloads[i]);
-            const RunResult rp =
-                runSimulation(pod, traces[i], workloads[i]);
+            runner.add(timingJob(base, w, opt,
+                                 std::string("TLM/") + p.label));
+            runner.add(timingJob(pod, w, opt,
+                                 std::string("MemPod/") + p.label));
+        }
+    }
+    const std::vector<JobResult> results = runner.runAll();
+
+    std::size_t idx = 0;
+    for (const auto &p : policies) {
+        double tlm_ammat = 0, tlm_hits = 0, pod_ammat = 0,
+               pod_hits = 0;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const RunResult &rb = need(results[idx++]);
+            const RunResult &rp = need(results[idx++]);
             tlm_ammat += rb.ammatNs;
             tlm_hits += rb.rowHitRate;
             pod_ammat += rp.ammatNs;

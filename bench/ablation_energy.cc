@@ -44,15 +44,23 @@ main(int argc, char **argv)
                         "bookkeeping (uJ)", "total (uJ)",
                         "migration if centralized (uJ)"});
 
+    BatchRunner runner(runnerOptions(opt));
     for (const auto &[label, mech] : mechanisms) {
-        Row acc;
         for (const auto &w : workloads) {
-            const Trace trace =
-                makeTrace(w, opt.timingRequests(), opt.seed);
             SimConfig cfg = SimConfig::paper(mech);
             if (mech == Mechanism::kHma)
                 cfg.scaleHmaEpoch(40.0);
-            const RunResult r = runSimulation(cfg, trace, w);
+            runner.add(timingJob(cfg, w, opt, label));
+        }
+    }
+    const std::vector<JobResult> results = runner.runAll();
+
+    std::size_t idx = 0;
+    for (const auto &[label, mech] : mechanisms) {
+        Row acc;
+        for (const auto &w : workloads) {
+            (void)w;
+            const RunResult &r = need(results[idx++]);
             const EnergyEstimate e = estimateEnergy(
                 r.memStats, r.podLocalMigrations, eparams);
             acc.demand += e.demandUj;

@@ -24,28 +24,36 @@ main(int argc, char **argv)
     banner("Ablation", "Pod count (1 = centralized ... 4 = paper)", opt);
 
     const auto workloads = opt.sweepWorkloads();
+    const std::vector<std::uint32_t> pod_counts{1, 2, 4};
     TablePrinter table({"pods", "norm. AMMAT", "migrations",
                         "blocked demands", "per-pod data (MiB)"});
 
-    std::vector<Trace> traces;
-    std::vector<double> base;
-    for (const auto &w : workloads) {
-        traces.push_back(makeTrace(w, opt.timingRequests(), opt.seed));
-        base.push_back(
-            runSimulation(SimConfig::paper(Mechanism::kNoMigration),
-                          traces.back(), w)
-                .ammatNs);
+    BatchRunner runner(runnerOptions(opt));
+    for (const auto &w : workloads)
+        runner.add(timingJob(SimConfig::paper(Mechanism::kNoMigration),
+                             w, opt, "TLM"));
+    for (const std::uint32_t pods : pod_counts) {
+        for (const auto &w : workloads) {
+            SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
+            cfg.geom.numPods = pods;
+            runner.add(timingJob(cfg, w, opt,
+                                 std::to_string(pods) + "-pod"));
+        }
     }
+    const std::vector<JobResult> results = runner.runAll();
 
-    for (const std::uint32_t pods : {1u, 2u, 4u}) {
+    const std::size_t nw = workloads.size();
+    std::vector<double> base;
+    for (std::size_t i = 0; i < nw; ++i)
+        base.push_back(need(results[i]).ammatNs);
+    std::size_t idx = nw;
+
+    for (const std::uint32_t pods : pod_counts) {
         std::vector<double> norm;
         std::uint64_t migrations = 0, blocked = 0;
         double data_mib = 0;
-        for (std::size_t i = 0; i < workloads.size(); ++i) {
-            SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
-            cfg.geom.numPods = pods;
-            const RunResult r =
-                runSimulation(cfg, traces[i], workloads[i]);
+        for (std::size_t i = 0; i < nw; ++i) {
+            const RunResult &r = need(results[idx++]);
             norm.push_back(r.ammatNs / base[i]);
             migrations += r.migration.migrations;
             blocked += r.migration.blockedRequests;

@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +46,22 @@ listWorkloads()
     }
 }
 
+/** Strict decimal parse; exits(2) on trailing garbage or overflow. */
+std::uint64_t
+parseUint(const char *what, const char *flag, const char *text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "%s: %s expects an unsigned integer, got "
+                             "'%s'\n",
+                     what, flag, text);
+        std::exit(2);
+    }
+    return v;
+}
+
 } // namespace
 
 Options
@@ -64,9 +81,19 @@ parseOptions(int argc, char **argv, const char *what)
         if (arg == "--full") {
             opt.full = true;
         } else if (arg == "--requests") {
-            opt.requests = std::strtoull(next(), nullptr, 10);
+            opt.requests = parseUint(what, "--requests", next());
         } else if (arg == "--seed") {
-            opt.seed = std::strtoull(next(), nullptr, 10);
+            opt.seed = parseUint(what, "--seed", next());
+        } else if (arg == "--jobs") {
+            const std::uint64_t n = parseUint(what, "--jobs", next());
+            if (n == 0 || n > 1024) {
+                std::fprintf(stderr,
+                             "%s: --jobs must be in [1, 1024], got "
+                             "%llu\n",
+                             what, static_cast<unsigned long long>(n));
+                std::exit(2);
+            }
+            opt.jobs = static_cast<unsigned>(n);
         } else if (arg == "--workloads") {
             opt.workloads = splitCommas(next());
         } else if (arg == "--list-workloads") {
@@ -75,7 +102,7 @@ parseOptions(int argc, char **argv, const char *what)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "%s\noptions: --full | --requests N | --seed N |"
-                " --workloads a,b,c | --list-workloads\n",
+                " --jobs N | --workloads a,b,c | --list-workloads\n",
                 what);
             std::exit(0);
         } else {
@@ -114,14 +141,76 @@ Options::suiteWorkloads() const
     return all;
 }
 
-Trace
+TraceCache &
+traceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+std::shared_ptr<const Trace>
 makeTrace(const std::string &workload, std::uint64_t requests,
           std::uint64_t seed)
 {
     GeneratorConfig gc;
     gc.totalRequests = requests;
     gc.seed = seed;
-    return buildWorkloadTrace(findWorkload(workload), gc);
+    return traceCache().get(workload, gc);
+}
+
+RunnerOptions
+runnerOptions(const Options &opt)
+{
+    RunnerOptions ro;
+    ro.jobs = opt.jobs;
+    ro.progress = true;
+    ro.cache = &traceCache();
+    return ro;
+}
+
+BatchJob
+timingJob(const SimConfig &config, const std::string &workload,
+          const Options &opt, std::string label)
+{
+    BatchJob job;
+    job.kind = JobKind::kTiming;
+    job.config = config;
+    job.workload = workload;
+    job.gen.totalRequests = opt.timingRequests();
+    job.gen.seed = opt.seed;
+    job.label = std::move(label);
+    return job;
+}
+
+BatchJob
+studyJob(const IntervalStudyConfig &study, const std::string &workload,
+         const Options &opt)
+{
+    BatchJob job;
+    job.kind = JobKind::kIntervalStudy;
+    job.study = study;
+    job.workload = workload;
+    job.gen.totalRequests = opt.offlineRequests();
+    job.gen.seed = opt.seed;
+    return job;
+}
+
+const RunResult &
+need(const JobResult &r)
+{
+    if (!r.ok)
+        MEMPOD_FATAL("job %s/%s failed: %s", r.label.c_str(),
+                     r.workload.c_str(), r.error.c_str());
+    return r.result;
+}
+
+const IntervalStudyResult &
+needStudy(const JobResult &r)
+{
+    if (!r.ok)
+        MEMPOD_FATAL("study job %s failed: %s", r.workload.c_str(),
+                     r.error.c_str());
+    return r.study;
 }
 
 double

@@ -1,8 +1,8 @@
 /**
  * @file
  * Shared scaffolding for the figure/table harnesses: CLI options
- * (scale control, workload selection), workload-set helpers, and
- * cached trace generation.
+ * (scale control, workload selection, worker count), workload-set
+ * helpers, the process-wide trace cache, and BatchRunner glue.
  *
  * Every harness accepts:
  *   --full           paper-scale run (all workloads, long traces)
@@ -10,14 +10,20 @@
  *   --workloads a,b  explicit workload list
  *   --list-workloads print the suite (incl. Table 3 mixes) and exit
  *   --seed N         generator seed
+ *   --jobs N         worker threads (default: hardware concurrency)
+ *
+ * Results are identical at any --jobs value (same seed => same
+ * numbers); only wall-clock time changes.
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/report.h"
+#include "sim/runner.h"
 #include "trace/record.h"
 #include "trace/workloads.h"
 
@@ -29,6 +35,7 @@ struct Options
     bool full = false;
     std::uint64_t requests = 0; //!< 0 = pick by mode
     std::uint64_t seed = 42;
+    unsigned jobs = 0; //!< worker threads; 0 = hardware concurrency
     std::vector<std::string> workloads; //!< empty = pick by mode
 
     /** Trace length for timing simulations. */
@@ -59,9 +66,35 @@ struct Options
 /** Parse argv; prints usage and exits on --help / bad input. */
 Options parseOptions(int argc, char **argv, const char *what);
 
-/** Build (and memoize on disk is unnecessary — generation is fast). */
-Trace makeTrace(const std::string &workload, std::uint64_t requests,
-                std::uint64_t seed);
+/**
+ * The harness-wide trace cache: mutex-guarded, generate-once per
+ * (workload, requests, seed). Shared by makeTrace() and every runner
+ * built via runnerOptions(), so a trace is never generated twice even
+ * across a harness's separate batches.
+ */
+TraceCache &traceCache();
+
+/** Fetch/generate a trace through the shared cache. */
+std::shared_ptr<const Trace> makeTrace(const std::string &workload,
+                                       std::uint64_t requests,
+                                       std::uint64_t seed);
+
+/** RunnerOptions honoring --jobs, progress on stderr, shared cache. */
+RunnerOptions runnerOptions(const Options &opt);
+
+/** A timing job at the harness's scale (timingRequests, seed). */
+BatchJob timingJob(const SimConfig &config, const std::string &workload,
+                   const Options &opt, std::string label = {});
+
+/** An offline interval-study job (offlineRequests, seed). */
+BatchJob studyJob(const IntervalStudyConfig &study,
+                  const std::string &workload, const Options &opt);
+
+/** Unwrap a timing result; fatal (with job context) on failure. */
+const RunResult &need(const JobResult &r);
+
+/** Unwrap an interval-study result; fatal on failure. */
+const IntervalStudyResult &needStudy(const JobResult &r);
 
 /** Mean of a vector. */
 double mean(const std::vector<double> &v);

@@ -50,17 +50,22 @@ main(int argc, char **argv)
                         "CAMEO", "HBMoc"});
     std::vector<std::vector<double>> norms(configs.size());
 
+    BatchRunner runner(runnerOptions(opt));
     for (const auto &name : workloads) {
-        const Trace trace =
-            makeTrace(name, opt.timingRequests(), opt.seed);
-        const double ddr_only =
-            runSimulation(SimConfig::slowOnly(/*future=*/true), trace,
-                          name)
-                .ammatNs;
+        runner.add(timingJob(SimConfig::slowOnly(/*future=*/true),
+                             name, opt, "DDR-only"));
+        for (const auto &c : configs)
+            runner.add(timingJob(c.cfg, name, opt, c.label));
+    }
+    const std::vector<JobResult> results = runner.runAll();
+    const std::size_t stride = 1 + configs.size();
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const double ddr_only = need(results[w * stride]).ammatNs;
         std::vector<std::string> row{name};
         for (std::size_t c = 0; c < configs.size(); ++c) {
-            const RunResult r =
-                runSimulation(configs[c].cfg, trace, name);
+            const RunResult &r = need(results[w * stride + 1 + c]);
             const double norm = r.ammatNs / ddr_only;
             norms[c].push_back(norm);
             row.push_back(TablePrinter::num(norm, 3));

@@ -28,12 +28,16 @@ main(int argc, char **argv)
     TablePrinter table({"workload", "type", "MEA 1-10 %", "MEA 11-20 %",
                         "MEA 21-30 %", "FC all tiers %"});
 
+    const auto workloads = opt.suiteWorkloads();
+    BatchRunner runner(runnerOptions(opt));
+    for (const auto &name : workloads)
+        runner.add(studyJob(study, name, opt));
+    const std::vector<JobResult> results = runner.runAll();
+
     std::vector<double> hg[3], mix[3];
-    for (const auto &name : opt.suiteWorkloads()) {
-        const Trace trace =
-            makeTrace(name, opt.offlineRequests(), opt.seed);
-        const auto stream = pageStreamFromTrace(trace);
-        const IntervalStudyResult r = runIntervalStudy(stream, study);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const IntervalStudyResult &r = needStudy(results[w]);
         const bool homog = findWorkload(name).homogeneous;
         for (int t = 0; t < 3; ++t)
             (homog ? hg : mix)[t].push_back(

@@ -27,12 +27,16 @@ main(int argc, char **argv)
     TablePrinter table({"group", "scheme", "hits 1-10", "hits 11-20",
                         "hits 21-30"});
 
+    const auto workloads = opt.suiteWorkloads();
+    BatchRunner runner(runnerOptions(opt));
+    for (const auto &name : workloads)
+        runner.add(studyJob(study, name, opt));
+    const std::vector<JobResult> results = runner.runAll();
+
     std::vector<double> mea_hg[3], mea_mix[3], fc_hg[3], fc_mix[3];
-    for (const auto &name : opt.suiteWorkloads()) {
-        const Trace trace =
-            makeTrace(name, opt.offlineRequests(), opt.seed);
-        const IntervalStudyResult r =
-            runIntervalStudy(pageStreamFromTrace(trace), study);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const IntervalStudyResult &r = needStudy(results[w]);
         const bool homog = findWorkload(name).homogeneous;
         for (int t = 0; t < 3; ++t) {
             (homog ? mea_hg : mea_mix)[t].push_back(

@@ -30,11 +30,14 @@ main(int argc, char **argv)
     TablePrinter table({"workload", "scheme", "hits 1-10", "hits 11-20",
                         "hits 21-30"});
 
-    for (const auto &name : opt.workloads) {
-        const Trace trace =
-            makeTrace(name, opt.offlineRequests(), opt.seed);
-        const IntervalStudyResult r =
-            runIntervalStudy(pageStreamFromTrace(trace), study);
+    BatchRunner runner(runnerOptions(opt));
+    for (const auto &name : opt.workloads)
+        runner.add(studyJob(study, name, opt));
+    const std::vector<JobResult> results = runner.runAll();
+
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const std::string &name = opt.workloads[w];
+        const IntervalStudyResult &r = needStudy(results[w]);
         table.addRow({name, "MEA",
                       TablePrinter::num(r.meaPredictionHits[0], 2),
                       TablePrinter::num(r.meaPredictionHits[1], 2),

@@ -46,26 +46,34 @@ main(int argc, char **argv)
     TimePs best_epoch = 0;
     std::uint32_t best_k = 0;
 
-    // Generate each workload's trace once; reuse across the grid.
-    std::vector<Trace> traces;
-    traces.reserve(workloads.size());
-    for (const auto &w : workloads)
-        traces.push_back(makeTrace(w, opt.timingRequests(), opt.seed));
+    // The whole (epoch x counters x workload) grid as one batch; the
+    // runner's cache generates each workload's trace exactly once.
+    BatchRunner runner(runnerOptions(opt));
+    for (const TimePs epoch : epochs) {
+        for (const std::uint32_t k : counters) {
+            for (const auto &w : workloads) {
+                SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
+                cfg.mempod.interval = epoch;
+                cfg.mempod.pod.meaEntries = k;
+                cfg.mempod.pod.meaCounterBits = 16; // per the paper
+                runner.add(timingJob(
+                    cfg, w, opt,
+                    std::to_string(epoch / 1_us) + "us/" +
+                        std::to_string(k)));
+            }
+        }
+    }
+    const std::vector<JobResult> results = runner.runAll();
 
+    std::size_t idx = 0;
     for (const TimePs epoch : epochs) {
         std::vector<std::string> row{
             TablePrinter::num(static_cast<double>(epoch) / 1_us, 0) +
             " us"};
         for (const std::uint32_t k : counters) {
             std::vector<double> ammats;
-            for (std::size_t i = 0; i < workloads.size(); ++i) {
-                SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
-                cfg.mempod.interval = epoch;
-                cfg.mempod.pod.meaEntries = k;
-                cfg.mempod.pod.meaCounterBits = 16; // per the paper
-                ammats.push_back(
-                    runSimulation(cfg, traces[i], workloads[i]).ammatNs);
-            }
+            for (std::size_t i = 0; i < workloads.size(); ++i)
+                ammats.push_back(need(results[idx++]).ammatNs);
             const double avg = mean(ammats);
             if (avg < best) {
                 best = avg;

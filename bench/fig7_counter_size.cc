@@ -14,33 +14,52 @@
 
 namespace {
 
-void
-runPanel(const char *label, mempod::TimePs epoch, std::uint32_t entries,
-         const mempod::bench::Options &opt,
-         const std::vector<std::string> &workloads,
-         const std::vector<mempod::Trace> &traces)
+using namespace mempod;
+using namespace mempod::bench;
+
+const std::vector<std::uint32_t> kWidths{1, 2, 4, 8, 16};
+
+struct Panel
 {
-    using namespace mempod;
-    using namespace mempod::bench;
+    const char *label;
+    TimePs epoch;
+    std::uint32_t entries;
+};
 
-    const std::vector<std::uint32_t> widths{1, 2, 4, 8, 16};
+void
+addPanelJobs(BatchRunner &runner, const Panel &panel,
+             const Options &opt,
+             const std::vector<std::string> &workloads)
+{
+    for (const std::uint32_t bits : kWidths) {
+        for (const auto &w : workloads) {
+            SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
+            cfg.mempod.interval = panel.epoch;
+            cfg.mempod.pod.meaEntries = panel.entries;
+            cfg.mempod.pod.meaCounterBits = bits;
+            runner.add(timingJob(cfg, w, opt,
+                                 std::string("7") + panel.label + "/" +
+                                     std::to_string(bits) + "b"));
+        }
+    }
+}
 
+void
+printPanel(const Panel &panel, const std::vector<JobResult> &results,
+           std::size_t &idx, const std::vector<std::string> &workloads)
+{
     std::printf("--- Figure 7%s: %.0f us epochs, %u counters ---\n",
-                label, static_cast<double>(epoch) / 1_us, entries);
+                panel.label, static_cast<double>(panel.epoch) / 1_us,
+                panel.entries);
     TablePrinter table({"counter bits", "norm. AMMAT (to 2-bit)",
                         "migrations / pod / interval"});
 
     double baseline2bit = 0.0;
-    std::vector<std::pair<double, double>> results;
-    for (const std::uint32_t bits : widths) {
+    std::vector<std::pair<double, double>> rows;
+    for (const std::uint32_t bits : kWidths) {
         std::vector<double> ammats, migrates;
         for (std::size_t i = 0; i < workloads.size(); ++i) {
-            SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
-            cfg.mempod.interval = epoch;
-            cfg.mempod.pod.meaEntries = entries;
-            cfg.mempod.pod.meaCounterBits = bits;
-            const RunResult r =
-                runSimulation(cfg, traces[i], workloads[i]);
+            const RunResult &r = need(results[idx++]);
             ammats.push_back(r.ammatNs);
             const double per_pod_per_interval =
                 r.migration.intervals
@@ -53,14 +72,14 @@ runPanel(const char *label, mempod::TimePs epoch, std::uint32_t entries,
         const double avg = mean(ammats);
         if (bits == 2)
             baseline2bit = avg;
-        results.push_back({avg, mean(migrates)});
+        rows.push_back({avg, mean(migrates)});
     }
 
-    for (std::size_t i = 0; i < widths.size(); ++i) {
+    for (std::size_t i = 0; i < kWidths.size(); ++i) {
         table.addRow(
-            {std::to_string(widths[i]),
-             TablePrinter::num(results[i].first / baseline2bit, 4),
-             TablePrinter::num(results[i].second, 1)});
+            {std::to_string(kWidths[i]),
+             TablePrinter::num(rows[i].first / baseline2bit, 4),
+             TablePrinter::num(rows[i].second, 1)});
     }
     table.print();
     std::printf("\n");
@@ -73,21 +92,24 @@ runPanel(const char *label, mempod::TimePs epoch, std::uint32_t entries,
 int
 main(int argc, char **argv)
 {
-    using namespace mempod;
-    using namespace mempod::bench;
-
     const Options opt = parseOptions(
         argc, argv, "fig7_counter_size: counter width sensitivity");
     banner("Figure 7", "counter size vs normalized AMMAT + migrations",
            opt);
 
     const auto workloads = opt.sweepWorkloads();
-    std::vector<Trace> traces;
-    for (const auto &w : workloads)
-        traces.push_back(makeTrace(w, opt.timingRequests(), opt.seed));
+    const std::vector<Panel> panels = {{"a", 50_us, 64},
+                                       {"b", 100_us, 128}};
 
-    runPanel("a", 50_us, 64, opt, workloads, traces);
-    runPanel("b", 100_us, 128, opt, workloads, traces);
+    // Both panels share the workload traces and run as one batch.
+    BatchRunner runner(runnerOptions(opt));
+    for (const Panel &p : panels)
+        addPanelJobs(runner, p, opt, workloads);
+    const std::vector<JobResult> results = runner.runAll();
+
+    std::size_t idx = 0;
+    for (const Panel &p : panels)
+        printPanel(p, results, idx, workloads);
 
     std::printf("paper: at (50 us, 64) 2-bit counters are best (small "
                 "margins, recency matters most); at (100 us, 128) the "

@@ -54,20 +54,26 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> hg(configs.size()),
         mx(configs.size());
 
+    // One baseline + configs.size() jobs per workload, all parallel.
+    BatchRunner runner(runnerOptions(opt));
     for (const auto &name : workloads) {
-        const Trace trace =
-            makeTrace(name, opt.timingRequests(), opt.seed);
-        const double base =
-            runSimulation(SimConfig::paper(Mechanism::kNoMigration),
-                          trace, name)
-                .ammatNs;
+        runner.add(timingJob(SimConfig::paper(Mechanism::kNoMigration),
+                             name, opt, "TLM"));
+        for (const auto &c : configs)
+            runner.add(timingJob(c.cfg, name, opt, c.label));
+    }
+    const std::vector<JobResult> results = runner.runAll();
+    const std::size_t stride = 1 + configs.size();
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const double base = need(results[w * stride]).ammatNs;
         const bool homog = findWorkload(name).homogeneous;
 
         std::vector<std::string> row{name, homog ? "HG" : "MIX"};
         std::vector<std::string> trow{name};
         for (std::size_t c = 0; c < configs.size(); ++c) {
-            const RunResult r =
-                runSimulation(configs[c].cfg, trace, name);
+            const RunResult &r = need(results[w * stride + 1 + c]);
             const double norm = r.ammatNs / base;
             (homog ? hg : mx)[c].push_back(norm);
             row.push_back(TablePrinter::num(norm, 3));

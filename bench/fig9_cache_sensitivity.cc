@@ -27,16 +27,8 @@ main(int argc, char **argv)
     const auto workloads = opt.sweepWorkloads();
     const std::vector<std::uint64_t> sizes{16 * 1024, 32 * 1024,
                                            64 * 1024};
-
-    std::vector<Trace> traces;
-    std::vector<double> base;
-    for (const auto &w : workloads) {
-        traces.push_back(makeTrace(w, opt.timingRequests(), opt.seed));
-        base.push_back(
-            runSimulation(SimConfig::paper(Mechanism::kNoMigration),
-                          traces.back(), w)
-                .ammatNs);
-    }
+    const std::vector<Mechanism> mechanisms{
+        Mechanism::kMemPod, Mechanism::kThm, Mechanism::kHma};
 
     auto makeCfg = [&](Mechanism m, std::uint64_t cache_bytes,
                        bool enabled) {
@@ -64,18 +56,41 @@ main(int argc, char **argv)
         return cfg;
     };
 
+    // One batch: per-workload TLM baselines, then per mechanism the
+    // cache-free reference plus every cache size.
+    BatchRunner runner(runnerOptions(opt));
+    for (const auto &w : workloads)
+        runner.add(timingJob(SimConfig::paper(Mechanism::kNoMigration),
+                             w, opt, "TLM"));
+    for (Mechanism m : mechanisms) {
+        for (const auto &w : workloads)
+            runner.add(timingJob(makeCfg(m, 0, false), w, opt,
+                                 std::string(mechanismName(m)) +
+                                     "/none"));
+        for (const std::uint64_t size : sizes)
+            for (const auto &w : workloads)
+                runner.add(timingJob(
+                    makeCfg(m, size, true), w, opt,
+                    std::string(mechanismName(m)) + "/" +
+                        std::to_string(size / 1024) + "kB"));
+    }
+    const std::vector<JobResult> results = runner.runAll();
+
+    const std::size_t nw = workloads.size();
+    std::vector<double> base;
+    for (std::size_t i = 0; i < nw; ++i)
+        base.push_back(need(results[i]).ammatNs);
+    std::size_t idx = nw;
+
     TablePrinter table({"mechanism", "cache", "norm. AMMAT",
                         "impact vs no-cache %", "miss rate %"});
 
-    for (Mechanism m :
-         {Mechanism::kMemPod, Mechanism::kThm, Mechanism::kHma}) {
+    for (Mechanism m : mechanisms) {
         // Reference: same mechanism with free on-chip metadata.
         std::vector<double> nocache_norm;
-        for (std::size_t i = 0; i < workloads.size(); ++i) {
-            const RunResult r = runSimulation(makeCfg(m, 0, false),
-                                              traces[i], workloads[i]);
-            nocache_norm.push_back(r.ammatNs / base[i]);
-        }
+        for (std::size_t i = 0; i < nw; ++i)
+            nocache_norm.push_back(need(results[idx++]).ammatNs /
+                                   base[i]);
         const double ref = mean(nocache_norm);
         table.addRow({mechanismName(m), "none",
                       TablePrinter::num(ref, 3), "0.0", "-"});
@@ -83,9 +98,8 @@ main(int argc, char **argv)
         for (const std::uint64_t size : sizes) {
             std::vector<double> norm;
             double hits = 0, misses = 0;
-            for (std::size_t i = 0; i < workloads.size(); ++i) {
-                const RunResult r = runSimulation(
-                    makeCfg(m, size, true), traces[i], workloads[i]);
+            for (std::size_t i = 0; i < nw; ++i) {
+                const RunResult &r = need(results[idx++]);
                 norm.push_back(r.ammatNs / base[i]);
                 hits += static_cast<double>(r.migration.metaCacheHits);
                 misses +=

@@ -13,6 +13,7 @@
 #include "core/remap_table.h"
 #include "dram/channel.h"
 #include "sim/metadata_cache.h"
+#include "sim/runner.h"
 #include "sim/simulation.h"
 #include "tracking/full_counters.h"
 #include "tracking/mea.h"
@@ -149,6 +150,33 @@ BM_EndToEndMemPod(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * gc.totalRequests);
 }
 BENCHMARK(BM_EndToEndMemPod);
+
+void
+BM_BatchRunnerFanOut(benchmark::State &state)
+{
+    // The harness hot path: a workload x mechanism cross product on
+    // the worker pool, traces shared through the keyed cache.
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    GeneratorConfig gc;
+    gc.totalRequests = 20000;
+    TraceCache cache; // persists across iterations: generation once
+    for (auto _ : state) {
+        BatchRunner runner({.jobs = jobs, .cache = &cache});
+        for (const char *w : {"xalanc", "mcf"}) {
+            for (Mechanism m :
+                 {Mechanism::kNoMigration, Mechanism::kMemPod}) {
+                BatchJob job;
+                job.config = SimConfig::paper(m);
+                job.workload = w;
+                job.gen = gc;
+                runner.add(std::move(job));
+            }
+        }
+        benchmark::DoNotOptimize(runner.runAll());
+    }
+    state.SetItemsProcessed(state.iterations() * 4 * gc.totalRequests);
+}
+BENCHMARK(BM_BatchRunnerFanOut)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

@@ -6,6 +6,10 @@
  *
  * Usage: design_space_explorer [workload] [requests]
  *          [--epochs us,us,...] [--counters k,k,...] [--bits b,b,...]
+ *          [--jobs N]
+ *
+ * The grid runs on the BatchRunner worker pool; results are identical
+ * at any --jobs value.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +18,7 @@
 #include <vector>
 
 #include "sim/report.h"
+#include "sim/runner.h"
 #include "sim/simulation.h"
 #include "trace/workloads.h"
 
@@ -44,6 +49,7 @@ main(int argc, char **argv)
 
     std::string workload = "xalanc";
     std::uint64_t requests = 300'000;
+    unsigned jobs = 0;
     std::vector<std::uint64_t> epochs_us{25, 50, 100, 200};
     std::vector<std::uint64_t> counters{16, 64, 256};
     std::vector<std::uint64_t> bits{2};
@@ -56,6 +62,9 @@ main(int argc, char **argv)
             counters = parseList(argv[++i]);
         else if (!std::strcmp(argv[i], "--bits") && i + 1 < argc)
             bits = parseList(argv[++i]);
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         else if (positional == 0)
             workload = argv[i], ++positional;
         else
@@ -64,12 +73,52 @@ main(int argc, char **argv)
 
     GeneratorConfig gen;
     gen.totalRequests = requests;
-    const Trace trace =
-        buildWorkloadTrace(findWorkload(workload), gen);
+    if (!tryFindWorkload(workload)) {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     workload.c_str());
+        return 2;
+    }
 
-    const double base =
-        runSimulation(SimConfig::paper(Mechanism::kNoMigration), trace)
-            .ammatNs;
+    // The baseline plus the whole knob grid as one parallel batch;
+    // the runner generates the workload trace once and shares it.
+    BatchRunner runner({.jobs = jobs, .progress = true});
+    {
+        BatchJob baseline;
+        baseline.config = SimConfig::paper(Mechanism::kNoMigration);
+        baseline.workload = workload;
+        baseline.gen = gen;
+        baseline.label = "TLM";
+        runner.add(std::move(baseline));
+    }
+    for (const auto e : epochs_us) {
+        for (const auto k : counters) {
+            for (const auto b : bits) {
+                BatchJob job;
+                job.config = SimConfig::paper(Mechanism::kMemPod);
+                job.config.mempod.interval = e * 1_us;
+                job.config.mempod.pod.meaEntries =
+                    static_cast<std::uint32_t>(k);
+                job.config.mempod.pod.meaCounterBits =
+                    static_cast<std::uint32_t>(b);
+                job.workload = workload;
+                job.gen = gen;
+                job.label = std::to_string(e) + "us/" +
+                            std::to_string(k) + "c/" +
+                            std::to_string(b) + "b";
+                runner.add(std::move(job));
+            }
+        }
+    }
+    const std::vector<JobResult> results = runner.runAll();
+    for (const JobResult &jr : results) {
+        if (!jr.ok) {
+            std::fprintf(stderr, "job %s failed: %s\n",
+                         jr.label.c_str(), jr.error.c_str());
+            return 1;
+        }
+    }
+
+    const double base = results[0].result.ammatNs;
     std::printf("workload %s, %llu requests; no-migration AMMAT "
                 "%.1f ns\n\n",
                 workload.c_str(),
@@ -80,16 +129,11 @@ main(int argc, char **argv)
 
     double best = 1e30;
     std::string best_desc;
+    std::size_t idx = 1;
     for (const auto e : epochs_us) {
         for (const auto k : counters) {
             for (const auto b : bits) {
-                SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
-                cfg.mempod.interval = e * 1_us;
-                cfg.mempod.pod.meaEntries =
-                    static_cast<std::uint32_t>(k);
-                cfg.mempod.pod.meaCounterBits =
-                    static_cast<std::uint32_t>(b);
-                const RunResult r = runSimulation(cfg, trace, workload);
+                const RunResult &r = results[idx++].result;
                 const double mpi =
                     r.migration.intervals
                         ? static_cast<double>(r.migration.migrations) /

@@ -1,0 +1,263 @@
+#include "sim/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/simulation.h"
+#include "trace/workloads.h"
+
+namespace mempod {
+
+std::shared_ptr<const Trace>
+TraceCache::get(const std::string &workload, const GeneratorConfig &gen)
+{
+    const Key key{workload, gen.totalRequests, gen.seed,
+                  gen.footprintScale, gen.rateScale};
+
+    std::shared_future<std::shared_ptr<const Trace>> future;
+    std::promise<std::shared_ptr<const Trace>> promise;
+    bool generate = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            generate = true;
+        } else {
+            future = it->second;
+        }
+    }
+
+    if (generate) {
+        // Generation runs outside the lock so distinct keys build in
+        // parallel; same-key requesters block on the future instead.
+        try {
+            const WorkloadSpec *spec = tryFindWorkload(workload);
+            if (!spec)
+                throw std::invalid_argument("unknown workload '" +
+                                            workload + "'");
+            promise.set_value(std::make_shared<const Trace>(
+                buildWorkloadTrace(*spec, gen)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get(); // rethrows the generator's exception, if any
+}
+
+std::size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+BatchRunner::BatchRunner(RunnerOptions opt) : opt_(opt) {}
+
+std::size_t
+BatchRunner::add(BatchJob job)
+{
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+unsigned
+BatchRunner::workerCount() const
+{
+    unsigned n = opt_.jobs;
+    if (n == 0)
+        n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+TraceCache &
+BatchRunner::traceCache()
+{
+    return opt_.cache ? *opt_.cache : own_cache_;
+}
+
+JobResult
+BatchRunner::execute(const BatchJob &job)
+{
+    JobResult out;
+    out.workload = job.workload;
+    out.label = job.label;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        std::shared_ptr<const Trace> trace = job.trace;
+        if (!trace)
+            trace = traceCache().get(job.workload, job.gen);
+        switch (job.kind) {
+          case JobKind::kTiming:
+            out.result = runSimulation(job.config, *trace, job.workload);
+            break;
+          case JobKind::kIntervalStudy:
+            out.study =
+                runIntervalStudy(pageStreamFromTrace(*trace), job.study);
+            break;
+        }
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return out;
+}
+
+std::vector<JobResult>
+BatchRunner::runAll()
+{
+    std::vector<BatchJob> jobs;
+    jobs.swap(jobs_);
+    std::vector<JobResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(workerCount(), jobs.size()));
+
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::size_t> finished; // indices, completion order
+
+    auto work = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            JobResult r = execute(jobs[i]);
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                results[i] = std::move(r);
+                finished.push_back(i);
+            }
+            cv.notify_one();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(work);
+
+    // The main thread owns all progress output; workers only enqueue
+    // completion notices.
+    std::FILE *stream =
+        opt_.progressStream ? opt_.progressStream : stderr;
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t done = 0;
+    while (done < jobs.size()) {
+        std::size_t idx;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] { return !finished.empty(); });
+            idx = finished.front();
+            finished.pop_front();
+        }
+        ++done;
+        if (opt_.progress) {
+            const JobResult &r = results[idx];
+            const double elapsed = std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() -
+                                       start)
+                                       .count();
+            const double eta =
+                elapsed / static_cast<double>(done) *
+                static_cast<double>(jobs.size() - done);
+            std::string what = r.label.empty()
+                                   ? r.workload
+                                   : r.label + "/" + r.workload;
+            if (r.ok) {
+                std::fprintf(
+                    stream,
+                    "[%3zu/%zu] %-28s wall %6.2fs  sim %8.3fms  "
+                    "ETA %4.0fs\n",
+                    done, jobs.size(), what.c_str(), r.wallSeconds,
+                    static_cast<double>(r.result.simulatedPs) / 1e9,
+                    eta);
+            } else {
+                std::fprintf(stream, "[%3zu/%zu] %-28s FAILED: %s\n",
+                             done, jobs.size(), what.c_str(),
+                             r.error.c_str());
+            }
+            std::fflush(stream);
+        }
+    }
+
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+std::string
+serializeRunResult(const RunResult &r)
+{
+    std::string out;
+    char buf[128];
+    auto field = [&](const char *name, const char *fmt, auto value) {
+        std::snprintf(buf, sizeof(buf), fmt, value);
+        out += name;
+        out += '=';
+        out += buf;
+        out += '\n';
+    };
+    field("workload", "%s", r.workload.c_str());
+    field("mechanism", "%s", r.mechanism.c_str());
+    field("ammatNs", "%a", r.ammatNs); // hex float: bit-exact
+    field("demandRequests", "%llu",
+          static_cast<unsigned long long>(r.demandRequests));
+    field("completed", "%llu",
+          static_cast<unsigned long long>(r.completed));
+    field("fastServiceFraction", "%a", r.fastServiceFraction);
+    field("rowHitRate", "%a", r.rowHitRate);
+    field("rowHitRateFast", "%a", r.rowHitRateFast);
+    field("simulatedPs", "%llu",
+          static_cast<unsigned long long>(r.simulatedPs));
+    field("eventsExecuted", "%llu",
+          static_cast<unsigned long long>(r.eventsExecuted));
+    field("migrations", "%llu",
+          static_cast<unsigned long long>(r.migration.migrations));
+    field("bytesMoved", "%llu",
+          static_cast<unsigned long long>(r.migration.bytesMoved));
+    field("intervals", "%llu",
+          static_cast<unsigned long long>(r.migration.intervals));
+    field("blockedRequests", "%llu",
+          static_cast<unsigned long long>(r.migration.blockedRequests));
+    field("metaCacheHits", "%llu",
+          static_cast<unsigned long long>(r.migration.metaCacheHits));
+    field("metaCacheMisses", "%llu",
+          static_cast<unsigned long long>(r.migration.metaCacheMisses));
+    field("candidatesSkipped", "%llu",
+          static_cast<unsigned long long>(r.migration.candidatesSkipped));
+    field("wastedMigrations", "%llu",
+          static_cast<unsigned long long>(r.migration.wastedMigrations));
+    field("demandFast", "%llu",
+          static_cast<unsigned long long>(r.memStats.demandFast));
+    field("demandSlow", "%llu",
+          static_cast<unsigned long long>(r.memStats.demandSlow));
+    field("migrationFast", "%llu",
+          static_cast<unsigned long long>(r.memStats.migrationFast));
+    field("migrationSlow", "%llu",
+          static_cast<unsigned long long>(r.memStats.migrationSlow));
+    field("bookkeepingFast", "%llu",
+          static_cast<unsigned long long>(r.memStats.bookkeepingFast));
+    field("bookkeepingSlow", "%llu",
+          static_cast<unsigned long long>(r.memStats.bookkeepingSlow));
+    field("podLocalMigrations", "%d", r.podLocalMigrations ? 1 : 0);
+    for (double a : r.perCoreAmmatNs)
+        field("perCoreAmmatNs", "%a", a);
+    return out;
+}
+
+} // namespace mempod

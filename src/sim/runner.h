@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Parallel batch execution of independent simulation and interval-
+ * study jobs. Every figure/table harness is a cross product of
+ * workloads and configurations whose runs share nothing but the input
+ * traces, so the BatchRunner executes them on a fixed-size worker
+ * pool: each job builds its own Simulation (own EventQueue, own RNG
+ * state) and the generated traces are shared read-only through a
+ * mutex-guarded, generate-once TraceCache. Results come back in
+ * submission order regardless of completion order, and a job that
+ * throws is captured as a per-job failure instead of killing the
+ * batch — so a 27-workload x 6-configuration sweep reports the one
+ * broken cell and still fills in the other 161.
+ *
+ * Determinism guarantee: the simulator is bit-reproducible given
+ * (config, trace), and trace generation is bit-reproducible given
+ * (workload, GeneratorConfig), no matter which worker thread runs
+ * either. Hence the results of a batch are identical at any worker
+ * count, including 1.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/interval_study.h"
+#include "sim/config.h"
+#include "sim/report.h"
+#include "trace/generator.h"
+#include "trace/record.h"
+
+namespace mempod {
+
+/**
+ * Keyed trace store: at most one generation per
+ * (workload, requests, seed, footprintScale, rateScale), safe to hit
+ * from many threads. The first requester of a key generates while the
+ * lock is released; concurrent requesters of the same key block on its
+ * future instead of duplicating the work, and requesters of other keys
+ * generate in parallel. Cached traces are immutable.
+ */
+class TraceCache
+{
+  public:
+    /**
+     * Fetch (or generate) the trace for `workload` under `gen`.
+     * Throws std::invalid_argument for an unknown workload name.
+     */
+    std::shared_ptr<const Trace> get(const std::string &workload,
+                                     const GeneratorConfig &gen);
+
+    /** Number of distinct traces generated so far. */
+    std::size_t size() const;
+
+  private:
+    using Key = std::tuple<std::string, std::uint64_t, std::uint64_t,
+                           double, double>;
+
+    mutable std::mutex mu_;
+    std::map<Key, std::shared_future<std::shared_ptr<const Trace>>>
+        entries_;
+};
+
+/** What a BatchJob asks the worker to run over its trace. */
+enum class JobKind
+{
+    kTiming,        //!< full timing simulation -> RunResult
+    kIntervalStudy, //!< Section 3 offline study -> IntervalStudyResult
+};
+
+/** One unit of work: a configuration plus a trace (or its recipe). */
+struct BatchJob
+{
+    JobKind kind = JobKind::kTiming;
+
+    SimConfig config;          //!< used by kTiming jobs
+    IntervalStudyConfig study; //!< used by kIntervalStudy jobs
+
+    /** Workload name; keys trace generation and labels the result. */
+    std::string workload;
+
+    /** Trace recipe (requests, seed, scales) for the cache. */
+    GeneratorConfig gen;
+
+    /** Explicit pre-built trace; bypasses the cache when set. */
+    std::shared_ptr<const Trace> trace;
+
+    /** Display label for progress/error reports (e.g. "MemPod"). */
+    std::string label;
+};
+
+/** Outcome of one job; exactly one payload is meaningful. */
+struct JobResult
+{
+    bool ok = false;
+    std::string error; //!< exception message when !ok
+
+    std::string workload; //!< copied from the job, for reporting
+    std::string label;
+
+    RunResult result;          //!< kTiming payload
+    IntervalStudyResult study; //!< kIntervalStudy payload
+
+    double wallSeconds = 0.0;
+};
+
+/** Worker-pool knobs. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+
+    /** Print a line per completed job (from the main thread only). */
+    bool progress = false;
+
+    /** Progress destination; nullptr = stderr. */
+    std::FILE *progressStream = nullptr;
+
+    /** Share a cache across runners; nullptr = runner-private cache. */
+    TraceCache *cache = nullptr;
+};
+
+/**
+ * Fixed-size worker pool over a list of independent jobs.
+ *
+ *   BatchRunner runner({.jobs = 4});
+ *   for (...) runner.add({...});
+ *   std::vector<JobResult> results = runner.runAll();
+ *
+ * runAll() blocks until every job finished and returns results in
+ * submission order. It may be called repeatedly; each call runs the
+ * jobs added since the previous one.
+ */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(RunnerOptions opt = {});
+
+    /** Enqueue a job; returns its index into runAll()'s result. */
+    std::size_t add(BatchJob job);
+
+    /** Jobs queued for the next runAll(). */
+    std::size_t pending() const { return jobs_.size(); }
+
+    /** Worker-thread count runAll() will use. */
+    unsigned workerCount() const;
+
+    /** The cache jobs resolve their traces through. */
+    TraceCache &traceCache();
+
+    /** Run everything; blocking. Results are in submission order. */
+    std::vector<JobResult> runAll();
+
+  private:
+    JobResult execute(const BatchJob &job);
+
+    RunnerOptions opt_;
+    TraceCache own_cache_;
+    std::vector<BatchJob> jobs_;
+};
+
+/**
+ * Canonical textual form of a RunResult with bit-exact floating-point
+ * fields (hex-float rendering) — the determinism tests compare these
+ * across worker counts, and it is handy for debugging goldens.
+ */
+std::string serializeRunResult(const RunResult &r);
+
+} // namespace mempod

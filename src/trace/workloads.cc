@@ -107,10 +107,18 @@ mixedWorkloads()
 const WorkloadSpec &
 findWorkload(const std::string &name)
 {
+    if (const WorkloadSpec *w = tryFindWorkload(name))
+        return *w;
+    MEMPOD_FATAL("unknown workload '%s'", name.c_str());
+}
+
+const WorkloadSpec *
+tryFindWorkload(const std::string &name)
+{
     for (const auto &w : allWorkloads())
         if (w.name == name)
-            return w;
-    MEMPOD_FATAL("unknown workload '%s'", name.c_str());
+            return &w;
+    return nullptr;
 }
 
 Trace

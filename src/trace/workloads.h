@@ -39,6 +39,9 @@ std::vector<WorkloadSpec> mixedWorkloads();
 /** Lookup by name; fatal if unknown. */
 const WorkloadSpec &findWorkload(const std::string &name);
 
+/** Lookup by name; nullptr if unknown (for recoverable callers). */
+const WorkloadSpec *tryFindWorkload(const std::string &name);
+
 /** Generate the trace for a workload. */
 Trace buildWorkloadTrace(const WorkloadSpec &spec,
                          const GeneratorConfig &config);

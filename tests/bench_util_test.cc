@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the bench/ scaffolding: CLI parsing (including rejection
+ * of malformed input), workload-set selection, and the shared
+ * mutex-guarded trace cache behind makeTrace().
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace mempod::bench {
+namespace {
+
+/** Build a mutable argv from string literals. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args)
+        : storage_(std::move(args))
+    {
+        ptrs_.push_back(const_cast<char *>("harness"));
+        for (auto &s : storage_)
+            ptrs_.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> storage_;
+    std::vector<char *> ptrs_;
+};
+
+Options
+parse(std::vector<std::string> args)
+{
+    Argv a(std::move(args));
+    return parseOptions(a.argc(), a.argv(), "test");
+}
+
+TEST(ParseOptions, Defaults)
+{
+    const Options opt = parse({});
+    EXPECT_FALSE(opt.full);
+    EXPECT_EQ(opt.requests, 0u);
+    EXPECT_EQ(opt.seed, 42u);
+    EXPECT_EQ(opt.jobs, 0u); // 0 = hardware concurrency
+    EXPECT_TRUE(opt.workloads.empty());
+    EXPECT_EQ(opt.timingRequests(), 800'000u);
+    EXPECT_EQ(opt.offlineRequests(), 600'000u);
+}
+
+TEST(ParseOptions, AllFlags)
+{
+    const Options opt = parse({"--full", "--requests", "12345",
+                               "--seed", "7", "--jobs", "3",
+                               "--workloads", "xalanc,mix5"});
+    EXPECT_TRUE(opt.full);
+    EXPECT_EQ(opt.requests, 12345u);
+    EXPECT_EQ(opt.seed, 7u);
+    EXPECT_EQ(opt.jobs, 3u);
+    ASSERT_EQ(opt.workloads.size(), 2u);
+    EXPECT_EQ(opt.workloads[0], "xalanc");
+    EXPECT_EQ(opt.workloads[1], "mix5");
+    EXPECT_EQ(opt.timingRequests(), 12345u);
+    EXPECT_EQ(opt.offlineRequests(), 12345u);
+}
+
+TEST(ParseOptions, FullModeScales)
+{
+    const Options opt = parse({"--full"});
+    EXPECT_EQ(opt.timingRequests(), 8'000'000u);
+    EXPECT_EQ(opt.offlineRequests(), 4'000'000u);
+}
+
+TEST(ParseOptionsDeathTest, RejectsUnknownOption)
+{
+    EXPECT_EXIT(parse({"--frobnicate"}),
+                ::testing::ExitedWithCode(2), "unknown option");
+}
+
+TEST(ParseOptionsDeathTest, RejectsMissingValue)
+{
+    EXPECT_EXIT(parse({"--requests"}), ::testing::ExitedWithCode(2),
+                "needs a value");
+}
+
+TEST(ParseOptionsDeathTest, RejectsNonNumericRequests)
+{
+    EXPECT_EXIT(parse({"--requests", "lots"}),
+                ::testing::ExitedWithCode(2), "unsigned integer");
+}
+
+TEST(ParseOptionsDeathTest, RejectsTrailingGarbage)
+{
+    EXPECT_EXIT(parse({"--seed", "12abc"}),
+                ::testing::ExitedWithCode(2), "unsigned integer");
+}
+
+TEST(ParseOptionsDeathTest, RejectsZeroJobs)
+{
+    EXPECT_EXIT(parse({"--jobs", "0"}), ::testing::ExitedWithCode(2),
+                "--jobs must be in");
+}
+
+TEST(ParseOptionsDeathTest, RejectsAbsurdJobs)
+{
+    EXPECT_EXIT(parse({"--jobs", "4096"}),
+                ::testing::ExitedWithCode(2), "--jobs must be in");
+}
+
+TEST(ParseOptionsDeathTest, RejectsUnknownWorkload)
+{
+    EXPECT_EXIT(parse({"--workloads", "xalanc,bogus"}),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(WorkloadSelection, SweepDefaultsToRepresentativeSet)
+{
+    const Options opt = parse({});
+    EXPECT_EQ(opt.sweepWorkloads(), representativeWorkloads());
+}
+
+TEST(WorkloadSelection, SweepFullCoversSuite)
+{
+    const Options opt = parse({"--full"});
+    EXPECT_EQ(opt.sweepWorkloads().size(), allWorkloads().size());
+    EXPECT_EQ(opt.suiteWorkloads().size(), allWorkloads().size());
+}
+
+TEST(WorkloadSelection, ExplicitListWinsEverywhere)
+{
+    const Options opt = parse({"--full", "--workloads", "mcf,mix9"});
+    const std::vector<std::string> expected{"mcf", "mix9"};
+    EXPECT_EQ(opt.sweepWorkloads(), expected);
+    EXPECT_EQ(opt.suiteWorkloads(), expected);
+}
+
+TEST(WorkloadSelection, SuiteDefaultsToAll27)
+{
+    const Options opt = parse({});
+    EXPECT_EQ(opt.suiteWorkloads().size(), 27u);
+}
+
+TEST(BenchTraceCache, MakeTraceMemoizes)
+{
+    const auto a = makeTrace("xalanc", 5000, 42);
+    const auto b = makeTrace("xalanc", 5000, 42);
+    EXPECT_EQ(a.get(), b.get()); // same cached immutable trace
+    EXPECT_EQ(a->size(), 5000u);
+
+    const auto c = makeTrace("xalanc", 5000, 43);
+    EXPECT_NE(a.get(), c.get()); // seed participates in the key
+}
+
+TEST(BenchTraceCache, RunnerOptionsShareTheCache)
+{
+    const Options opt = parse({"--jobs", "2"});
+    const RunnerOptions ro = runnerOptions(opt);
+    EXPECT_EQ(ro.cache, &traceCache());
+    EXPECT_EQ(ro.jobs, 2u);
+    EXPECT_TRUE(ro.progress);
+}
+
+TEST(JobHelpers, TimingJobCarriesHarnessScale)
+{
+    const Options opt = parse({"--requests", "4000", "--seed", "9"});
+    const BatchJob job = timingJob(
+        SimConfig::paper(Mechanism::kMemPod), "xalanc", opt, "MemPod");
+    EXPECT_EQ(job.kind, JobKind::kTiming);
+    EXPECT_EQ(job.workload, "xalanc");
+    EXPECT_EQ(job.gen.totalRequests, 4000u);
+    EXPECT_EQ(job.gen.seed, 9u);
+    EXPECT_EQ(job.label, "MemPod");
+    EXPECT_EQ(job.config.mechanism, Mechanism::kMemPod);
+}
+
+TEST(JobHelpers, StudyJobUsesOfflineScale)
+{
+    const Options opt = parse({});
+    IntervalStudyConfig study;
+    study.intervalRequests = 1234;
+    const BatchJob job = studyJob(study, "mix5", opt);
+    EXPECT_EQ(job.kind, JobKind::kIntervalStudy);
+    EXPECT_EQ(job.study.intervalRequests, 1234u);
+    EXPECT_EQ(job.gen.totalRequests, opt.offlineRequests());
+}
+
+TEST(JobHelpersDeathTest, NeedIsFatalOnFailedJob)
+{
+    JobResult r;
+    r.ok = false;
+    r.error = "boom";
+    r.workload = "xalanc";
+    r.label = "MemPod";
+    EXPECT_EXIT(need(r), ::testing::ExitedWithCode(1), "boom");
+    EXPECT_EXIT(needStudy(r), ::testing::ExitedWithCode(1), "boom");
+}
+
+TEST(Mean, HandlesEmptyAndValues)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+} // namespace
+} // namespace mempod::bench

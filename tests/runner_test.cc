@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the parallel BatchRunner: bit-identical results at any
+ * worker count (the determinism guarantee the harnesses rely on),
+ * submission-order results, per-job failure capture, and the
+ * generate-once semantics of the shared TraceCache.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/runner.h"
+#include "sim/simulation.h"
+#include "trace/workloads.h"
+
+namespace mempod {
+namespace {
+
+SimConfig
+tinyConfig(Mechanism m)
+{
+    SimConfig c = SimConfig::paper(m);
+    c.geom = SystemGeometry::tiny();
+    c.mempod.interval = 20_us;
+    c.mempod.pod.meaEntries = 16;
+    c.hma.interval = 200_us;
+    c.hma.sortStall = 14_us;
+    c.hma.threshold = 4;
+    return c;
+}
+
+GeneratorConfig
+tinyGen(std::uint64_t requests = 20000)
+{
+    GeneratorConfig gc;
+    gc.totalRequests = requests;
+    gc.footprintScale = 0.015; // fit the tiny geometry's core slices
+    return gc;
+}
+
+BatchJob
+tinyJob(Mechanism m, const std::string &workload)
+{
+    BatchJob job;
+    job.config = tinyConfig(m);
+    job.workload = workload;
+    job.gen = tinyGen();
+    job.label = mechanismName(m);
+    return job;
+}
+
+std::vector<BatchJob>
+sampleJobs()
+{
+    std::vector<BatchJob> jobs;
+    for (const char *w : {"xalanc", "mix5", "mcf"})
+        for (Mechanism m : {Mechanism::kNoMigration, Mechanism::kMemPod})
+            jobs.push_back(tinyJob(m, w));
+    return jobs;
+}
+
+std::vector<JobResult>
+runWith(unsigned workers)
+{
+    BatchRunner runner({.jobs = workers});
+    for (auto &job : sampleJobs())
+        runner.add(std::move(job));
+    return runner.runAll();
+}
+
+TEST(BatchRunner, ResultsIdenticalAtAnyWorkerCount)
+{
+    const auto serial = runWith(1);
+    const auto parallel = runWith(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        // Field-for-field, bit-exact (hex-float doubles included).
+        EXPECT_EQ(serializeRunResult(serial[i].result),
+                  serializeRunResult(parallel[i].result))
+            << "job " << i << " diverges between --jobs 1 and 4";
+    }
+}
+
+TEST(BatchRunner, ResultsComeBackInSubmissionOrder)
+{
+    const auto expected = sampleJobs();
+    const auto results = runWith(4);
+    ASSERT_EQ(results.size(), expected.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].workload, expected[i].workload);
+        EXPECT_EQ(results[i].label, expected[i].label);
+        EXPECT_EQ(results[i].result.workload, expected[i].workload);
+    }
+}
+
+TEST(BatchRunner, ThrowingJobIsCapturedWithoutKillingTheBatch)
+{
+    BatchRunner runner({.jobs = 4});
+    runner.add(tinyJob(Mechanism::kNoMigration, "xalanc"));
+    runner.add(tinyJob(Mechanism::kMemPod, "no-such-workload"));
+    runner.add(tinyJob(Mechanism::kMemPod, "mix5"));
+    const auto results = runner.runAll();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("unknown workload"),
+              std::string::npos)
+        << results[1].error;
+    EXPECT_EQ(results[1].workload, "no-such-workload");
+    EXPECT_TRUE(results[2].ok) << results[2].error;
+    EXPECT_EQ(results[2].result.completed, 20000u);
+}
+
+TEST(BatchRunner, ExplicitTraceBypassesTheCache)
+{
+    auto trace = std::make_shared<const Trace>(
+        buildWorkloadTrace(findWorkload("xalanc"), tinyGen()));
+    BatchRunner runner({.jobs = 2});
+    BatchJob job = tinyJob(Mechanism::kNoMigration, "xalanc");
+    job.trace = trace;
+    runner.add(std::move(job));
+    const auto results = runner.runAll();
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(results[0].result.completed, trace->size());
+    EXPECT_EQ(runner.traceCache().size(), 0u);
+}
+
+TEST(BatchRunner, IntervalStudyJobsRunOnThePool)
+{
+    BatchRunner runner({.jobs = 2});
+    for (const char *w : {"xalanc", "mix5"}) {
+        BatchJob job;
+        job.kind = JobKind::kIntervalStudy;
+        job.study.intervalRequests = 2000;
+        job.workload = w;
+        job.gen = tinyGen(30000);
+        runner.add(std::move(job));
+    }
+    const auto results = runner.runAll();
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &r : results) {
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_GT(r.study.intervals, 0u);
+    }
+}
+
+TEST(BatchRunner, RunAllIsRepeatable)
+{
+    BatchRunner runner({.jobs = 2});
+    runner.add(tinyJob(Mechanism::kNoMigration, "xalanc"));
+    const auto first = runner.runAll();
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(runner.pending(), 0u);
+    runner.add(tinyJob(Mechanism::kMemPod, "xalanc"));
+    const auto second = runner.runAll();
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_TRUE(second[0].ok) << second[0].error;
+    EXPECT_EQ(second[0].result.mechanism,
+              runSimulation(tinyConfig(Mechanism::kMemPod),
+                            buildWorkloadTrace(findWorkload("xalanc"),
+                                               tinyGen()),
+                            "xalanc")
+                  .mechanism);
+}
+
+TEST(TraceCache, GeneratesOncePerKey)
+{
+    TraceCache cache;
+    const auto a = cache.get("xalanc", tinyGen());
+    const auto b = cache.get("xalanc", tinyGen());
+    EXPECT_EQ(a.get(), b.get()); // same immutable trace object
+    EXPECT_EQ(cache.size(), 1u);
+
+    GeneratorConfig other = tinyGen();
+    other.seed = 7;
+    const auto c = cache.get("xalanc", other);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TraceCache, UnknownWorkloadThrows)
+{
+    TraceCache cache;
+    EXPECT_THROW(cache.get("bogus", tinyGen()), std::invalid_argument);
+    // A failed generation must not poison the key for valid retries
+    // of *other* keys.
+    EXPECT_NO_THROW(cache.get("xalanc", tinyGen()));
+}
+
+TEST(TraceCache, SharedAcrossRunners)
+{
+    TraceCache cache;
+    RunnerOptions opt;
+    opt.jobs = 2;
+    opt.cache = &cache;
+    for (int round = 0; round < 2; ++round) {
+        BatchRunner runner(opt);
+        runner.add(tinyJob(Mechanism::kNoMigration, "xalanc"));
+        const auto results = runner.runAll();
+        ASSERT_TRUE(results[0].ok) << results[0].error;
+    }
+    EXPECT_EQ(cache.size(), 1u); // second round reused the trace
+}
+
+TEST(RunnerOptions, ZeroJobsFallsBackToHardwareConcurrency)
+{
+    BatchRunner runner({.jobs = 0});
+    EXPECT_GE(runner.workerCount(), 1u);
+}
+
+} // namespace
+} // namespace mempod
