@@ -96,13 +96,24 @@ parseOptions(int argc, char **argv, const char *what)
             opt.jobs = static_cast<unsigned>(n);
         } else if (arg == "--workloads") {
             opt.workloads = splitCommas(next());
+        } else if (arg == "--stats-out") {
+            opt.statsOut = next();
+            if (opt.statsOut.empty()) {
+                std::fprintf(stderr,
+                             "%s: --stats-out needs a directory\n",
+                             what);
+                std::exit(2);
+            }
+        } else if (arg == "--interval-us") {
+            opt.intervalUs = parseUint(what, "--interval-us", next());
         } else if (arg == "--list-workloads") {
             listWorkloads();
             std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "%s\noptions: --full | --requests N | --seed N |"
-                " --jobs N | --workloads a,b,c | --list-workloads\n",
+                " --jobs N | --workloads a,b,c | --stats-out DIR |"
+                " --interval-us N | --list-workloads\n",
                 what);
             std::exit(0);
         } else {
@@ -165,6 +176,7 @@ runnerOptions(const Options &opt)
     ro.jobs = opt.jobs;
     ro.progress = true;
     ro.cache = &traceCache();
+    ro.statsDir = opt.statsOut;
     return ro;
 }
 
@@ -175,6 +187,7 @@ timingJob(const SimConfig &config, const std::string &workload,
     BatchJob job;
     job.kind = JobKind::kTiming;
     job.config = config;
+    job.config.statsIntervalPs = opt.statsIntervalPs();
     job.workload = workload;
     job.gen.totalRequests = opt.timingRequests();
     job.gen.seed = opt.seed;

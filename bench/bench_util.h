@@ -11,6 +11,9 @@
  *   --list-workloads print the suite (incl. Table 3 mixes) and exit
  *   --seed N         generator seed
  *   --jobs N         worker threads (default: hardware concurrency)
+ *   --stats-out DIR  write per-job JSON (and JSONL) registry exports
+ *   --interval-us N  JSONL sampling period in simulated µs (default
+ *                    50, the migration epoch; 0 = summary JSON only)
  *
  * Results are identical at any --jobs value (same seed => same
  * numbers); only wall-clock time changes.
@@ -37,6 +40,19 @@ struct Options
     std::uint64_t seed = 42;
     unsigned jobs = 0; //!< worker threads; 0 = hardware concurrency
     std::vector<std::string> workloads; //!< empty = pick by mode
+    std::string statsOut;        //!< stats directory; empty = no export
+    std::uint64_t intervalUs = 50; //!< JSONL period (µs); 0 = off
+
+    /**
+     * Sampling period in picoseconds for timing jobs: 0 unless
+     * --stats-out was given (the sampler adds events, so it stays off
+     * when nobody consumes the records).
+     */
+    TimePs
+    statsIntervalPs() const
+    {
+        return statsOut.empty() ? 0 : intervalUs * 1'000'000;
+    }
 
     /** Trace length for timing simulations. */
     std::uint64_t

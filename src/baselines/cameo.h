@@ -49,6 +49,21 @@ class CameoManager : public MemoryManager
 
     std::uint64_t pendingWork() const override;
 
+    void
+    registerMetrics(MetricRegistry &reg) override
+    {
+        MemoryManager::registerMetrics(reg);
+        engine_.registerMetrics(reg, "cameo.engine");
+        reg.attachCounter("cameo.swaps_skipped",
+                          "swaps skipped by the queued-swap bound",
+                          &swapsSkipped_);
+        reg.addGauge("cameo.groups_allocated",
+                     "congruence groups with live location state",
+                     [this] {
+                         return static_cast<double>(groups_.size());
+                     });
+    }
+
     std::uint64_t numGroups() const { return fastLines_; }
     std::uint64_t slowPerGroup() const { return ratio_; }
 

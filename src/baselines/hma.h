@@ -62,6 +62,24 @@ class HmaManager : public MemoryManager
 
     std::uint64_t pendingWork() const override;
 
+    void
+    registerMetrics(MetricRegistry &reg) override
+    {
+        MemoryManager::registerMetrics(reg);
+        engine_.registerMetrics(reg, "hma.engine");
+        if (metaPath_)
+            metaPath_->registerMetrics(reg, "hma.meta_cache");
+        reg.addGauge("hma.placement.occupied_fast_slots",
+                     "fast slots holding a page other than their home",
+                     [this] {
+                         return static_cast<double>(
+                             placement_.occupiedFastSlots());
+                     });
+        reg.addGauge("hma.placement.occupancy",
+                     "fraction of fast slots holding a migrated page",
+                     [this] { return placement_.fastOccupancy(); });
+    }
+
     /**
      * Hook invoked with the sort *duration* each epoch; the simulation
      * wires it to TraceFrontend::suspendCores.

@@ -51,6 +51,19 @@ class ThmManager : public MemoryManager
 
     std::uint64_t pendingWork() const override;
 
+    void
+    registerMetrics(MetricRegistry &reg) override
+    {
+        MemoryManager::registerMetrics(reg);
+        engine_.registerMetrics(reg, "thm.engine");
+        if (metaPath_)
+            metaPath_->registerMetrics(reg, "thm.meta_cache");
+        reg.addGauge("thm.segments_allocated",
+                     "segments with live counter/remap state", [this] {
+                         return static_cast<double>(segs_.size());
+                     });
+    }
+
     std::uint64_t numSegments() const { return numSegments_; }
     std::uint64_t slowPerSegment() const { return ratio_; }
 

@@ -1,24 +1,42 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace mempod {
 
 namespace {
-bool g_quiet = false;
+
+/**
+ * Read/written across BatchRunner worker threads (harness main thread
+ * toggles it, workers consult it), so it must be atomic; relaxed order
+ * suffices for a quiet flag.
+ */
+std::atomic<bool> g_quiet{false};
+
+/** Serializes warn/inform stderr writes so multi-job output from
+ *  concurrent workers cannot interleave mid-line. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 } // namespace
 
 void
 setQuietLogging(bool quiet)
 {
-    g_quiet = quiet;
+    g_quiet.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quietLogging()
 {
-    return g_quiet;
+    return g_quiet.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -59,15 +77,19 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!g_quiet)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (quietLogging())
+        return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!g_quiet)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (quietLogging())
+        return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 } // namespace detail

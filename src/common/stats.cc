@@ -1,9 +1,28 @@
 #include "common/stats.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 namespace mempod {
+
+double
+ScalarStat::variance() const
+{
+    return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+ScalarStat::sampleVariance() const
+{
+    return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+ScalarStat::stddev() const
+{
+    return std::sqrt(variance());
+}
 
 void
 Log2Histogram::sample(std::uint64_t v)
@@ -24,12 +43,30 @@ Log2Histogram::percentile(double q) const
         q = 0.0;
     if (q > 1.0)
         q = 1.0;
-    const auto target = static_cast<std::uint64_t>(q * count_);
-    std::uint64_t seen = 0;
+    const double target = q * static_cast<double>(count_);
+    double seen = 0;
     for (std::size_t b = 0; b < buckets_.size(); ++b) {
-        seen += buckets_[b];
-        if (seen >= target)
-            return b == 0 ? 0 : (1ull << b) - 1; // bucket upper bound
+        if (buckets_[b] == 0)
+            continue;
+        const double in_bucket = static_cast<double>(buckets_[b]);
+        if (seen + in_bucket >= target) {
+            // Bucket 0 holds only the value 0; bucket b >= 1 covers
+            // [2^(b-1), 2^b). Interpolate linearly within that range
+            // by the rank position inside the bucket.
+            if (b == 0)
+                return 0;
+            const std::uint64_t lo = 1ull << (b - 1);
+            const std::uint64_t span = 1ull << (b - 1); // hi - lo
+            const double frac = (target - seen) / in_bucket;
+            std::uint64_t v =
+                lo + static_cast<std::uint64_t>(
+                         frac * static_cast<double>(span));
+            const std::uint64_t hi_inclusive = (1ull << b) - 1;
+            if (v > hi_inclusive)
+                v = hi_inclusive;
+            return v;
+        }
+        seen += in_bucket;
     }
     return buckets_.empty() ? 0 : (1ull << (buckets_.size() - 1));
 }

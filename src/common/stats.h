@@ -1,8 +1,8 @@
 /**
  * @file
  * Lightweight statistics accumulators used throughout the simulator:
- * scalar counters with mean/min/max, and a log2-bucketed histogram for
- * latency distributions.
+ * scalar counters with mean/min/max and Welford variance, and a
+ * log2-bucketed histogram for latency distributions.
  */
 #pragma once
 
@@ -12,7 +12,7 @@
 
 namespace mempod {
 
-/** Running scalar statistic (count / sum / min / max / mean). */
+/** Running scalar statistic (count / sum / min / max / mean / var). */
 class ScalarStat
 {
   public:
@@ -25,6 +25,10 @@ class ScalarStat
             min_ = v;
         if (v > max_ || count_ == 1)
             max_ = v;
+        // Welford's online algorithm: numerically stable second moment.
+        const double delta = v - runningMean_;
+        runningMean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (v - runningMean_);
     }
 
     void reset() { *this = ScalarStat{}; }
@@ -35,11 +39,22 @@ class ScalarStat
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
+    /** Population variance (M2 / n); 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Unbiased sample variance (M2 / (n-1)). */
+    double sampleVariance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double runningMean_ = 0.0; //!< Welford state (mean() uses sum_)
+    double m2_ = 0.0;          //!< sum of squared deviations
 };
 
 /** Histogram with power-of-two buckets: [0,1), [1,2), [2,4), ... */
@@ -50,7 +65,13 @@ class Log2Histogram
 
     std::uint64_t count() const { return count_; }
 
-    /** Value below which `q` (0..1) of samples fall (bucket-granular). */
+    /** Raw bucket counts; bucket b>=1 covers [2^(b-1), 2^b). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /**
+     * Value below which `q` (0..1) of samples fall, linearly
+     * interpolated within the winning bucket's value range.
+     */
     std::uint64_t percentile(double q) const;
 
     /** Render a compact textual summary. */

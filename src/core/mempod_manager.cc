@@ -63,6 +63,14 @@ MemPodManager::migrationStats() const
     return aggregated_;
 }
 
+void
+MemPodManager::registerMetrics(MetricRegistry &reg)
+{
+    MemoryManager::registerMetrics(reg);
+    for (const auto &pod : pods_)
+        pod->registerMetrics(reg);
+}
+
 std::uint64_t
 MemPodManager::pendingWork() const
 {

@@ -42,6 +42,9 @@ class MemPodManager : public MemoryManager
 
     std::uint64_t pendingWork() const override;
 
+    /** Aggregate migration.* plus per-Pod pod<i>.* instruments. */
+    void registerMetrics(MetricRegistry &reg) override;
+
     std::size_t numPods() const { return pods_.size(); }
     Pod &pod(std::size_t i) { return *pods_[i]; }
     const Pod &pod(std::size_t i) const { return *pods_[i]; }

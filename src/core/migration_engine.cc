@@ -14,6 +14,29 @@ MigrationEngine::MigrationEngine(EventQueue &eq, MemorySystem &mem,
 }
 
 void
+MigrationEngine::registerMetrics(MetricRegistry &reg,
+                                 const std::string &prefix) const
+{
+    reg.attachCounter(prefix + ".ops_committed",
+                      "swap operations fully committed",
+                      &stats_.opsCommitted);
+    reg.attachCounter(prefix + ".ops_dropped",
+                      "queued swaps dropped before starting",
+                      &stats_.opsDropped);
+    reg.attachCounter(prefix + ".lines_moved",
+                      "line transfers issued for migrations",
+                      &stats_.linesMoved);
+    reg.attachCounter(prefix + ".bytes_moved",
+                      "migration bytes moved by this engine",
+                      &stats_.bytesMoved);
+    reg.addGauge(prefix + ".queued_ops",
+                 "swaps waiting for an engine slot",
+                 [this] { return static_cast<double>(queue_.size()); });
+    reg.addGauge(prefix + ".active_ops", "swaps currently moving data",
+                 [this] { return static_cast<double>(active_); });
+}
+
+void
 MigrationEngine::submit(SwapOp op)
 {
     MEMPOD_ASSERT(op.lines > 0, "empty swap");

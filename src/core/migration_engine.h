@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "common/event_queue.h"
+#include "common/metrics.h"
 #include "common/types.h"
 #include "mem/memory_system.h"
 
@@ -63,6 +64,10 @@ class MigrationEngine
     bool busy() const { return active_ > 0 || !queue_.empty(); }
 
     const Stats &stats() const { return stats_; }
+
+    /** Register op/traffic counters and queue gauges under `prefix`. */
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const;
 
   private:
     void tryStart();

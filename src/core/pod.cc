@@ -221,4 +221,55 @@ Pod::pendingWork() const
            (metaPath_ ? metaPath_->outstandingFills() : 0);
 }
 
+void
+Pod::registerMetrics(MetricRegistry &reg) const
+{
+    const std::string p = "pod" + std::to_string(id_);
+    reg.attachCounter(p + ".migration.migrations",
+                      "page swaps committed by this Pod",
+                      &stats_.migrations);
+    reg.attachCounter(p + ".migration.bytes_moved",
+                      "migration bytes moved by this Pod",
+                      &stats_.bytesMoved);
+    reg.attachCounter(p + ".migration.blocked_requests",
+                      "demands delayed by an in-progress swap",
+                      &stats_.blockedRequests);
+    reg.attachCounter(p + ".migration.intervals",
+                      "interval-trigger firings seen by this Pod",
+                      &stats_.intervals);
+    reg.attachCounter(p + ".migration.candidates_skipped",
+                      "hot candidates already resident in fast",
+                      &stats_.candidatesSkipped);
+    reg.addGauge(p + ".blocked_demands",
+                 "demand requests currently held by a swap lock",
+                 [this] { return static_cast<double>(blockedCount_); });
+
+    reg.addCounterFn(p + ".mea.sweeps",
+                     "MEA decrement-all sweeps (operation (c))",
+                     [this] { return mea_.sweeps(); });
+    reg.addCounterFn(p + ".mea.evictions",
+                     "MEA entries evicted at count zero",
+                     [this] { return mea_.evictions(); });
+    reg.addCounterFn(p + ".mea.resets",
+                     "MEA tracker clears at interval boundaries",
+                     [this] { return mea_.resets(); });
+    reg.addGauge(p + ".mea.tracked_entries",
+                 "pages currently tracked by the MEA map",
+                 [this] { return static_cast<double>(mea_.size()); });
+
+    reg.addGauge(p + ".remap.occupied_fast_slots",
+                 "fast slots holding a page other than their home",
+                 [this] {
+                     return static_cast<double>(
+                         remap_.occupiedFastSlots());
+                 });
+    reg.addGauge(p + ".remap.occupancy",
+                 "fraction of fast slots holding a migrated page",
+                 [this] { return remap_.fastOccupancy(); });
+
+    engine_.registerMetrics(reg, p + ".engine");
+    if (metaPath_)
+        metaPath_->registerMetrics(reg, p + ".meta_cache");
+}
+
 } // namespace mempod

@@ -75,6 +75,9 @@ class Pod
     /** Blocked demands + queued/active migration work. */
     std::uint64_t pendingWork() const;
 
+    /** Register this Pod's instruments under "pod<id>.*". */
+    void registerMetrics(MetricRegistry &reg) const;
+
     /** Modeled hardware cost of this Pod's structures, in bits. */
     std::uint64_t trackingStorageBits() const
     {

@@ -42,10 +42,22 @@ RemapTable::swap(std::uint64_t orig_a, std::uint64_t orig_b)
                   "swap out of range");
     const std::uint32_t loc_a = location_[orig_a];
     const std::uint32_t loc_b = location_[orig_b];
+    // Incremental occupancy bookkeeping: count displaced fast slots
+    // before and after so occupiedFastSlots() stays O(1).
+    auto displaced_fast = [this](std::uint64_t slot) {
+        return slot < fastSlots_ && resident_[slot] != slot;
+    };
+    const std::uint64_t before = (displaced_fast(loc_a) ? 1u : 0u) +
+                                 (displaced_fast(loc_b) ? 1u : 0u);
     location_[orig_a] = loc_b;
     location_[orig_b] = loc_a;
     resident_[loc_a] = static_cast<std::uint32_t>(orig_b);
     resident_[loc_b] = static_cast<std::uint32_t>(orig_a);
+    const std::uint64_t after = (displaced_fast(loc_a) ? 1u : 0u) +
+                                (displaced_fast(loc_b) ? 1u : 0u);
+    occupiedFast_ += after;
+    MEMPOD_ASSERT(occupiedFast_ >= before, "occupancy underflow");
+    occupiedFast_ -= before;
 }
 
 bool

@@ -48,6 +48,18 @@ class RemapTable
     /** True when no page has migrated. */
     bool isIdentity() const;
 
+    /** Fast slots currently holding a page other than their home. */
+    std::uint64_t occupiedFastSlots() const { return occupiedFast_; }
+
+    /** occupiedFastSlots() / fastSlots(), the remap-table occupancy. */
+    double
+    fastOccupancy() const
+    {
+        return fastSlots_ ? static_cast<double>(occupiedFast_) /
+                                static_cast<double>(fastSlots_)
+                          : 0.0;
+    }
+
     /** Modeled hardware cost: one location entry per page. */
     std::uint64_t storageBitsRemap() const;
 
@@ -59,6 +71,7 @@ class RemapTable
 
   private:
     std::uint64_t fastSlots_;
+    std::uint64_t occupiedFast_ = 0; //!< fast slots holding a guest page
     std::vector<std::uint32_t> location_; //!< orig -> slot
     std::vector<std::uint32_t> resident_; //!< slot -> orig
 };

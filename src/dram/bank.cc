@@ -12,6 +12,7 @@ Bank::activate(TimePs now, std::int64_t row, const DramTiming &t)
     MEMPOD_ASSERT(!isOpen(), "ACT to open bank");
     MEMPOD_ASSERT(now >= actAllowedAt_, "ACT issued too early");
     openRow_ = row;
+    ++stats_.activates;
     casAllowedAt_ = std::max(casAllowedAt_, now + t.ps(t.tRCD));
     preAllowedAt_ = std::max(preAllowedAt_, now + t.ps(t.tRAS));
     actAllowedAt_ = std::max(actAllowedAt_, now + t.ps(t.tRC()));
@@ -31,6 +32,7 @@ Bank::read(TimePs now, const DramTiming &t)
 {
     MEMPOD_ASSERT(isOpen(), "read CAS to closed bank");
     MEMPOD_ASSERT(now >= casAllowedAt_, "read CAS issued too early");
+    ++stats_.reads;
     const TimePs data_end = now + t.ps(t.tCL + t.tBL);
     preAllowedAt_ = std::max(preAllowedAt_, now + t.ps(t.tRTP));
     casAllowedAt_ = std::max(casAllowedAt_, now + t.ps(t.tCCD));
@@ -42,6 +44,7 @@ Bank::write(TimePs now, const DramTiming &t)
 {
     MEMPOD_ASSERT(isOpen(), "write CAS to closed bank");
     MEMPOD_ASSERT(now >= casAllowedAt_, "write CAS issued too early");
+    ++stats_.writes;
     const TimePs data_end = now + t.ps(t.tCWL + t.tBL);
     preAllowedAt_ = std::max(preAllowedAt_, data_end + t.ps(t.tWR));
     casAllowedAt_ = std::max(casAllowedAt_, now + t.ps(t.tCCD));

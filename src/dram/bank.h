@@ -20,9 +20,19 @@ class Bank
   public:
     static constexpr std::int64_t kNoRow = -1;
 
+    /** Per-bank command counters (metrics registration). */
+    struct Stats
+    {
+        std::uint64_t activates = 0;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+    };
+
     /** Row currently latched in the row buffer, or kNoRow. */
     std::int64_t openRow() const { return openRow_; }
     bool isOpen() const { return openRow_ != kNoRow; }
+
+    const Stats &stats() const { return stats_; }
 
     TimePs actAllowedAt() const { return actAllowedAt_; }
     TimePs casAllowedAt() const { return casAllowedAt_; }
@@ -48,6 +58,7 @@ class Bank
     TimePs actAllowedAt_ = 0;
     TimePs casAllowedAt_ = 0;
     TimePs preAllowedAt_ = 0;
+    Stats stats_;
 };
 
 /** Cross-bank activation bookkeeping for one rank. */

@@ -263,6 +263,7 @@ Channel::issueCas(std::vector<Entry> &q, std::size_t idx,
         nextWrCasAt_ = std::max(nextWrCasAt_, now + t.ps(rd_to_wr));
     }
     busFreeAt_ = std::max(busFreeAt_, data_end);
+    stats_.busBusyPs += t.ps(t.tBL);
 
     if (e.causedAct)
         ++stats_.rowMisses;
@@ -338,6 +339,61 @@ Channel::rowHitRate() const
 {
     const std::uint64_t total = stats_.rowHits + stats_.rowMisses;
     return total ? static_cast<double>(stats_.rowHits) / total : 0.0;
+}
+
+double
+Channel::busUtilization() const
+{
+    const TimePs now = eq_.now();
+    return now ? static_cast<double>(stats_.busBusyPs) / now : 0.0;
+}
+
+void
+Channel::registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.attachCounter(prefix + ".reads", "read CAS commands issued",
+                      &stats_.reads);
+    reg.attachCounter(prefix + ".writes", "write CAS commands issued",
+                      &stats_.writes);
+    reg.attachCounter(prefix + ".row_hits",
+                      "CAS commands that required no ACT",
+                      &stats_.rowHits);
+    reg.attachCounter(prefix + ".row_misses",
+                      "CAS commands preceded by their own ACT",
+                      &stats_.rowMisses);
+    reg.attachCounter(prefix + ".activates", "ACT commands issued",
+                      &stats_.activates);
+    reg.attachCounter(prefix + ".precharges", "PRE commands issued",
+                      &stats_.precharges);
+    reg.attachCounter(prefix + ".refreshes", "refresh cycles performed",
+                      &stats_.refreshes);
+    reg.attachCounter(prefix + ".bus_busy_ps",
+                      "picoseconds the data bus carried a burst",
+                      &stats_.busBusyPs);
+    reg.addGauge(prefix + ".queue_depth",
+                 "requests queued at the controller right now",
+                 [this] { return static_cast<double>(queued()); });
+    reg.addGauge(prefix + ".max_queue_depth",
+                 "high-water mark of the controller queues", [this] {
+                     return static_cast<double>(stats_.maxQueueDepth);
+                 });
+    reg.addGauge(prefix + ".row_hit_rate",
+                 "fraction of CAS commands hitting the open row",
+                 [this] { return rowHitRate(); });
+    reg.addGauge(prefix + ".bus_utilization",
+                 "fraction of simulated time the data bus was busy",
+                 [this] { return busUtilization(); });
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        const std::string bp = prefix + ".bank" + std::to_string(b);
+        const Bank::Stats &bs = banks_[b].stats();
+        reg.attachCounter(bp + ".activates", "per-bank ACT commands",
+                          &bs.activates);
+        reg.attachCounter(bp + ".reads", "per-bank read CAS commands",
+                          &bs.reads);
+        reg.attachCounter(bp + ".writes", "per-bank write CAS commands",
+                          &bs.writes);
+    }
 }
 
 } // namespace mempod

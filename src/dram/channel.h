@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/metrics.h"
 #include "common/types.h"
 #include "dram/bank.h"
 #include "dram/spec.h"
@@ -61,6 +62,7 @@ class Channel
         std::uint64_t precharges = 0;
         std::uint64_t refreshes = 0;
         std::uint64_t maxQueueDepth = 0;
+        std::uint64_t busBusyPs = 0; //!< data-bus burst occupancy
     };
 
     /**
@@ -92,6 +94,17 @@ class Channel
 
     /** Fraction of CAS commands that were row-buffer hits. */
     double rowHitRate() const;
+
+    /** Fraction of simulated time the data bus carried a burst. */
+    double busUtilization() const;
+
+    /**
+     * Register this channel's instruments (and its banks') under
+     * `prefix` ("mem.fast0" -> "mem.fast0.reads",
+     * "mem.fast0.bank3.activates", ...).
+     */
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const;
 
   private:
     struct Entry

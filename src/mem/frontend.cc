@@ -57,6 +57,65 @@ TraceFrontend::ammatPs() const
     return totalStallPs_ / static_cast<double>(trace_->size());
 }
 
+void
+TraceFrontend::registerMetrics(MetricRegistry &reg,
+                               std::uint32_t num_cores) const
+{
+    reg.addCounterFn("frontend.issued",
+                     "trace records admitted into the memory system",
+                     [this] { return nextIdx_; });
+    reg.attachCounter("frontend.completed",
+                      "demand requests completed", &completed_);
+    reg.addGauge("frontend.outstanding",
+                 "demand requests in flight (MSHR occupancy)",
+                 [this] { return static_cast<double>(outstanding_); });
+    reg.addGauge("frontend.total_stall_ps",
+                 "summed memory stall time over completed demands",
+                 [this] { return totalStallPs_; });
+    reg.addGauge("frontend.ammat_ps",
+                 "average main-memory access time (total stall / "
+                 "trace length)",
+                 [this] { return ammatPs(); });
+    reg.addGauge("frontend.cores_seen",
+                 "cores that issued at least one request",
+                 [this] { return static_cast<double>(perCore_.size()); });
+    reg.attachHistogram("frontend.latency_ns",
+                        "per-request latency distribution (ns)",
+                        &latencyNs_);
+    // Per-core series: the perCore_ vector grows on first touch, so
+    // read through bounds-checked closures rather than raw pointers.
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        const std::string cp = "core" + std::to_string(c);
+        reg.addCounterFn(cp + ".issued", "requests issued by this core",
+                         [this, c] {
+                             return c < perCore_.size()
+                                        ? perCore_[c].requests
+                                        : 0;
+                         });
+        reg.addCounterFn(cp + ".completed",
+                         "requests completed for this core", [this, c] {
+                             return c < perCore_.size()
+                                        ? perCore_[c].completed
+                                        : 0;
+                         });
+        reg.addGauge(cp + ".stall_ps",
+                     "summed memory stall time for this core",
+                     [this, c] {
+                         return c < perCore_.size()
+                                    ? perCore_[c].stallPs
+                                    : 0.0;
+                     });
+        reg.addGauge(cp + ".ammat_ps",
+                     "per-core AMMAT (stall / requests)", [this, c] {
+                         if (c >= perCore_.size() ||
+                             perCore_[c].requests == 0)
+                             return 0.0;
+                         return perCore_[c].stallPs /
+                                perCore_[c].requests;
+                     });
+    }
+}
+
 std::vector<double>
 TraceFrontend::perCoreAmmatPs() const
 {
@@ -111,6 +170,7 @@ TraceFrontend::pump()
                 totalStallPs_ += static_cast<double>(fin - arrival);
                 perCore_[core].stallPs +=
                     static_cast<double>(fin - arrival);
+                ++perCore_[core].completed;
                 latencyNs_.sample((fin - arrival) / 1000);
                 ++completed_;
                 MEMPOD_ASSERT(outstanding_ > 0, "completion underflow");

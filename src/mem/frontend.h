@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "common/event_queue.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "mem/address_map.h"
 #include "mem/manager.h"
@@ -72,6 +73,17 @@ class TraceFrontend
     /** Per-core AMMAT in picoseconds (index = core id). */
     std::vector<double> perCoreAmmatPs() const;
 
+    /** Cores that issued at least one request so far. */
+    std::size_t coresSeen() const { return perCore_.size(); }
+
+    /**
+     * Register frontend instruments under "frontend.*" and per-core
+     * issued/completed/stall/AMMAT under "core<i>.*" for cores
+     * [0, num_cores).
+     */
+    void registerMetrics(MetricRegistry &reg,
+                         std::uint32_t num_cores) const;
+
   private:
     void pump();
     void schedulePump(TimePs when);
@@ -96,6 +108,7 @@ class TraceFrontend
     {
         double stallPs = 0.0;
         std::uint64_t requests = 0;
+        std::uint64_t completed = 0;
     };
     std::vector<PerCore> perCore_;
 };

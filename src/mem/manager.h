@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/types.h"
 
 namespace mempod {
@@ -65,6 +66,46 @@ class MemoryManager
      * drains until both are zero.
      */
     virtual std::uint64_t pendingWork() const { return 0; }
+
+    /**
+     * Register this mechanism's instruments. The base implementation
+     * registers the aggregate MigrationStats under "migration.*"
+     * (reading through migrationStats(), so mechanisms that aggregate
+     * on demand stay consistent); overrides should call it and then
+     * add their mechanism-specific instruments.
+     */
+    virtual void
+    registerMetrics(MetricRegistry &reg)
+    {
+        reg.addCounterFn("migration.migrations",
+                         "committed swaps (pages or lines)",
+                         [this] { return migrationStats().migrations; });
+        reg.addCounterFn("migration.bytes_moved",
+                         "total migration traffic in bytes",
+                         [this] { return migrationStats().bytesMoved; });
+        reg.addCounterFn(
+            "migration.blocked_requests",
+            "demand requests delayed by an in-progress migration",
+            [this] { return migrationStats().blockedRequests; });
+        reg.addCounterFn("migration.intervals",
+                         "interval-trigger firings",
+                         [this] { return migrationStats().intervals; });
+        reg.addCounterFn(
+            "migration.candidates_skipped",
+            "hot candidates already resident in fast memory",
+            [this] { return migrationStats().candidatesSkipped; });
+        reg.addCounterFn(
+            "migration.wasted",
+            "migrated pages evicted before ever being re-used",
+            [this] { return migrationStats().wastedMigrations; });
+        reg.addCounterFn("migration.meta_cache_hits",
+                         "bookkeeping-cache hits on the demand path",
+                         [this] { return migrationStats().metaCacheHits; });
+        reg.addCounterFn(
+            "migration.meta_cache_misses",
+            "bookkeeping-cache misses on the demand path",
+            [this] { return migrationStats().metaCacheMisses; });
+    }
 
   protected:
     MigrationStats mstats_;

@@ -112,4 +112,83 @@ MemorySystem::rowHitRate() const
     return total ? static_cast<double>(hits) / total : 0.0;
 }
 
+std::uint64_t
+MemorySystem::rowHits(MemTier tier) const
+{
+    const std::uint32_t begin =
+        tier == MemTier::kFast ? 0 : geom().fastChannels;
+    const std::uint32_t end =
+        tier == MemTier::kFast
+            ? geom().fastChannels
+            : geom().fastChannels + geom().slowChannels;
+    std::uint64_t hits = 0;
+    for (std::uint32_t c = begin; c < end; ++c)
+        hits += channels_[c]->stats().rowHits;
+    return hits;
+}
+
+std::uint64_t
+MemorySystem::rowMisses(MemTier tier) const
+{
+    const std::uint32_t begin =
+        tier == MemTier::kFast ? 0 : geom().fastChannels;
+    const std::uint32_t end =
+        tier == MemTier::kFast
+            ? geom().fastChannels
+            : geom().fastChannels + geom().slowChannels;
+    std::uint64_t misses = 0;
+    for (std::uint32_t c = begin; c < end; ++c)
+        misses += channels_[c]->stats().rowMisses;
+    return misses;
+}
+
+void
+MemorySystem::registerMetrics(MetricRegistry &reg) const
+{
+    reg.attachCounter("mem.demand_fast",
+                      "demand lines served by the fast tier",
+                      &stats_.demandFast);
+    reg.attachCounter("mem.demand_slow",
+                      "demand lines served by the slow tier",
+                      &stats_.demandSlow);
+    reg.attachCounter("mem.migration_fast",
+                      "migration lines on fast-tier channels",
+                      &stats_.migrationFast);
+    reg.attachCounter("mem.migration_slow",
+                      "migration lines on slow-tier channels",
+                      &stats_.migrationSlow);
+    reg.attachCounter("mem.bookkeeping_fast",
+                      "bookkeeping lines on fast-tier channels",
+                      &stats_.bookkeepingFast);
+    reg.attachCounter("mem.bookkeeping_slow",
+                      "bookkeeping lines on slow-tier channels",
+                      &stats_.bookkeepingSlow);
+    reg.addCounterFn("mem.fast.row_hits",
+                     "CAS row hits summed over fast channels",
+                     [this] { return rowHits(MemTier::kFast); });
+    reg.addCounterFn("mem.fast.row_misses",
+                     "CAS row misses summed over fast channels",
+                     [this] { return rowMisses(MemTier::kFast); });
+    reg.addCounterFn("mem.slow.row_hits",
+                     "CAS row hits summed over slow channels",
+                     [this] { return rowHits(MemTier::kSlow); });
+    reg.addCounterFn("mem.slow.row_misses",
+                     "CAS row misses summed over slow channels",
+                     [this] { return rowMisses(MemTier::kSlow); });
+    reg.addGauge("mem.row_hit_rate",
+                 "aggregate row-buffer hit rate, all channels",
+                 [this] { return rowHitRate(); });
+    reg.addGauge("mem.fast.row_hit_rate",
+                 "row-buffer hit rate over fast channels",
+                 [this] { return rowHitRate(MemTier::kFast); });
+    reg.addGauge("mem.slow.row_hit_rate",
+                 "row-buffer hit rate over slow channels",
+                 [this] { return rowHitRate(MemTier::kSlow); });
+    reg.addGauge("mem.in_flight",
+                 "line transfers dispatched but not completed",
+                 [this] { return static_cast<double>(inFlight_); });
+    for (const auto &ch : channels_)
+        ch->registerMetrics(reg, "mem." + ch->name());
+}
+
 } // namespace mempod

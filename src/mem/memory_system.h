@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/metrics.h"
 #include "dram/channel.h"
 #include "mem/address_map.h"
 #include "mem/request.h"
@@ -70,6 +71,16 @@ class MemorySystem
 
     /** Aggregate row-buffer hit rate over all channels. */
     double rowHitRate() const;
+
+    /** Aggregate CAS row hits / misses over one tier's channels. */
+    std::uint64_t rowHits(MemTier tier) const;
+    std::uint64_t rowMisses(MemTier tier) const;
+
+    /**
+     * Register tier aggregates under "mem.*" plus every channel (and
+     * bank) under "mem.<channel-name>.*".
+     */
+    void registerMetrics(MetricRegistry &reg) const;
 
   private:
     EventQueue &eq_;

@@ -51,6 +51,14 @@ struct SimConfig
     std::uint8_t numCores = 8;
     ControllerPolicy controller; //!< page policy + scheduler
 
+    /**
+     * Metric-sampling period for the interval time-series (JSONL
+     * export); 0 disables the sampler entirely, leaving the event
+     * stream untouched (golden runs depend on the executed-event
+     * count).
+     */
+    TimePs statsIntervalPs = 0;
+
     /** Paper Table 2: 1 GB HBM-1GHz + 8 GB DDR4-1600, 4 Pods. */
     static SimConfig paper(Mechanism m);
 

@@ -29,6 +29,7 @@ MetadataPath::access(std::uint64_t entry_idx, std::function<void()> ready)
     if (!first)
         return; // piggyback on the outstanding fill
 
+    ++fills_;
     Request fill;
     fill.addr = blockAddr_(block);
     fill.type = AccessType::kRead;
@@ -41,6 +42,31 @@ MetadataPath::access(std::uint64_t entry_idx, std::function<void()> ready)
             cont();
     };
     mem_.access(std::move(fill));
+}
+
+void
+MetadataPath::registerMetrics(MetricRegistry &reg,
+                              const std::string &prefix) const
+{
+    reg.addCounterFn(prefix + ".hits", "metadata-cache hits",
+                     [this] { return cache_.hits(); });
+    reg.addCounterFn(prefix + ".misses", "metadata-cache misses",
+                     [this] { return cache_.misses(); });
+    reg.attachCounter(prefix + ".fills",
+                      "backing-store reads injected for misses",
+                      &fills_);
+    reg.addGauge(prefix + ".outstanding_fills",
+                 "metadata fills currently in flight", [this] {
+                     return static_cast<double>(pending_.size());
+                 });
+    reg.addGauge(prefix + ".hit_rate",
+                 "metadata-cache hit rate so far", [this] {
+                     const std::uint64_t total =
+                         cache_.hits() + cache_.misses();
+                     return total ? static_cast<double>(cache_.hits()) /
+                                        static_cast<double>(total)
+                                  : 0.0;
+                 });
 }
 
 } // namespace mempod

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/metrics.h"
 #include "mem/memory_system.h"
 #include "sim/metadata_cache.h"
 
@@ -39,14 +40,20 @@ class MetadataPath
 
     std::uint64_t hits() const { return cache_.hits(); }
     std::uint64_t misses() const { return cache_.misses(); }
+    std::uint64_t fills() const { return fills_; }
     std::uint64_t outstandingFills() const { return pending_.size(); }
     const MetadataCache &cache() const { return cache_; }
+
+    /** Register hit/miss/fill counters and gauges under `prefix`. */
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const;
 
   private:
     EventQueue &eq_;
     MemorySystem &mem_;
     MetadataCache cache_;
     BlockAddrFn blockAddr_;
+    std::uint64_t fills_ = 0; //!< injected backing-store reads
     std::unordered_map<std::uint64_t, std::vector<std::function<void()>>>
         pending_;
 };

@@ -53,13 +53,30 @@ TablePrinter::print() const
         printRow(row);
 }
 
+std::string
+TablePrinter::csvEscape(const std::string &cell)
+{
+    // RFC 4180: fields containing separators, quotes or line breaks
+    // are quoted, with embedded quotes doubled.
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 void
 TablePrinter::printCsv() const
 {
     auto printRow = [](const std::vector<std::string> &row) {
         std::printf("CSV");
         for (const auto &cell : row)
-            std::printf(",%s", cell.c_str());
+            std::printf(",%s", csvEscape(cell).c_str());
         std::printf("\n");
     };
     printRow(headers_);

@@ -60,6 +60,9 @@ class TablePrinter
     /** Format a double with `prec` decimals. */
     static std::string num(double v, int prec = 3);
 
+    /** RFC-4180 CSV field escaping (quotes cells that need it). */
+    static std::string csvEscape(const std::string &cell);
+
     /** Print the aligned table to stdout. */
     void print() const;
 

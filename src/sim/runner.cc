@@ -4,10 +4,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <filesystem>
 #include <stdexcept>
 #include <thread>
 
 #include "sim/simulation.h"
+#include "sim/stats_writer.h"
 #include "trace/workloads.h"
 
 namespace mempod {
@@ -82,7 +84,7 @@ BatchRunner::traceCache()
 }
 
 JobResult
-BatchRunner::execute(const BatchJob &job)
+BatchRunner::execute(const BatchJob &job, std::size_t index)
 {
     JobResult out;
     out.workload = job.workload;
@@ -93,9 +95,26 @@ BatchRunner::execute(const BatchJob &job)
         if (!trace)
             trace = traceCache().get(job.workload, job.gen);
         switch (job.kind) {
-          case JobKind::kTiming:
-            out.result = runSimulation(job.config, *trace, job.workload);
+          case JobKind::kTiming: {
+            Simulation sim(job.config);
+            out.result = sim.run(*trace, job.workload);
+            if (!opt_.statsDir.empty()) {
+                const std::string stem = StatsWriter::jobFileStem(
+                    index, job.label, job.workload);
+                const std::string base = opt_.statsDir + "/" + stem;
+                StatsWriter::writeFile(
+                    base + ".json",
+                    StatsWriter::toJson(sim.registry(),
+                                        sim.finalSnapshot(),
+                                        out.result));
+                if (sim.sampler())
+                    StatsWriter::writeFile(
+                        base + ".jsonl",
+                        StatsWriter::toJsonl(
+                            sim.sampler()->records()));
+            }
             break;
+          }
           case JobKind::kIntervalStudy:
             out.study =
                 runIntervalStudy(pageStreamFromTrace(*trace), job.study);
@@ -123,6 +142,16 @@ BatchRunner::runAll()
     if (jobs.empty())
         return results;
 
+    // Create the stats directory once, from the main thread, before
+    // any worker races to write into it.
+    if (!opt_.statsDir.empty())
+        std::filesystem::create_directories(opt_.statsDir);
+
+    // Stats files are numbered by overall submission order so repeated
+    // runAll() batches on one runner never overwrite each other.
+    const std::size_t index_base = statsIndexBase_;
+    statsIndexBase_ += jobs.size();
+
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(workerCount(), jobs.size()));
 
@@ -136,7 +165,7 @@ BatchRunner::runAll()
             const std::size_t i = next.fetch_add(1);
             if (i >= jobs.size())
                 return;
-            JobResult r = execute(jobs[i]);
+            JobResult r = execute(jobs[i], index_base + i);
             {
                 std::lock_guard<std::mutex> lock(mu);
                 results[i] = std::move(r);

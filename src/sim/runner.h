@@ -125,6 +125,15 @@ struct RunnerOptions
 
     /** Share a cache across runners; nullptr = runner-private cache. */
     TraceCache *cache = nullptr;
+
+    /**
+     * When non-empty, every timing job writes its registry export to
+     * "<statsDir>/job<NNN>[_<label>]_<workload>.json" (plus ".jsonl"
+     * when the job's config armed the interval sampler). NNN is the
+     * submission index, so the file set and its bytes are identical at
+     * any worker count.
+     */
+    std::string statsDir;
 };
 
 /**
@@ -159,11 +168,12 @@ class BatchRunner
     std::vector<JobResult> runAll();
 
   private:
-    JobResult execute(const BatchJob &job);
+    JobResult execute(const BatchJob &job, std::size_t index);
 
     RunnerOptions opt_;
     TraceCache own_cache_;
     std::vector<BatchJob> jobs_;
+    std::size_t statsIndexBase_ = 0; //!< jobs run by prior runAll()s
 };
 
 /**

@@ -46,6 +46,23 @@ Simulation::Simulation(const SimConfig &config) : config_(config)
             frontend_->suspendCores(duration);
         });
     }
+
+    registerAllMetrics();
+}
+
+void
+Simulation::registerAllMetrics()
+{
+    registry_.addCounterFn("sim.events_executed",
+                           "events executed by the queue",
+                           [this] { return eq_.executed(); });
+    mem_->registerMetrics(registry_);
+    manager_->registerMetrics(registry_);
+    frontend_->registerMetrics(registry_, config_.numCores);
+    if (config_.statsIntervalPs > 0) {
+        sampler_ = std::make_unique<IntervalSampler>(
+            eq_, registry_, config_.statsIntervalPs);
+    }
 }
 
 Simulation::~Simulation() = default;
@@ -56,6 +73,8 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
     frontend_->setTrace(trace);
     manager_->start();
     frontend_->start();
+    if (sampler_)
+        sampler_->start();
 
     auto drained = [&] {
         return frontend_->done() && mem_->inFlight() == 0 &&
@@ -90,27 +109,59 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
         }
     }
 
+    if (sampler_)
+        sampler_->finalize(eq_.now());
+    finalSnapshot_ = registry_.snapshot(eq_.now());
+
+    // The RunResult is *derived from the snapshot* so the registry
+    // export and the printed tables can never disagree. Every gauge
+    // below reads the exact function the old direct path called, so
+    // the derivation is bit-identical.
+    const MetricSnapshot &s = finalSnapshot_;
     RunResult r;
     r.workload = workload_name;
     r.mechanism = manager_->name();
-    r.ammatNs = frontend_->ammatPs() / 1000.0;
+    r.ammatNs = s.real("frontend.ammat_ps") / 1000.0;
     r.demandRequests = trace.size();
-    r.completed = frontend_->completed();
-    const auto &ms = mem_->stats();
-    const std::uint64_t demand_total = ms.demandFast + ms.demandSlow;
+    r.completed = s.u64("frontend.completed");
+    const std::uint64_t demand_fast = s.u64("mem.demand_fast");
+    const std::uint64_t demand_total =
+        demand_fast + s.u64("mem.demand_slow");
     r.fastServiceFraction =
         demand_total
-            ? static_cast<double>(ms.demandFast) / demand_total
+            ? static_cast<double>(demand_fast) / demand_total
             : 0.0;
-    r.rowHitRate = mem_->rowHitRate();
-    r.rowHitRateFast = mem_->rowHitRate(MemTier::kFast);
-    r.simulatedPs = eq_.now();
-    r.eventsExecuted = eq_.executed();
-    r.migration = manager_->migrationStats();
-    r.memStats = mem_->stats();
+    r.rowHitRate = s.real("mem.row_hit_rate");
+    r.rowHitRateFast = s.real("mem.fast.row_hit_rate");
+    r.simulatedPs = s.simTimePs;
+    r.eventsExecuted = s.u64("sim.events_executed");
+    r.migration.migrations = s.u64("migration.migrations");
+    r.migration.bytesMoved = s.u64("migration.bytes_moved");
+    r.migration.blockedRequests = s.u64("migration.blocked_requests");
+    r.migration.intervals = s.u64("migration.intervals");
+    r.migration.candidatesSkipped = s.u64("migration.candidates_skipped");
+    r.migration.wastedMigrations = s.u64("migration.wasted");
+    r.migration.metaCacheHits = s.u64("migration.meta_cache_hits");
+    r.migration.metaCacheMisses = s.u64("migration.meta_cache_misses");
+    r.memStats.demandFast = demand_fast;
+    r.memStats.demandSlow = s.u64("mem.demand_slow");
+    r.memStats.migrationFast = s.u64("mem.migration_fast");
+    r.memStats.migrationSlow = s.u64("mem.migration_slow");
+    r.memStats.bookkeepingFast = s.u64("mem.bookkeeping_fast");
+    r.memStats.bookkeepingSlow = s.u64("mem.bookkeeping_slow");
     r.podLocalMigrations = config_.mechanism == Mechanism::kMemPod;
-    for (double ps : frontend_->perCoreAmmatPs())
-        r.perCoreAmmatNs.push_back(ps / 1000.0);
+    // Per-core metrics are registered for [0, numCores); a trace with
+    // out-of-range core ids still gets its AMMAT from the frontend.
+    const std::size_t cores_seen = frontend_->coresSeen();
+    for (std::size_t c = 0; c < cores_seen; ++c) {
+        const std::string g = "core" + std::to_string(c) + ".ammat_ps";
+        if (s.has(g)) {
+            r.perCoreAmmatNs.push_back(s.real(g) / 1000.0);
+        } else {
+            r.perCoreAmmatNs.push_back(frontend_->perCoreAmmatPs()[c] /
+                                       1000.0);
+        }
+    }
     return r;
 }
 

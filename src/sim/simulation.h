@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/event_queue.h"
+#include "common/metrics.h"
 #include "mem/frontend.h"
 #include "mem/manager.h"
 #include "mem/memory_system.h"
@@ -40,13 +41,27 @@ class Simulation
     TraceFrontend &frontend() { return *frontend_; }
     const SimConfig &config() const { return config_; }
 
+    /** Every instrument registered by this simulation's components. */
+    const MetricRegistry &registry() const { return registry_; }
+
+    /** Snapshot taken after the last run() drained; empty before. */
+    const MetricSnapshot &finalSnapshot() const { return finalSnapshot_; }
+
+    /** Interval sampler, or nullptr when statsIntervalPs == 0. */
+    const IntervalSampler *sampler() const { return sampler_.get(); }
+
   private:
+    void registerAllMetrics();
+
     SimConfig config_;
     EventQueue eq_;
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<LogicalToPhysical> placement_;
     std::unique_ptr<MemoryManager> manager_;
     std::unique_ptr<TraceFrontend> frontend_;
+    MetricRegistry registry_;
+    std::unique_ptr<IntervalSampler> sampler_;
+    MetricSnapshot finalSnapshot_;
 };
 
 /** Convenience: build + run in one call. */

@@ -1,0 +1,316 @@
+#include "sim/stats_writer.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mempod {
+
+namespace {
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+}
+
+void
+appendKeyString(std::string &out, const char *key, const std::string &v)
+{
+    out += '"';
+    out += key;
+    out += "\":\"";
+    out += StatsWriter::jsonEscape(v);
+    out += '"';
+}
+
+void
+appendKeyU64(std::string &out, const char *key, std::uint64_t v)
+{
+    out += '"';
+    out += key;
+    out += "\":";
+    appendU64(out, v);
+}
+
+void
+appendKeyDouble(std::string &out, const char *key, double v)
+{
+    out += '"';
+    out += key;
+    out += "\":";
+    out += StatsWriter::formatDouble(v);
+}
+
+void
+appendBuckets(std::string &out, const std::vector<std::uint64_t> &b)
+{
+    out += '[';
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        if (i)
+            out += ',';
+        appendU64(out, b[i]);
+    }
+    out += ']';
+}
+
+/** Emit `"kind":...,<payload fields>` without surrounding braces. */
+void
+appendMetricValue(std::string &out, const MetricValue &v)
+{
+    out += "\"kind\":\"";
+    out += metricKindName(v.kind);
+    out += '"';
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        out += ',';
+        appendKeyU64(out, "value", v.count);
+        break;
+      case MetricKind::kGauge:
+        out += ',';
+        appendKeyDouble(out, "value", v.real);
+        break;
+      case MetricKind::kScalar:
+        out += ',';
+        appendKeyU64(out, "count", v.count);
+        out += ',';
+        appendKeyDouble(out, "sum", v.real);
+        out += ',';
+        appendKeyDouble(out, "min", v.min);
+        out += ',';
+        appendKeyDouble(out, "max", v.max);
+        out += ',';
+        appendKeyDouble(out, "mean", v.mean);
+        out += ',';
+        appendKeyDouble(out, "stddev", v.stddev);
+        break;
+      case MetricKind::kRatio:
+        out += ',';
+        appendKeyU64(out, "hits", v.hits);
+        out += ',';
+        appendKeyU64(out, "total", v.count);
+        out += ',';
+        appendKeyDouble(out, "rate", v.rate());
+        break;
+      case MetricKind::kHistogram:
+        out += ',';
+        appendKeyU64(out, "count", v.count);
+        out += ",\"buckets\":";
+        appendBuckets(out, v.buckets);
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+StatsWriter::jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+StatsWriter::formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    // %.17g round-trips every finite double; JSON readers parse it
+    // back to the identical bit pattern.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+StatsWriter::toJson(const MetricRegistry &reg, const MetricSnapshot &snap,
+                    const RunResult &r)
+{
+    std::string out;
+    out.reserve(16 * 1024);
+    out += "{\n  ";
+    appendKeyString(out, "schema", "mempod-stats-v1");
+    out += ",\n  ";
+    appendKeyString(out, "workload", r.workload);
+    out += ",\n  ";
+    appendKeyString(out, "mechanism", r.mechanism);
+    out += ",\n  ";
+    appendKeyU64(out, "sim_time_ps", snap.simTimePs);
+    out += ",\n  \"summary\": {\n    ";
+    appendKeyDouble(out, "ammat_ns", r.ammatNs);
+    out += ",\n    ";
+    appendKeyU64(out, "demand_requests", r.demandRequests);
+    out += ",\n    ";
+    appendKeyU64(out, "completed", r.completed);
+    out += ",\n    ";
+    appendKeyDouble(out, "fast_service_fraction", r.fastServiceFraction);
+    out += ",\n    ";
+    appendKeyDouble(out, "row_hit_rate", r.rowHitRate);
+    out += ",\n    ";
+    appendKeyDouble(out, "row_hit_rate_fast", r.rowHitRateFast);
+    out += ",\n    ";
+    appendKeyU64(out, "simulated_ps", r.simulatedPs);
+    out += ",\n    ";
+    appendKeyU64(out, "events_executed", r.eventsExecuted);
+    out += ",\n    ";
+    appendKeyU64(out, "migrations", r.migration.migrations);
+    out += ",\n    ";
+    appendKeyU64(out, "bytes_moved", r.migration.bytesMoved);
+    out += ",\n    ";
+    appendKeyDouble(out, "data_moved_mib", r.dataMovedMiB());
+    out += ",\n    ";
+    appendKeyU64(out, "blocked_requests", r.migration.blockedRequests);
+    out += ",\n    ";
+    appendKeyU64(out, "intervals", r.migration.intervals);
+    out += ",\n    ";
+    appendKeyU64(out, "candidates_skipped",
+                 r.migration.candidatesSkipped);
+    out += ",\n    ";
+    appendKeyU64(out, "wasted_migrations", r.migration.wastedMigrations);
+    out += ",\n    ";
+    appendKeyU64(out, "meta_cache_hits", r.migration.metaCacheHits);
+    out += ",\n    ";
+    appendKeyU64(out, "meta_cache_misses", r.migration.metaCacheMisses);
+    out += ",\n    ";
+    out += "\"pod_local_migrations\":";
+    out += r.podLocalMigrations ? "true" : "false";
+    out += ",\n    \"per_core_ammat_ns\":[";
+    for (std::size_t c = 0; c < r.perCoreAmmatNs.size(); ++c) {
+        if (c)
+            out += ',';
+        out += formatDouble(r.perCoreAmmatNs[c]);
+    }
+    out += "]\n  },\n  \"metrics\": {\n";
+    bool first = true;
+    for (const auto &[name, value] : snap.values) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "    \"";
+        out += jsonEscape(name);
+        out += "\": {";
+        appendKeyString(out, "desc", reg.description(name));
+        out += ',';
+        appendMetricValue(out, value);
+        out += '}';
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+std::string
+StatsWriter::toJsonl(const std::vector<IntervalRecord> &records)
+{
+    std::string out;
+    for (const IntervalRecord &rec : records) {
+        out += "{";
+        appendKeyU64(out, "interval", rec.index);
+        out += ',';
+        appendKeyU64(out, "start_ps", rec.startPs);
+        out += ',';
+        appendKeyU64(out, "end_ps", rec.endPs);
+        out += ",\"counters\":{";
+        bool first = true;
+        for (const auto &[name, v] : rec.delta.values) {
+            if (v.kind != MetricKind::kCounter || v.count == 0)
+                continue;
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += jsonEscape(name);
+            out += "\":";
+            appendU64(out, v.count);
+        }
+        out += "},\"gauges\":{";
+        first = true;
+        for (const auto &[name, v] : rec.delta.values) {
+            if (v.kind != MetricKind::kGauge)
+                continue;
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += jsonEscape(name);
+            out += "\":";
+            out += formatDouble(v.real);
+        }
+        out += "}}\n";
+    }
+    return out;
+}
+
+std::string
+StatsWriter::jobFileStem(std::size_t index, const std::string &label,
+                         const std::string &workload)
+{
+    auto sanitize = [](const std::string &s) {
+        std::string out;
+        out.reserve(s.size());
+        for (const char c : s) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '.' ||
+                            c == '_' || c == '-';
+            out += ok ? c : '-';
+        }
+        return out;
+    };
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "job%03zu", index);
+    std::string stem = buf;
+    if (!label.empty())
+        stem += "_" + sanitize(label);
+    if (!workload.empty())
+        stem += "_" + sanitize(workload);
+    return stem;
+}
+
+void
+StatsWriter::writeFile(const std::string &path,
+                       const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw std::runtime_error("cannot open stats file: " + path);
+    const std::size_t n =
+        std::fwrite(content.data(), 1, content.size(), f);
+    const bool write_ok = n == content.size();
+    if (std::fclose(f) != 0 || !write_ok)
+        throw std::runtime_error("short write on stats file: " + path);
+}
+
+} // namespace mempod

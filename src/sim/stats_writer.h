@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structured exporters over the metric registry: an end-of-run JSON
+ * document (summary block derived from the RunResult plus every
+ * registered instrument with its description) and a JSONL interval
+ * trace (one line per IntervalSampler record with the non-zero counter
+ * deltas and the gauge levels at the interval boundary). Both are
+ * emitted from name-ordered snapshots, so the bytes are deterministic
+ * for a given run regardless of registration order or worker count.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "sim/report.h"
+
+namespace mempod {
+
+/** JSON / JSONL rendering of run statistics. */
+class StatsWriter
+{
+  public:
+    /** Escape `s` for inclusion inside a JSON string literal. */
+    static std::string jsonEscape(const std::string &s);
+
+    /**
+     * Shortest round-trip decimal rendering of `v`; non-finite values
+     * become `null` (JSON has no NaN/Inf).
+     */
+    static std::string formatDouble(double v);
+
+    /**
+     * Full end-of-run document: run identity, a "summary" object
+     * mirroring the RunResult (the numbers the console tables print),
+     * and a "metrics" object with every registered instrument.
+     */
+    static std::string toJson(const MetricRegistry &reg,
+                              const MetricSnapshot &snap,
+                              const RunResult &result);
+
+    /**
+     * One JSON line per interval: index, [start_ps, end_ps), the
+     * non-zero counter deltas and the gauge values at the interval
+     * end. Returns "" when there are no records.
+     */
+    static std::string
+    toJsonl(const std::vector<IntervalRecord> &records);
+
+    /**
+     * Deterministic per-job file stem "job<NNN>[_<label>]_<workload>"
+     * keyed by the submission index, so a batch writes the same file
+     * set at any worker count. Label/workload are sanitized to
+     * [A-Za-z0-9._-].
+     */
+    static std::string jobFileStem(std::size_t index,
+                                   const std::string &label,
+                                   const std::string &workload);
+
+    /** Write `content` to `path`; throws std::runtime_error on error. */
+    static void writeFile(const std::string &path,
+                          const std::string &content);
+};
+
+} // namespace mempod

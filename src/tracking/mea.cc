@@ -40,16 +40,19 @@ MeaTracker::touch(std::uint64_t id)
     // this is one cycle of parallel subtract-and-compare.
     ++sweeps_;
     for (auto cur = map_.begin(); cur != map_.end();) {
-        if (--cur->second == 0)
+        if (--cur->second == 0) {
             cur = map_.erase(cur);
-        else
+            ++evictions_;
+        } else {
             ++cur;
+        }
     }
 }
 
 void
 MeaTracker::reset()
 {
+    ++resets_;
     map_.clear();
 }
 

@@ -63,6 +63,12 @@ class MeaTracker : public ActivityTracker
     /** Number of decrement-all sweeps performed (operation (c)). */
     std::uint64_t sweeps() const { return sweeps_; }
 
+    /** Entries erased at count zero during sweeps. */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** Full tracker clears (interval boundaries). */
+    std::uint64_t resets() const { return resets_; }
+
     std::string name() const override { return "MEA"; }
 
   private:
@@ -72,6 +78,8 @@ class MeaTracker : public ActivityTracker
     std::uint32_t idBits_;
     std::unordered_map<std::uint64_t, std::uint32_t> map_;
     std::uint64_t sweeps_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t resets_ = 0;
 };
 
 } // namespace mempod

@@ -40,6 +40,40 @@ TEST(TablePrinter, CsvEchoesAllRows)
     EXPECT_NE(out.find("CSV,x,y"), std::string::npos);
 }
 
+TEST(TablePrinter, CsvEscapePassesPlainCells)
+{
+    EXPECT_EQ(TablePrinter::csvEscape("plain"), "plain");
+    EXPECT_EQ(TablePrinter::csvEscape(""), "");
+    EXPECT_EQ(TablePrinter::csvEscape("with space"), "with space");
+}
+
+TEST(TablePrinter, CsvEscapeQuotesSeparatorsAndBreaks)
+{
+    EXPECT_EQ(TablePrinter::csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(TablePrinter::csvEscape("line\nbreak"),
+              "\"line\nbreak\"");
+    EXPECT_EQ(TablePrinter::csvEscape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(TablePrinter, CsvEscapeDoublesEmbeddedQuotes)
+{
+    EXPECT_EQ(TablePrinter::csvEscape("say \"hi\""),
+              "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(TablePrinter::csvEscape("\""), "\"\"\"\"");
+}
+
+TEST(TablePrinter, PrintCsvQuotesCellsThatNeedIt)
+{
+    TablePrinter t({"name", "detail"});
+    t.addRow({"mix1,mix2", "said \"ok\""});
+    ::testing::internal::CaptureStdout();
+    t.printCsv();
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("CSV,\"mix1,mix2\",\"said \"\"ok\"\"\""),
+              std::string::npos);
+}
+
 TEST(TablePrinterDeathTest, RowWidthMismatchPanics)
 {
     TablePrinter t({"a", "b"});

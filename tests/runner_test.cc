@@ -7,6 +7,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 
 #include "sim/runner.h"
@@ -49,6 +53,14 @@ tinyJob(Mechanism m, const std::string &workload)
     return job;
 }
 
+RunnerOptions
+withJobs(unsigned workers)
+{
+    RunnerOptions opt;
+    opt.jobs = workers;
+    return opt;
+}
+
 std::vector<BatchJob>
 sampleJobs()
 {
@@ -62,7 +74,7 @@ sampleJobs()
 std::vector<JobResult>
 runWith(unsigned workers)
 {
-    BatchRunner runner({.jobs = workers});
+    BatchRunner runner(withJobs(workers));
     for (auto &job : sampleJobs())
         runner.add(std::move(job));
     return runner.runAll();
@@ -97,7 +109,7 @@ TEST(BatchRunner, ResultsComeBackInSubmissionOrder)
 
 TEST(BatchRunner, ThrowingJobIsCapturedWithoutKillingTheBatch)
 {
-    BatchRunner runner({.jobs = 4});
+    BatchRunner runner(withJobs(4));
     runner.add(tinyJob(Mechanism::kNoMigration, "xalanc"));
     runner.add(tinyJob(Mechanism::kMemPod, "no-such-workload"));
     runner.add(tinyJob(Mechanism::kMemPod, "mix5"));
@@ -117,7 +129,7 @@ TEST(BatchRunner, ExplicitTraceBypassesTheCache)
 {
     auto trace = std::make_shared<const Trace>(
         buildWorkloadTrace(findWorkload("xalanc"), tinyGen()));
-    BatchRunner runner({.jobs = 2});
+    BatchRunner runner(withJobs(2));
     BatchJob job = tinyJob(Mechanism::kNoMigration, "xalanc");
     job.trace = trace;
     runner.add(std::move(job));
@@ -129,7 +141,7 @@ TEST(BatchRunner, ExplicitTraceBypassesTheCache)
 
 TEST(BatchRunner, IntervalStudyJobsRunOnThePool)
 {
-    BatchRunner runner({.jobs = 2});
+    BatchRunner runner(withJobs(2));
     for (const char *w : {"xalanc", "mix5"}) {
         BatchJob job;
         job.kind = JobKind::kIntervalStudy;
@@ -148,7 +160,7 @@ TEST(BatchRunner, IntervalStudyJobsRunOnThePool)
 
 TEST(BatchRunner, RunAllIsRepeatable)
 {
-    BatchRunner runner({.jobs = 2});
+    BatchRunner runner(withJobs(2));
     runner.add(tinyJob(Mechanism::kNoMigration, "xalanc"));
     const auto first = runner.runAll();
     ASSERT_EQ(first.size(), 1u);
@@ -206,8 +218,86 @@ TEST(TraceCache, SharedAcrossRunners)
 
 TEST(RunnerOptions, ZeroJobsFallsBackToHardwareConcurrency)
 {
-    BatchRunner runner({.jobs = 0});
+    BatchRunner runner(withJobs(0));
     EXPECT_GE(runner.workerCount(), 1u);
+}
+
+/** Read every regular file in `dir` into a name -> bytes map. */
+std::map<std::string, std::string>
+slurpDir(const std::filesystem::path &dir)
+{
+    std::map<std::string, std::string> out;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        out[entry.path().filename().string()] = ss.str();
+    }
+    return out;
+}
+
+std::map<std::string, std::string>
+runStatsBatch(unsigned workers, const std::filesystem::path &dir)
+{
+    RunnerOptions opt;
+    opt.jobs = workers;
+    opt.statsDir = dir.string();
+    BatchRunner runner(opt);
+    for (auto &job : sampleJobs()) {
+        job.config.statsIntervalPs = 20_us;
+        runner.add(std::move(job));
+    }
+    const auto results = runner.runAll();
+    for (const auto &r : results)
+        EXPECT_TRUE(r.ok) << r.error;
+    return slurpDir(dir);
+}
+
+TEST(BatchRunner, StatsFilesIdenticalAtAnyWorkerCount)
+{
+    const auto base = std::filesystem::temp_directory_path() /
+                      "mempod_stats_determinism";
+    std::filesystem::remove_all(base);
+    const auto serial = runStatsBatch(1, base / "jobs1");
+    const auto parallel = runStatsBatch(2, base / "jobs2");
+
+    // One .json and one .jsonl per job, named by submission index.
+    ASSERT_EQ(serial.size(), 2 * sampleJobs().size());
+    ASSERT_TRUE(serial.count("job000_NoMigration_xalanc.json"));
+    ASSERT_TRUE(serial.count("job001_MemPod_xalanc.jsonl"));
+
+    // Byte-identical file sets regardless of --jobs.
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (const auto &[name, bytes] : serial) {
+        auto it = parallel.find(name);
+        ASSERT_NE(it, parallel.end()) << name;
+        EXPECT_EQ(bytes, it->second)
+            << name << " diverges between --jobs 1 and 2";
+    }
+    std::filesystem::remove_all(base);
+}
+
+TEST(BatchRunner, StatsFilesNumberAcrossRepeatedBatches)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "mempod_stats_batches";
+    std::filesystem::remove_all(dir);
+    RunnerOptions opt;
+    opt.jobs = 2;
+    opt.statsDir = dir.string();
+    BatchRunner runner(opt);
+    runner.add(tinyJob(Mechanism::kNoMigration, "xalanc"));
+    runner.runAll();
+    runner.add(tinyJob(Mechanism::kMemPod, "xalanc"));
+    runner.runAll();
+    // The second batch continues the numbering instead of clobbering
+    // the first batch's job000.
+    EXPECT_TRUE(std::filesystem::exists(
+        dir / "job000_NoMigration_xalanc.json"));
+    EXPECT_TRUE(std::filesystem::exists(
+        dir / "job001_MemPod_xalanc.json"));
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

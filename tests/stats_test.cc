@@ -43,6 +43,40 @@ TEST(ScalarStat, ResetClears)
     s.reset();
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(ScalarStat, WelfordVariance)
+{
+    ScalarStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);       // population: M2 / n
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 32.0 / 7.0);
+}
+
+TEST(ScalarStat, VarianceNeedsTwoSamples)
+{
+    ScalarStat s;
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.sample(42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    s.sample(42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0); // identical samples
+}
+
+TEST(ScalarStat, WelfordMatchesNaiveOnShiftedData)
+{
+    // A large constant offset defeats the naive sum-of-squares
+    // formula; Welford must still recover the small true variance.
+    ScalarStat s;
+    const double base = 1e9;
+    for (double v : {base + 1.0, base + 2.0, base + 3.0})
+        s.sample(v);
+    EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
 }
 
 TEST(Log2Histogram, CountsSamples)
@@ -70,6 +104,50 @@ TEST(Log2Histogram, PercentileBracketsMedian)
     const auto p50 = h.percentile(0.5);
     EXPECT_GE(p50, 64u);
     EXPECT_LE(p50, 127u);
+}
+
+TEST(Log2Histogram, PercentileInterpolatesWithinBucket)
+{
+    Log2Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.sample(64); // bucket [64,128), span 64
+    // Rank position q*count lands a fraction q into the bucket:
+    // 64 + q * 64.
+    EXPECT_EQ(h.percentile(0.25), 80u);
+    EXPECT_EQ(h.percentile(0.5), 96u);
+    EXPECT_EQ(h.percentile(0.75), 112u);
+}
+
+TEST(Log2Histogram, PercentileClampsToBucketTop)
+{
+    Log2Histogram h;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        h.sample(i);
+    // q=1 interpolates to the exclusive top of the last occupied
+    // bucket [512,1024); the result must stay inside it.
+    EXPECT_EQ(h.percentile(1.0), 1023u);
+}
+
+TEST(Log2Histogram, PercentileZeroBucket)
+{
+    Log2Histogram h;
+    h.sample(0);
+    h.sample(0);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(Log2Histogram, BucketsAccessorExposesCounts)
+{
+    Log2Histogram h;
+    h.sample(0); // bucket 0
+    h.sample(1); // bucket 1
+    h.sample(3); // bucket 2: [2,4)
+    const auto &b = h.buckets();
+    ASSERT_GE(b.size(), 3u);
+    EXPECT_EQ(b[0], 1u);
+    EXPECT_EQ(b[1], 1u);
+    EXPECT_EQ(b[2], 1u);
 }
 
 TEST(Log2Histogram, EmptyPercentileIsZero)
