@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
 #include "common/log.h"
 #include "trace/generator.h"
@@ -106,6 +108,24 @@ parseOptions(int argc, char **argv, const char *what)
             }
         } else if (arg == "--interval-us") {
             opt.intervalUs = parseUint(what, "--interval-us", next());
+        } else if (arg == "--trace-out") {
+            opt.traceOut = next();
+            if (opt.traceOut.empty()) {
+                std::fprintf(stderr,
+                             "%s: --trace-out needs a directory\n",
+                             what);
+                std::exit(2);
+            }
+        } else if (arg == "--trace-sample") {
+            opt.traceSample =
+                parseUint(what, "--trace-sample", next());
+            if (opt.traceSample == 0) {
+                std::fprintf(stderr,
+                             "%s: --trace-sample must be >= 1 (1 = "
+                             "trace every request)\n",
+                             what);
+                std::exit(2);
+            }
         } else if (arg == "--list-workloads") {
             listWorkloads();
             std::exit(0);
@@ -113,7 +133,8 @@ parseOptions(int argc, char **argv, const char *what)
             std::printf(
                 "%s\noptions: --full | --requests N | --seed N |"
                 " --jobs N | --workloads a,b,c | --stats-out DIR |"
-                " --interval-us N | --list-workloads\n",
+                " --interval-us N | --trace-out DIR |"
+                " --trace-sample N | --list-workloads\n",
                 what);
             std::exit(0);
         } else {
@@ -124,7 +145,43 @@ parseOptions(int argc, char **argv, const char *what)
     }
     for (const auto &w : opt.workloads)
         findWorkload(w); // fatal on typo, before any simulation runs
+    if (!opt.statsOut.empty())
+        ensureWritableDir(opt.statsOut, "--stats-out", what);
+    if (!opt.traceOut.empty())
+        ensureWritableDir(opt.traceOut, "--trace-out", what);
     return opt;
+}
+
+void
+ensureWritableDir(const std::string &dir, const char *flag,
+                  const char *what)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "%s: %s: cannot create directory '%s': "
+                             "%s\n",
+                     what, flag, dir.c_str(), ec.message().c_str());
+        std::exit(2);
+    }
+    // create_directories succeeds silently when `dir` already exists —
+    // even as a plain file; a write probe catches that and read-only
+    // mounts in one check.
+    if (!std::filesystem::is_directory(dir, ec) || ec) {
+        std::fprintf(stderr, "%s: %s: '%s' is not a directory\n", what,
+                     flag, dir.c_str());
+        std::exit(2);
+    }
+    const std::string probe = dir + "/.write-probe";
+    std::FILE *f = std::fopen(probe.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr, "%s: %s: directory '%s' is not writable: "
+                             "%s\n",
+                     what, flag, dir.c_str(), std::strerror(errno));
+        std::exit(2);
+    }
+    std::fclose(f);
+    std::filesystem::remove(probe, ec);
 }
 
 std::vector<std::string>
@@ -177,6 +234,7 @@ runnerOptions(const Options &opt)
     ro.progress = true;
     ro.cache = &traceCache();
     ro.statsDir = opt.statsOut;
+    ro.traceDir = opt.traceOut;
     return ro;
 }
 
@@ -188,6 +246,9 @@ timingJob(const SimConfig &config, const std::string &workload,
     job.kind = JobKind::kTiming;
     job.config = config;
     job.config.statsIntervalPs = opt.statsIntervalPs();
+    job.config.tracer.enabled = !opt.traceOut.empty();
+    job.config.tracer.sampleEvery = opt.traceSample;
+    job.config.tracer.seed = opt.seed;
     job.workload = workload;
     job.gen.totalRequests = opt.timingRequests();
     job.gen.seed = opt.seed;

@@ -14,9 +14,13 @@
  *   --stats-out DIR  write per-job JSON (and JSONL) registry exports
  *   --interval-us N  JSONL sampling period in simulated µs (default
  *                    50, the migration epoch; 0 = summary JSON only)
+ *   --trace-out DIR  write per-job Chrome trace-event JSON (Perfetto)
+ *   --trace-sample N trace 1 in N demand requests (default 64)
  *
  * Results are identical at any --jobs value (same seed => same
- * numbers); only wall-clock time changes.
+ * numbers); only wall-clock time changes. Both output directories are
+ * validated up front (created if missing, probed for writability) so a
+ * bad path fails before hours of simulation, not after.
  */
 #pragma once
 
@@ -42,6 +46,8 @@ struct Options
     std::vector<std::string> workloads; //!< empty = pick by mode
     std::string statsOut;        //!< stats directory; empty = no export
     std::uint64_t intervalUs = 50; //!< JSONL period (µs); 0 = off
+    std::string traceOut;        //!< trace directory; empty = no tracing
+    std::uint64_t traceSample = 64; //!< trace 1 in N demand requests
 
     /**
      * Sampling period in picoseconds for timing jobs: 0 unless
@@ -81,6 +87,15 @@ struct Options
 
 /** Parse argv; prints usage and exits on --help / bad input. */
 Options parseOptions(int argc, char **argv, const char *what);
+
+/**
+ * Create `dir` if missing and prove it is writable by creating and
+ * removing a probe file. On any failure prints a clear error naming
+ * the flag and exits(2) — output directories must fail fast, before
+ * simulations run, not at the first write hours later.
+ */
+void ensureWritableDir(const std::string &dir, const char *flag,
+                       const char *what);
 
 /**
  * The harness-wide trace cache: mutex-guarded, generate-once per

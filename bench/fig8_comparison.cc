@@ -50,6 +50,9 @@ main(int argc, char **argv)
                         "CAMEO", "HBM-only"});
     TablePrinter traffic({"workload", "MemPod MiB", "per-pod MiB",
                           "HMA MiB", "THM MiB", "CAMEO MiB"});
+    TablePrinter attr({"workload", "mechanism", "AMMAT ns", "mshr",
+                       "meta", "blocked", "queue", "service", "p50",
+                       "p95", "p99"});
 
     std::vector<std::vector<double>> hg(configs.size()),
         mx(configs.size());
@@ -89,6 +92,23 @@ main(int argc, char **argv)
         }
         table.addRow(std::move(row));
         traffic.addRow(std::move(trow));
+
+        // Where does each mechanism's AMMAT go? The components are an
+        // exact partition of arrival-to-finish, so the five columns sum
+        // to the AMMAT column (satellite check: attribution_test.cc).
+        for (std::size_t c = 0; c <= configs.size(); ++c) {
+            const RunResult &r = need(results[w * stride + c]);
+            const char *label = c == 0 ? "TLM" : configs[c - 1].label;
+            attr.addRow({name, label, TablePrinter::num(r.ammatNs, 2),
+                         TablePrinter::num(r.attribution.mshrWaitNs, 2),
+                         TablePrinter::num(r.attribution.metadataNs, 2),
+                         TablePrinter::num(r.attribution.blockedNs, 2),
+                         TablePrinter::num(r.attribution.queueWaitNs, 2),
+                         TablePrinter::num(r.attribution.serviceNs, 2),
+                         TablePrinter::num(r.latency.p50Ns, 0),
+                         TablePrinter::num(r.latency.p95Ns, 0),
+                         TablePrinter::num(r.latency.p99Ns, 0)});
+        }
     }
 
     auto avgRow = [&](const char *label,
@@ -112,6 +132,10 @@ main(int argc, char **argv)
                 "3.1 GB total / 804 MB per pod > THM 865 MB > HMA "
                 "578 MB on full-length traces):\n");
     traffic.print();
+    std::printf("\nAMMAT attribution (ns per request; mshr+meta+blocked"
+                "+queue+service = AMMAT) and request-latency "
+                "percentiles (ns):\n");
+    attr.print();
     std::printf("\n");
     table.printCsv();
     std::printf("\npaper: MemPod improves AMMAT by 19%% on average over "

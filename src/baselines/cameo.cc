@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/log.h"
+#include "common/tracer.h"
 
 namespace mempod {
 
@@ -13,7 +14,7 @@ CameoManager::CameoManager(EventQueue &eq, MemorySystem &mem,
       params_(params),
       fastLines_(mem.geom().fastBytes / kLineBytes),
       ratio_(mem.geom().slowBytes / mem.geom().fastBytes),
-      engine_(eq, mem, params.engineParallelism)
+      engine_(eq, mem, params.engineParallelism, "cameo.engine")
 {
     MEMPOD_ASSERT(mem.geom().slowBytes % mem.geom().fastBytes == 0,
                   "CAMEO needs an integer slow:fast capacity ratio");
@@ -72,10 +73,11 @@ CameoManager::slotOfMember(std::uint64_t group, std::uint32_t member) const
 
 void
 CameoManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                           std::uint8_t core, CompletionFn done)
+                           std::uint8_t core, CompletionFn done,
+                           std::uint64_t trace_id)
 {
-    proceed(BlockedDemand{home_addr, type, arrival, core,
-                          std::move(done)});
+    proceed(BlockedDemand{home_addr, type, arrival, core, trace_id,
+                          /*parkedAt=*/0, std::move(done)});
 }
 
 void
@@ -85,6 +87,15 @@ CameoManager::proceed(BlockedDemand d)
     const auto [group, member] = groupOf(line);
     if (locks_.isLocked(group)) {
         ++mstats_.blockedRequests;
+        d.parkedAt = eq_.now();
+        if (d.traceId != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                TraceArgs a;
+                a.add("group", group);
+                tr->asyncBegin(tr->track("cameo"), eq_.now(), "req",
+                               d.traceId, "blocked", a.str());
+            }
+        }
         locks_.park(group, std::move(d));
         return;
     }
@@ -99,10 +110,8 @@ CameoManager::proceed(BlockedDemand d)
     req.kind = Request::Kind::kDemand;
     req.arrival = d.arrival;
     req.core = d.core;
-    req.onComplete = [done = d.done](TimePs fin) {
-        if (done)
-            done(fin);
-    };
+    req.traceId = d.traceId;
+    req.onComplete = std::move(d.done);
     mem_.access(std::move(req));
 
     if (slot == 0) {
@@ -135,17 +144,39 @@ CameoManager::scheduleSwap(std::uint64_t group, std::uint32_t member)
     MEMPOD_ASSERT(occupant != member, "swap of fast-resident line");
     busyGroups_.insert(group);
 
+    std::uint64_t flow = 0;
+    if (Tracer *tr = eq_.tracer()) {
+        flow = tr->newFlowId();
+        const std::uint32_t tid = tr->track("cameo");
+        TraceArgs a;
+        a.add("group", group).add("member", member);
+        tr->instant(tid, eq_.now(), "swap_trigger", a.str());
+        tr->asyncBegin(tid, eq_.now(), "mig", flow, "migration",
+                       a.str());
+        tr->flowStart(tid, eq_.now(), "mig", flow, "migration");
+    }
+
     MigrationEngine::SwapOp op;
     op.locA = lineAt(group, unpackSlot(st, member)) * kLineBytes;
     op.locB = lineAt(group, 0) * kLineBytes;
     op.lines = 1;
+    op.traceId = flow;
     op.onStart = [this, group] { locks_.lock(group); };
     auto release = [this, group] {
         busyGroups_.erase(group);
-        for (auto &d : locks_.unlock(group))
+        const TimePs now = eq_.now();
+        for (auto &d : locks_.unlock(group)) {
+            mstats_.blockedPs += now - d.parkedAt;
+            d.parkedAt = 0;
+            if (d.traceId != 0) {
+                if (Tracer *tr = eq_.tracer())
+                    tr->asyncEnd(tr->track("cameo"), now, "req",
+                                 d.traceId, "blocked");
+            }
             proceed(std::move(d));
+        }
     };
-    op.onCommit = [this, group, member, occupant, release] {
+    op.onCommit = [this, group, member, occupant, release, flow] {
         std::uint64_t &s = groupState(group);
         if ((s & kMigratedFlag) && !(s & kUsedFlag))
             ++mstats_.wastedMigrations; // evicted before ever touched
@@ -157,9 +188,27 @@ CameoManager::scheduleSwap(std::uint64_t group, std::uint32_t member)
         s &= ~kUsedFlag;
         ++mstats_.migrations;
         mstats_.bytesMoved += 2 * kLineBytes;
+        if (flow != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                const std::uint32_t tid = tr->track("cameo");
+                tr->instant(tid, eq_.now(), "remap_commit");
+                tr->flowEnd(tid, eq_.now(), "mig", flow, "migration");
+                tr->asyncEnd(tid, eq_.now(), "mig", flow, "migration");
+            }
+        }
         release();
     };
-    op.onAbort = release;
+    op.onAbort = [this, release, flow] {
+        if (flow != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                const std::uint32_t tid = tr->track("cameo");
+                tr->instant(tid, eq_.now(), "swap_aborted");
+                tr->flowEnd(tid, eq_.now(), "mig", flow, "migration");
+                tr->asyncEnd(tid, eq_.now(), "mig", flow, "migration");
+            }
+        }
+        release();
+    };
     engine_.submit(std::move(op));
 }
 

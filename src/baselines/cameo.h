@@ -43,7 +43,8 @@ class CameoManager : public MemoryManager
                  const CameoParams &params);
 
     void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                      std::uint8_t core, CompletionFn done) override;
+                      std::uint8_t core, CompletionFn done,
+                      std::uint64_t trace_id = 0) override;
 
     std::string name() const override { return "CAMEO"; }
 

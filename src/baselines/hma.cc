@@ -1,6 +1,7 @@
 #include "baselines/hma.h"
 
 #include "common/log.h"
+#include "common/tracer.h"
 
 namespace mempod {
 
@@ -11,7 +12,7 @@ HmaManager::HmaManager(EventQueue &eq, MemorySystem &mem,
       params_(params),
       counters_(mem.geom().totalPages(), params.counterBits),
       placement_(mem.geom().totalPages(), mem.geom().fastPages()),
-      engine_(eq, mem, /*max_in_flight_ops=*/1)
+      engine_(eq, mem, /*max_in_flight_ops=*/1, "hma.engine")
 {
     if (params_.metaCacheEnabled) {
         const std::uint64_t fast_bytes = mem.geom().fastBytes;
@@ -27,9 +28,12 @@ HmaManager::HmaManager(EventQueue &eq, MemorySystem &mem,
 
 void
 HmaManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                         std::uint8_t core, CompletionFn done)
+                         std::uint8_t core, CompletionFn done,
+                         std::uint64_t trace_id)
 {
-    BlockedDemand d{home_addr, type, arrival, core, std::move(done)};
+    BlockedDemand d{home_addr, type,     arrival,
+                    core,      trace_id, /*parkedAt=*/0,
+                    std::move(done)};
     if (!metaPath_) {
         proceed(std::move(d));
         return;
@@ -38,7 +42,9 @@ HmaManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
     // blocks the request just like the paper's model.
     const PageId page = AddressMap::pageOf(home_addr);
     const std::uint64_t misses_before = metaPath_->misses();
-    metaPath_->access(page, [this, d = std::move(d)]() mutable {
+    const TimePs t0 = eq_.now();
+    metaPath_->access(page, [this, t0, d = std::move(d)]() mutable {
+        mstats_.metadataPs += eq_.now() - t0;
         proceed(std::move(d));
     });
     if (metaPath_->misses() > misses_before)
@@ -54,14 +60,23 @@ HmaManager::proceed(BlockedDemand d)
     counters_.touch(page);
     if (locks_.isLocked(page)) {
         ++mstats_.blockedRequests;
+        d.parkedAt = eq_.now();
+        if (d.traceId != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                TraceArgs a;
+                a.add("page", page);
+                tr->asyncBegin(tr->track("hma"), eq_.now(), "req",
+                               d.traceId, "blocked", a.str());
+            }
+        }
         locks_.park(page, std::move(d));
         return;
     }
-    issueToCurrentLocation(d);
+    issueToCurrentLocation(std::move(d));
 }
 
 void
-HmaManager::issueToCurrentLocation(const BlockedDemand &d)
+HmaManager::issueToCurrentLocation(BlockedDemand d)
 {
     const PageId page = AddressMap::pageOf(d.homeAddr);
     const std::uint64_t slot = placement_.locationOf(page);
@@ -71,10 +86,8 @@ HmaManager::issueToCurrentLocation(const BlockedDemand &d)
     req.kind = Request::Kind::kDemand;
     req.arrival = d.arrival;
     req.core = d.core;
-    req.onComplete = [done = d.done](TimePs fin) {
-        if (done)
-            done(fin);
-    };
+    req.traceId = d.traceId;
+    req.onComplete = std::move(d.done);
     mem_.access(std::move(req));
 }
 
@@ -140,28 +153,67 @@ HmaManager::onInterval()
         busy_.insert(page);
         busy_.insert(resident);
 
+        std::uint64_t flow = 0;
+        if (Tracer *tr = eq_.tracer()) {
+            flow = tr->newFlowId();
+            const std::uint32_t tid = tr->track("hma");
+            TraceArgs a;
+            a.add("hot_page", page).add("victim_page", resident);
+            tr->instant(tid, eq_.now(), "candidate_selected", a.str());
+            tr->asyncBegin(tid, eq_.now(), "mig", flow, "migration",
+                           a.str());
+            tr->flowStart(tid, eq_.now(), "mig", flow, "migration");
+        }
+
         MigrationEngine::SwapOp op;
         op.locA = AddressMap::addrOfPage(placement_.locationOf(page));
         op.locB = AddressMap::addrOfPage(victim);
         op.lines = static_cast<std::uint32_t>(kLinesPerPage);
+        op.traceId = flow;
         auto release = [this](std::uint64_t key) {
             busy_.erase(key);
-            for (auto &d : locks_.unlock(key))
-                issueToCurrentLocation(d);
+            const TimePs now = eq_.now();
+            for (auto &d : locks_.unlock(key)) {
+                mstats_.blockedPs += now - d.parkedAt;
+                if (d.traceId != 0) {
+                    if (Tracer *tr = eq_.tracer())
+                        tr->asyncEnd(tr->track("hma"), now, "req",
+                                     d.traceId, "blocked");
+                }
+                issueToCurrentLocation(std::move(d));
+            }
         };
         // Demands block only while the data is actually in flight.
         op.onStart = [this, page, resident] {
             locks_.lock(page);
             locks_.lock(resident);
         };
-        op.onCommit = [this, page, resident, release] {
+        op.onCommit = [this, page, resident, release, flow] {
             placement_.swap(page, resident);
             ++mstats_.migrations;
             mstats_.bytesMoved += 2 * kPageBytes;
+            if (flow != 0) {
+                if (Tracer *tr = eq_.tracer()) {
+                    const std::uint32_t tid = tr->track("hma");
+                    tr->instant(tid, eq_.now(), "remap_commit");
+                    tr->flowEnd(tid, eq_.now(), "mig", flow, "migration");
+                    tr->asyncEnd(tid, eq_.now(), "mig", flow,
+                                 "migration");
+                }
+            }
             release(page);
             release(resident);
         };
-        op.onAbort = [page, resident, release] {
+        op.onAbort = [this, page, resident, release, flow] {
+            if (flow != 0) {
+                if (Tracer *tr = eq_.tracer()) {
+                    const std::uint32_t tid = tr->track("hma");
+                    tr->instant(tid, eq_.now(), "swap_aborted");
+                    tr->flowEnd(tid, eq_.now(), "mig", flow, "migration");
+                    tr->asyncEnd(tid, eq_.now(), "mig", flow,
+                                 "migration");
+                }
+            }
             release(page);
             release(resident);
         };

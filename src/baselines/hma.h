@@ -49,7 +49,8 @@ class HmaManager : public MemoryManager
     HmaManager(EventQueue &eq, MemorySystem &mem, const HmaParams &params);
 
     void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                      std::uint8_t core, CompletionFn done) override;
+                      std::uint8_t core, CompletionFn done,
+                      std::uint64_t trace_id = 0) override;
 
     void start() override;
 
@@ -102,7 +103,7 @@ class HmaManager : public MemoryManager
 
   private:
     void onInterval();
-    void issueToCurrentLocation(const BlockedDemand &d);
+    void issueToCurrentLocation(BlockedDemand d);
     std::uint64_t findVictimSlot(
         const std::unordered_set<std::uint64_t> &hot_set);
 

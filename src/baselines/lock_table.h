@@ -24,6 +24,8 @@ struct BlockedDemand
     AccessType type = AccessType::kRead;
     TimePs arrival = 0;
     std::uint8_t core = 0;
+    std::uint64_t traceId = 0; //!< 0 = request not sampled
+    TimePs parkedAt = 0;       //!< when a swap lock parked it
     MemoryManager::CompletionFn done;
 };
 

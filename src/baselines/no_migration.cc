@@ -5,7 +5,8 @@ namespace mempod {
 void
 NoMigrationManager::handleDemand(Addr home_addr, AccessType type,
                                  TimePs arrival, std::uint8_t core,
-                                 CompletionFn done)
+                                 CompletionFn done,
+                                 std::uint64_t trace_id)
 {
     Request req;
     req.addr = home_addr;
@@ -13,10 +14,8 @@ NoMigrationManager::handleDemand(Addr home_addr, AccessType type,
     req.kind = Request::Kind::kDemand;
     req.arrival = arrival;
     req.core = core;
-    req.onComplete = [done = std::move(done)](TimePs fin) {
-        if (done)
-            done(fin);
-    };
+    req.traceId = trace_id;
+    req.onComplete = std::move(done);
     mem_.access(std::move(req));
 }
 

@@ -19,7 +19,8 @@ class NoMigrationManager : public MemoryManager
     explicit NoMigrationManager(MemorySystem &mem) : mem_(mem) {}
 
     void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                      std::uint8_t core, CompletionFn done) override;
+                      std::uint8_t core, CompletionFn done,
+                      std::uint64_t trace_id = 0) override;
 
     std::string name() const override { return "NoMigration"; }
 

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/log.h"
+#include "common/tracer.h"
 
 namespace mempod {
 
@@ -13,7 +14,7 @@ ThmManager::ThmManager(EventQueue &eq, MemorySystem &mem,
       params_(params),
       ratio_(mem.geom().slowPages() / mem.geom().fastPages()),
       numSegments_(mem.geom().fastPages()),
-      engine_(eq, mem, /*max_in_flight_ops=*/1)
+      engine_(eq, mem, /*max_in_flight_ops=*/1, "thm.engine")
 {
     MEMPOD_ASSERT(mem.geom().slowPages() % mem.geom().fastPages() == 0,
                   "THM needs an integer slow:fast capacity ratio");
@@ -80,9 +81,12 @@ ThmManager::fastResidentMember(std::uint64_t seg) const
 
 void
 ThmManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                         std::uint8_t core, CompletionFn done)
+                         std::uint8_t core, CompletionFn done,
+                         std::uint64_t trace_id)
 {
-    BlockedDemand d{home_addr, type, arrival, core, std::move(done)};
+    BlockedDemand d{home_addr, type,     arrival,
+                    core,      trace_id, /*parkedAt=*/0,
+                    std::move(done)};
     if (!metaPath_) {
         proceed(std::move(d));
         return;
@@ -90,7 +94,9 @@ ThmManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
     const auto [seg, member] = segmentOf(AddressMap::pageOf(home_addr));
     (void)member;
     const std::uint64_t misses_before = metaPath_->misses();
-    metaPath_->access(seg, [this, d = std::move(d)]() mutable {
+    const TimePs t0 = eq_.now();
+    metaPath_->access(seg, [this, t0, d = std::move(d)]() mutable {
+        mstats_.metadataPs += eq_.now() - t0;
         proceed(std::move(d));
     });
     if (metaPath_->misses() > misses_before)
@@ -105,6 +111,15 @@ ThmManager::proceed(BlockedDemand d)
     const auto [seg, member] = segmentOf(AddressMap::pageOf(d.homeAddr));
     if (locks_.isLocked(seg)) {
         ++mstats_.blockedRequests;
+        d.parkedAt = eq_.now();
+        if (d.traceId != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                TraceArgs a;
+                a.add("segment", seg);
+                tr->asyncBegin(tr->track("thm"), eq_.now(), "req",
+                               d.traceId, "blocked", a.str());
+            }
+        }
         locks_.park(seg, std::move(d));
         return;
     }
@@ -113,7 +128,7 @@ ThmManager::proceed(BlockedDemand d)
     const std::uint32_t slot = st.slotOf[member];
 
     // Service the access from the page's current location first.
-    issueAt(seg, slot, d);
+    issueAt(seg, slot, std::move(d));
 
     // Then update the competing counter and maybe trigger a swap.
     if (slot == 0) {
@@ -127,7 +142,7 @@ ThmManager::proceed(BlockedDemand d)
 
 void
 ThmManager::issueAt(std::uint64_t seg, std::uint32_t slot,
-                    const BlockedDemand &d)
+                    BlockedDemand d)
 {
     Request req;
     req.addr = AddressMap::addrOfPage(pageAt(seg, slot)) +
@@ -136,10 +151,8 @@ ThmManager::issueAt(std::uint64_t seg, std::uint32_t slot,
     req.kind = Request::Kind::kDemand;
     req.arrival = d.arrival;
     req.core = d.core;
-    req.onComplete = [done = d.done](TimePs fin) {
-        if (done)
-            done(fin);
-    };
+    req.traceId = d.traceId;
+    req.onComplete = std::move(d.done);
     mem_.access(std::move(req));
 }
 
@@ -154,24 +167,64 @@ ThmManager::scheduleSwap(std::uint64_t seg, std::uint32_t member)
         return; // a swap for this segment is already scheduled
     busySegs_.insert(seg);
 
+    std::uint64_t flow = 0;
+    if (Tracer *tr = eq_.tracer()) {
+        flow = tr->newFlowId();
+        const std::uint32_t tid = tr->track("thm");
+        TraceArgs a;
+        a.add("segment", seg).add("member", member);
+        tr->instant(tid, eq_.now(), "counter_victory", a.str());
+        tr->asyncBegin(tid, eq_.now(), "mig", flow, "migration",
+                       a.str());
+        tr->flowStart(tid, eq_.now(), "mig", flow, "migration");
+    }
+
     MigrationEngine::SwapOp op;
     op.locA = AddressMap::addrOfPage(pageAt(seg, st.slotOf[member]));
     op.locB = AddressMap::addrOfPage(pageAt(seg, 0));
     op.lines = static_cast<std::uint32_t>(kLinesPerPage);
+    op.traceId = flow;
     op.onStart = [this, seg] { locks_.lock(seg); };
     auto release = [this, seg] {
         busySegs_.erase(seg);
-        for (auto &d : locks_.unlock(seg))
+        const TimePs now = eq_.now();
+        for (auto &d : locks_.unlock(seg)) {
+            mstats_.blockedPs += now - d.parkedAt;
+            d.parkedAt = 0;
+            if (d.traceId != 0) {
+                if (Tracer *tr = eq_.tracer())
+                    tr->asyncEnd(tr->track("thm"), now, "req",
+                                 d.traceId, "blocked");
+            }
             proceed(std::move(d));
+        }
     };
-    op.onCommit = [this, seg, member, occupant, release] {
+    op.onCommit = [this, seg, member, occupant, release, flow] {
         SegState &s = segState(seg);
         std::swap(s.slotOf[member], s.slotOf[occupant]);
         ++mstats_.migrations;
         mstats_.bytesMoved += 2 * kPageBytes;
+        if (flow != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                const std::uint32_t tid = tr->track("thm");
+                tr->instant(tid, eq_.now(), "remap_commit");
+                tr->flowEnd(tid, eq_.now(), "mig", flow, "migration");
+                tr->asyncEnd(tid, eq_.now(), "mig", flow, "migration");
+            }
+        }
         release();
     };
-    op.onAbort = release;
+    op.onAbort = [this, release, flow] {
+        if (flow != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                const std::uint32_t tid = tr->track("thm");
+                tr->instant(tid, eq_.now(), "swap_aborted");
+                tr->flowEnd(tid, eq_.now(), "mig", flow, "migration");
+                tr->asyncEnd(tid, eq_.now(), "mig", flow, "migration");
+            }
+        }
+        release();
+    };
     engine_.submit(std::move(op));
 }
 

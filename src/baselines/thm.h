@@ -45,7 +45,8 @@ class ThmManager : public MemoryManager
     ThmManager(EventQueue &eq, MemorySystem &mem, const ThmParams &params);
 
     void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                      std::uint8_t core, CompletionFn done) override;
+                      std::uint8_t core, CompletionFn done,
+                      std::uint64_t trace_id = 0) override;
 
     std::string name() const override { return "THM"; }
 
@@ -99,8 +100,7 @@ class ThmManager : public MemoryManager
     PageId pageAt(std::uint64_t seg, std::uint32_t slot) const;
 
     void proceed(BlockedDemand d);
-    void issueAt(std::uint64_t seg, std::uint32_t slot,
-                 const BlockedDemand &d);
+    void issueAt(std::uint64_t seg, std::uint32_t slot, BlockedDemand d);
     void scheduleSwap(std::uint64_t seg, std::uint32_t member);
 
     EventQueue &eq_;

@@ -10,19 +10,29 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "common/callback.h"
 #include "common/types.h"
 
 namespace mempod {
+
+class Tracer;
 
 /** A single binary-heap discrete-event queue ordered by time. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Move-only with a buffer sized for the largest hot-path capture
+     * (a channel completion: this + slab slot + timestamp = 24 bytes);
+     * anything bigger falls back to the heap. Kept tight on purpose:
+     * Events live in a binary heap whose sift operations move whole
+     * elements, so with the 8-byte timestamp and sequence fields the
+     * Event is exactly one cache line.
+     */
+    using Callback = MoveFunction<void(), 24>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -65,6 +75,14 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * The simulation-wide event tracer, or nullptr when tracing is
+     * off. Components reach it through the queue they already hold, so
+     * the disabled hot-path cost is this one pointer test.
+     */
+    Tracer *tracer() const { return tracer_; }
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
   private:
     struct Event
     {
@@ -85,6 +103,7 @@ class EventQueue
     };
 
     std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Tracer *tracer_ = nullptr;
     TimePs now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

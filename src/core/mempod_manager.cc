@@ -17,12 +17,12 @@ MemPodManager::MemPodManager(EventQueue &eq, MemorySystem &mem,
 void
 MemPodManager::handleDemand(Addr home_addr, AccessType type,
                             TimePs arrival, std::uint8_t core,
-                            CompletionFn done)
+                            CompletionFn done, std::uint64_t trace_id)
 {
     const PageId page = AddressMap::pageOf(home_addr);
     const std::uint32_t pod = mem_.map().podOfPage(page);
     pods_[pod]->handleDemand(page, home_addr % kPageBytes, type, arrival,
-                             core, std::move(done));
+                             core, std::move(done), trace_id);
 }
 
 void
@@ -56,6 +56,8 @@ MemPodManager::migrationStats() const
         aggregated_.candidatesSkipped += s.candidatesSkipped;
         aggregated_.metaCacheHits += s.metaCacheHits;
         aggregated_.metaCacheMisses += s.metaCacheMisses;
+        aggregated_.blockedPs += s.blockedPs;
+        aggregated_.metadataPs += s.metadataPs;
     }
     // All pods share one timer; report timer firings, not the sum.
     if (!pods_.empty())

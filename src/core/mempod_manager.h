@@ -32,7 +32,8 @@ class MemPodManager : public MemoryManager
                   const MemPodParams &params);
 
     void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                      std::uint8_t core, CompletionFn done) override;
+                      std::uint8_t core, CompletionFn done,
+                      std::uint64_t trace_id = 0) override;
 
     void start() override;
 

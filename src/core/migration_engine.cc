@@ -3,12 +3,17 @@
 #include <memory>
 
 #include "common/log.h"
+#include "common/tracer.h"
 
 namespace mempod {
 
 MigrationEngine::MigrationEngine(EventQueue &eq, MemorySystem &mem,
-                                 std::uint32_t max_in_flight_ops)
-    : eq_(eq), mem_(mem), maxInFlight_(max_in_flight_ops)
+                                 std::uint32_t max_in_flight_ops,
+                                 std::string trace_track)
+    : eq_(eq),
+      mem_(mem),
+      maxInFlight_(max_in_flight_ops),
+      traceTrack_(std::move(trace_track))
 {
     MEMPOD_ASSERT(max_in_flight_ops >= 1, "engine needs one op slot");
 }
@@ -72,6 +77,20 @@ MigrationEngine::run(SwapOp op)
 {
     if (op.onStart)
         op.onStart();
+    // Swap spans are async (b/e): engines with parallelism > 1 (CAMEO)
+    // interleave ops on one track, which B/E nesting cannot express.
+    if (op.traceId != 0) {
+        if (Tracer *tr = eq_.tracer()) {
+            const std::uint32_t tid = tr->track(traceTrack_);
+            TraceArgs a;
+            a.add("lines", op.lines * 2);
+            tr->flowStep(tid, eq_.now(), "mig", op.traceId, "migration");
+            tr->asyncBegin(tid, eq_.now(), "mig", op.traceId, "swap",
+                           a.str());
+            tr->asyncBegin(tid, eq_.now(), "mig", op.traceId,
+                           "read_phase");
+        }
+    }
     // Phase 1: read both candidates into the swap buffer; phase 2:
     // write both back to their exchanged locations; then commit.
     struct OpState
@@ -89,6 +108,15 @@ MigrationEngine::run(SwapOp op)
         stats_.linesMoved += 2ull * st->op.lines;
         stats_.bytesMoved += 2ull * st->op.lines * kLineBytes;
         ++stats_.opsCommitted;
+        if (st->op.traceId != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                const std::uint32_t tid = tr->track(traceTrack_);
+                tr->asyncEnd(tid, eq_.now(), "mig", st->op.traceId,
+                             "write_phase");
+                tr->asyncEnd(tid, eq_.now(), "mig", st->op.traceId,
+                             "swap");
+            }
+        }
         if (st->op.onCommit)
             st->op.onCommit();
         MEMPOD_ASSERT(active_ > 0, "engine slot underflow");
@@ -97,6 +125,15 @@ MigrationEngine::run(SwapOp op)
     };
 
     auto startWrites = [this, st, finishOp] {
+        if (st->op.traceId != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                const std::uint32_t tid = tr->track(traceTrack_);
+                tr->asyncEnd(tid, eq_.now(), "mig", st->op.traceId,
+                             "read_phase");
+                tr->asyncBegin(tid, eq_.now(), "mig", st->op.traceId,
+                               "write_phase");
+            }
+        }
         for (std::uint32_t i = 0; i < st->op.lines; ++i) {
             for (const Addr base : {st->op.locA, st->op.locB}) {
                 Request w;

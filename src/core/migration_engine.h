@@ -40,6 +40,8 @@ class MigrationEngine
         std::function<void()> onStart;
         std::function<void()> onCommit; //!< runs when the swap is durable
         std::function<void()> onAbort;  //!< runs if dropped before start
+        /** Migration-lifecycle flow id (0 = not traced). */
+        std::uint64_t traceId = 0;
     };
 
     struct Stats
@@ -50,8 +52,13 @@ class MigrationEngine
         std::uint64_t bytesMoved = 0;
     };
 
+    /**
+     * @param trace_track Tracer track name for this engine's swap
+     *        spans ("pod0.engine", "hma.engine", ...).
+     */
     MigrationEngine(EventQueue &eq, MemorySystem &mem,
-                    std::uint32_t max_in_flight_ops = 1);
+                    std::uint32_t max_in_flight_ops = 1,
+                    std::string trace_track = "engine");
 
     /** Queue a swap; starts immediately if a slot is free. */
     void submit(SwapOp op);
@@ -76,6 +83,7 @@ class MigrationEngine
     EventQueue &eq_;
     MemorySystem &mem_;
     std::uint32_t maxInFlight_;
+    std::string traceTrack_;
     std::uint32_t active_ = 0;
     std::deque<SwapOp> queue_;
     Stats stats_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/tracer.h"
 
 namespace mempod {
 
@@ -35,7 +36,8 @@ Pod::Pod(std::uint32_t id, EventQueue &eq, MemorySystem &mem,
       mea_(params.meaEntries, params.meaCounterBits,
            podIdBits(mem.geom().pagesPerPod())),
       remap_(mem.geom().pagesPerPod(), mem.geom().fastPagesPerPod()),
-      engine_(eq, mem, /*max_in_flight_ops=*/1)
+      engine_(eq, mem, /*max_in_flight_ops=*/1,
+              "pod" + std::to_string(id) + ".engine")
 {
     if (params_.metaCacheEnabled) {
         metaPath_.emplace(eq, mem, params_.metaCacheBytes,
@@ -67,19 +69,27 @@ Pod::backingAddrOfBlock(std::uint64_t block) const
 void
 Pod::handleDemand(PageId home_page, std::uint64_t offset_in_page,
                   AccessType type, TimePs arrival, std::uint8_t core,
-                  MemoryManager::CompletionFn done)
+                  MemoryManager::CompletionFn done,
+                  std::uint64_t trace_id)
 {
     const std::uint64_t local = mem_.map().podLocalOfPage(home_page);
     mea_.touch(local);
-    BlockedReq r{offset_in_page, type, arrival, core, std::move(done)};
+    BlockedReq r{offset_in_page, type,     arrival,
+                 core,           trace_id, /*parkedAt=*/0,
+                 std::move(done)};
     if (!metaPath_) {
         proceed(local, std::move(r));
         return;
     }
     const std::uint64_t misses_before = metaPath_->misses();
-    metaPath_->access(local, [this, local, r = std::move(r)]() mutable {
-        proceed(local, std::move(r));
-    });
+    const TimePs t0 = eq_.now();
+    metaPath_->access(local,
+                      [this, local, t0, r = std::move(r)]() mutable {
+                          // Hits continue synchronously (zero delay);
+                          // misses charge the fill wait to metadata.
+                          stats_.metadataPs += eq_.now() - t0;
+                          proceed(local, std::move(r));
+                      });
     if (metaPath_->misses() > misses_before)
         ++stats_.metaCacheMisses;
     else
@@ -92,6 +102,15 @@ Pod::proceed(std::uint64_t local, BlockedReq r)
     if (locked_.contains(local)) {
         ++stats_.blockedRequests;
         ++blockedCount_;
+        r.parkedAt = eq_.now();
+        if (r.traceId != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                TraceArgs a;
+                a.add("page", local);
+                tr->asyncBegin(podTrack(*tr), eq_.now(), "req",
+                               r.traceId, "blocked", a.str());
+            }
+        }
         blocked_[local].push_back(std::move(r));
         return;
     }
@@ -108,10 +127,8 @@ Pod::issueToCurrentLocation(std::uint64_t local, BlockedReq r)
     req.kind = Request::Kind::kDemand;
     req.arrival = r.arrival;
     req.core = r.core;
-    req.onComplete = [done = std::move(r.done)](TimePs fin) {
-        if (done)
-            done(fin);
-    };
+    req.traceId = r.traceId;
+    req.onComplete = std::move(r.done);
     mem_.access(std::move(req));
 }
 
@@ -130,28 +147,66 @@ Pod::findVictimSlot(const std::unordered_set<std::uint64_t> &hot_set)
     return kNoSlot;
 }
 
+std::uint32_t
+Pod::podTrack(Tracer &tr) const
+{
+    return tr.track("pod" + std::to_string(id_));
+}
+
 void
 Pod::scheduleSwap(std::uint64_t hot_local, std::uint64_t victim_resident)
 {
     migrating_.insert(hot_local);
     migrating_.insert(victim_resident);
 
+    // Migration lifecycle: the MEA victory selects the candidate here;
+    // the flow continues through the engine's swap and ends at the
+    // remap commit below.
+    std::uint64_t flow = 0;
+    if (Tracer *tr = eq_.tracer()) {
+        flow = tr->newFlowId();
+        const std::uint32_t tid = podTrack(*tr);
+        TraceArgs a;
+        a.add("hot_page", hot_local).add("victim_page", victim_resident);
+        tr->instant(tid, eq_.now(), "mea_victory", a.str());
+        tr->asyncBegin(tid, eq_.now(), "mig", flow, "migration",
+                       a.str());
+        tr->flowStart(tid, eq_.now(), "mig", flow, "migration");
+    }
+
     MigrationEngine::SwapOp op;
     op.locA = addrOfSlot(remap_.locationOf(hot_local));
     op.locB = addrOfSlot(remap_.locationOf(victim_resident));
     op.lines = static_cast<std::uint32_t>(kLinesPerPage);
+    op.traceId = flow;
     op.onStart = [this, hot_local, victim_resident] {
         locked_.insert(hot_local);
         locked_.insert(victim_resident);
     };
-    op.onCommit = [this, hot_local, victim_resident] {
+    op.onCommit = [this, hot_local, victim_resident, flow] {
         remap_.swap(hot_local, victim_resident);
         ++stats_.migrations;
         stats_.bytesMoved += 2 * kPageBytes;
+        if (flow != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                const std::uint32_t tid = podTrack(*tr);
+                tr->instant(tid, eq_.now(), "remap_commit");
+                tr->flowEnd(tid, eq_.now(), "mig", flow, "migration");
+                tr->asyncEnd(tid, eq_.now(), "mig", flow, "migration");
+            }
+        }
         unlockAndDrain(hot_local);
         unlockAndDrain(victim_resident);
     };
-    op.onAbort = [this, hot_local, victim_resident] {
+    op.onAbort = [this, hot_local, victim_resident, flow] {
+        if (flow != 0) {
+            if (Tracer *tr = eq_.tracer()) {
+                const std::uint32_t tid = podTrack(*tr);
+                tr->instant(tid, eq_.now(), "swap_aborted");
+                tr->flowEnd(tid, eq_.now(), "mig", flow, "migration");
+                tr->asyncEnd(tid, eq_.now(), "mig", flow, "migration");
+            }
+        }
         unlockAndDrain(hot_local);
         unlockAndDrain(victim_resident);
     };
@@ -170,8 +225,16 @@ Pod::unlockAndDrain(std::uint64_t local)
     blocked_.erase(it);
     MEMPOD_ASSERT(blockedCount_ >= reqs.size(), "blocked accounting");
     blockedCount_ -= reqs.size();
-    for (auto &r : reqs)
+    const TimePs now = eq_.now();
+    for (auto &r : reqs) {
+        stats_.blockedPs += now - r.parkedAt;
+        if (r.traceId != 0) {
+            if (Tracer *tr = eq_.tracer())
+                tr->asyncEnd(podTrack(*tr), now, "req", r.traceId,
+                             "blocked");
+        }
         issueToCurrentLocation(local, std::move(r));
+    }
 }
 
 void
@@ -240,6 +303,12 @@ Pod::registerMetrics(MetricRegistry &reg) const
     reg.attachCounter(p + ".migration.candidates_skipped",
                       "hot candidates already resident in fast",
                       &stats_.candidatesSkipped);
+    reg.attachCounter(p + ".migration.blocked_ps",
+                      "summed demand delay behind this Pod's swaps",
+                      &stats_.blockedPs);
+    reg.attachCounter(p + ".migration.metadata_ps",
+                      "summed demand delay on metadata-cache misses",
+                      &stats_.metadataPs);
     reg.addGauge(p + ".blocked_demands",
                  "demand requests currently held by a swap lock",
                  [this] { return static_cast<double>(blockedCount_); });

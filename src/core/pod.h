@@ -57,7 +57,8 @@ class Pod
      */
     void handleDemand(PageId home_page, std::uint64_t offset_in_page,
                       AccessType type, TimePs arrival, std::uint8_t core,
-                      MemoryManager::CompletionFn done);
+                      MemoryManager::CompletionFn done,
+                      std::uint64_t trace_id = 0);
 
     /** Interval boundary: pick hot pages and schedule migrations. */
     void onInterval();
@@ -95,6 +96,8 @@ class Pod
         AccessType type;
         TimePs arrival;
         std::uint8_t core;
+        std::uint64_t traceId; //!< 0 = request not sampled
+        TimePs parkedAt;       //!< when a swap lock parked it
         MemoryManager::CompletionFn done;
     };
 
@@ -117,6 +120,9 @@ class Pod
                       std::uint64_t victim_resident);
 
     void unlockAndDrain(std::uint64_t local);
+
+    /** Tracer track for this Pod's lifecycle events ("pod<id>"). */
+    std::uint32_t podTrack(Tracer &tr) const;
 
     static constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/tracer.h"
 
 namespace mempod {
 
@@ -41,8 +42,20 @@ Channel::enqueue(Request req, ChannelAddr where)
     Entry e;
     e.at = where;
     e.enqueuedAt = eq_.now();
-    e.req = std::move(req);
-    auto &q = e.req.type == AccessType::kWrite ? writeQ_ : readQ_;
+    e.traceId = req.traceId;
+    e.kind = req.kind;
+    if (req.onComplete) {
+        if (freeCompletionSlots_.empty()) {
+            e.cbSlot =
+                static_cast<std::uint32_t>(completionSlots_.size());
+            completionSlots_.emplace_back();
+        } else {
+            e.cbSlot = freeCompletionSlots_.back();
+            freeCompletionSlots_.pop_back();
+        }
+        completionSlots_[e.cbSlot] = std::move(req.onComplete);
+    }
+    auto &q = req.type == AccessType::kWrite ? writeQ_ : readQ_;
     q.push_back(std::move(e));
     stats_.maxQueueDepth = std::max<std::uint64_t>(
         stats_.maxQueueDepth, readQ_.size() + writeQ_.size());
@@ -84,6 +97,11 @@ Channel::performRefresh()
     }
     nextRefreshAt_ += spec_.timing.ps(spec_.timing.tREFI);
     ++stats_.refreshes;
+    if (Tracer *tr = eq_.tracer()) {
+        const std::uint32_t tid = tr->track(name_);
+        tr->durBegin(tid, start, "refresh");
+        tr->durEnd(tid, end);
+    }
 }
 
 void
@@ -275,11 +293,41 @@ Channel::issueCas(std::vector<Entry> &q, std::size_t idx,
         autoPrePending_[e.at.bank] = true;
 
     const TimePs finish = data_end + extraLatencyPs_;
-    if (e.req.onComplete) {
-        eq_.schedule(finish,
-                     [cb = std::move(e.req.onComplete), finish] {
-                         cb(finish);
-                     });
+
+    if (e.kind == Request::Kind::kDemand) {
+        stats_.demandQueueWaitPs += now - e.enqueuedAt;
+        stats_.demandServicePs += finish - now;
+    }
+
+    if (e.traceId != 0) {
+        if (Tracer *tr = eq_.tracer()) {
+            const std::uint32_t tid = tr->track(name_);
+            const std::uint64_t id = e.traceId;
+            tr->asyncBegin(tid, e.enqueuedAt, "req", id, "queue");
+            tr->asyncEnd(tid, now, "req", id, "queue");
+            TraceArgs a;
+            a.add("bank", e.at.bank)
+                .add("row_hit", e.causedAct ? 0u : 1u)
+                .add("write", is_write_queue ? 1u : 0u);
+            tr->asyncBegin(tid, now, "req", id, "service", a.str());
+            tr->asyncEnd(tid, finish, "req", id, "service");
+        }
+    }
+
+    if (completionHook_ || e.cbSlot != kNoSlot) {
+        eq_.schedule(finish, [this, slot = e.cbSlot, finish] {
+            CompletionCallback cb;
+            if (slot != kNoSlot) {
+                cb = std::move(completionSlots_[slot]);
+                // Release before invoking: the callback may enqueue a
+                // new request that reuses (or grows past) this slot.
+                freeCompletionSlots_.push_back(slot);
+            }
+            if (completionHook_)
+                completionHook_(finish);
+            if (cb)
+                cb(finish);
+        });
     }
 }
 
@@ -371,6 +419,12 @@ Channel::registerMetrics(MetricRegistry &reg,
     reg.attachCounter(prefix + ".bus_busy_ps",
                       "picoseconds the data bus carried a burst",
                       &stats_.busBusyPs);
+    reg.attachCounter(prefix + ".demand_queue_wait_ps",
+                      "summed demand wait from enqueue to CAS",
+                      &stats_.demandQueueWaitPs);
+    reg.attachCounter(prefix + ".demand_service_ps",
+                      "summed demand CAS-to-completion time",
+                      &stats_.demandServicePs);
     reg.addGauge(prefix + ".queue_depth",
                  "requests queued at the controller right now",
                  [this] { return static_cast<double>(queued()); });

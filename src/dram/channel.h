@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,10 @@ class Channel
         std::uint64_t refreshes = 0;
         std::uint64_t maxQueueDepth = 0;
         std::uint64_t busBusyPs = 0; //!< data-bus burst occupancy
+        /** Summed demand wait from enqueue to CAS (attribution). */
+        std::uint64_t demandQueueWaitPs = 0;
+        /** Summed demand CAS-to-completion time (attribution). */
+        std::uint64_t demandServicePs = 0;
     };
 
     /**
@@ -81,6 +86,18 @@ class Channel
 
     /** Queue one line transfer. The controller wakes itself up. */
     void enqueue(Request req, ChannelAddr where);
+
+    /**
+     * Invoked inside every completion event, before the request's own
+     * onComplete. The MemorySystem uses this to track in-flight lines
+     * without wrapping each request's callback in a heap-allocated
+     * closure. Set once at construction time.
+     */
+    void
+    setCompletionHook(std::function<void(TimePs)> hook)
+    {
+        completionHook_ = std::move(hook);
+    }
 
     /** Requests accepted but not yet issued to the device. */
     std::size_t queued() const { return readQ_.size() + writeQ_.size(); }
@@ -107,11 +124,24 @@ class Channel
                          const std::string &prefix) const;
 
   private:
-    struct Entry
+    /** No parked completion callback for this entry. */
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+    /**
+     * One queued line transfer. Deliberately NOT the whole Request:
+     * FR-FCFS scans these linearly every tick, so only the fields the
+     * controller reads live here; the completion callback is parked in
+     * the slab under cbSlot. Padded out to exactly one cache line —
+     * measurably faster than the denser 40-byte packing, where entries
+     * straddle line boundaries and the scan pays split loads.
+     */
+    struct alignas(64) Entry
     {
-        Request req;
         ChannelAddr at;
         TimePs enqueuedAt = 0;
+        std::uint64_t traceId = 0;      //!< sampled-demand span id
+        std::uint32_t cbSlot = kNoSlot; //!< completionSlots_ index
+        Request::Kind kind = Request::Kind::kDemand;
         bool causedAct = false; //!< an ACT was issued on its behalf
     };
 
@@ -142,6 +172,17 @@ class Channel
     std::string name_;
     TimePs extraLatencyPs_;
     ControllerPolicy policy_;
+    std::function<void(TimePs)> completionHook_;
+
+    /**
+     * Parking slab for completion callbacks from enqueue until the
+     * data burst completes: queue Entries and the scheduled completion
+     * event carry only a slot index, so FR-FCFS queue shifts and
+     * event-heap sifts never move the callable, and freed slots are
+     * reused so a steady-state run performs no per-request allocation.
+     */
+    std::vector<CompletionCallback> completionSlots_;
+    std::vector<std::uint32_t> freeCompletionSlots_;
 
     std::vector<Bank> banks_;
     std::vector<bool> autoPrePending_; //!< closed-page policy state

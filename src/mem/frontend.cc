@@ -79,9 +79,24 @@ TraceFrontend::registerMetrics(MetricRegistry &reg,
     reg.addGauge("frontend.cores_seen",
                  "cores that issued at least one request",
                  [this] { return static_cast<double>(perCore_.size()); });
+    reg.attachCounter("frontend.mshr_wait_ps",
+                      "summed admission delay behind the MSHR cap",
+                      &mshrWaitPs_);
     reg.attachHistogram("frontend.latency_ns",
                         "per-request latency distribution (ns)",
                         &latencyNs_);
+    reg.addGauge("frontend.latency_p50_ns",
+                 "median per-request latency (ns)", [this] {
+                     return static_cast<double>(latencyNs_.percentile(0.50));
+                 });
+    reg.addGauge("frontend.latency_p95_ns",
+                 "95th-percentile per-request latency (ns)", [this] {
+                     return static_cast<double>(latencyNs_.percentile(0.95));
+                 });
+    reg.addGauge("frontend.latency_p99_ns",
+                 "99th-percentile per-request latency (ns)", [this] {
+                     return static_cast<double>(latencyNs_.percentile(0.99));
+                 });
     // Per-core series: the perCore_ vector grows on first touch, so
     // read through bounds-checked closures rather than raw pointers.
     for (std::uint32_t c = 0; c < num_cores; ++c) {
@@ -113,6 +128,22 @@ TraceFrontend::registerMetrics(MetricRegistry &reg,
                          return perCore_[c].stallPs /
                                 perCore_[c].requests;
                      });
+        // Percentiles, like everything per-core, read through
+        // bounds-checked closures: perCore_ reallocates on growth.
+        const double qs[] = {0.50, 0.95, 0.99};
+        const char *names[] = {".latency_p50_ns", ".latency_p95_ns",
+                               ".latency_p99_ns"};
+        for (int i = 0; i < 3; ++i) {
+            reg.addGauge(cp + names[i],
+                         "per-core request-latency percentile (ns)",
+                         [this, c, q = qs[i]] {
+                             return c < perCore_.size()
+                                        ? static_cast<double>(
+                                              perCore_[c]
+                                                  .latencyNs.percentile(q))
+                                        : 0.0;
+                         });
+        }
     }
 }
 
@@ -155,6 +186,7 @@ TraceFrontend::pump()
             schedulePump(due);
             return;
         }
+        const std::uint64_t record = nextIdx_;
         ++nextIdx_;
         ++outstanding_;
         const Addr phys = placement_.physicalAddr(rec.core, rec.coreLocal);
@@ -163,21 +195,56 @@ TraceFrontend::pump()
         if (core >= perCore_.size())
             perCore_.resize(core + 1);
         ++perCore_[core].requests;
+        mshrWaitPs_ += now - arrival;
+        std::uint64_t trace_id = 0;
+        if (Tracer *tr = eq_.tracer();
+            tr != nullptr && tr->sampleDemand(record)) {
+            trace_id = record + 1;
+            const std::uint32_t tid = coreTrack(*tr, core);
+            TraceArgs a;
+            a.add("core", core)
+                .add("write",
+                     rec.type == AccessType::kWrite ? 1u : 0u)
+                .add("record", record);
+            tr->asyncBegin(tid, arrival, "req", trace_id, "demand",
+                           a.str());
+            if (now > arrival) {
+                tr->asyncBegin(tid, arrival, "req", trace_id,
+                               "mshr_wait");
+                tr->asyncEnd(tid, now, "req", trace_id, "mshr_wait");
+            }
+        }
         manager_.handleDemand(
             phys, rec.type, arrival, rec.core,
-            [this, arrival, core](TimePs fin) {
+            [this, arrival, core, trace_id](TimePs fin) {
                 MEMPOD_ASSERT(fin >= arrival, "completion precedes arrival");
                 totalStallPs_ += static_cast<double>(fin - arrival);
                 perCore_[core].stallPs +=
                     static_cast<double>(fin - arrival);
                 ++perCore_[core].completed;
                 latencyNs_.sample((fin - arrival) / 1000);
+                perCore_[core].latencyNs.sample((fin - arrival) / 1000);
+                if (trace_id != 0) {
+                    if (Tracer *tr = eq_.tracer()) {
+                        TraceArgs a;
+                        a.add("latency_ns", (fin - arrival) / 1000);
+                        tr->asyncEnd(coreTrack(*tr, core), fin, "req",
+                                     trace_id, "demand", a.str());
+                    }
+                }
                 ++completed_;
                 MEMPOD_ASSERT(outstanding_ > 0, "completion underflow");
                 --outstanding_;
                 pump();
-            });
+            },
+            trace_id);
     }
+}
+
+std::uint32_t
+TraceFrontend::coreTrack(Tracer &tr, std::uint8_t core)
+{
+    return tr.track("core" + std::to_string(core));
 }
 
 } // namespace mempod

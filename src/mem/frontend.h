@@ -10,11 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "common/event_queue.h"
 #include "common/metrics.h"
 #include "common/stats.h"
+#include "common/tracer.h"
 #include "mem/address_map.h"
 #include "mem/manager.h"
 #include "trace/record.h"
@@ -62,11 +62,25 @@ class TraceFrontend
     /** Total memory stall time over all completed demands (ps). */
     double totalStallPs() const { return totalStallPs_; }
 
+    /** Summed admission delay behind the MSHR cap / intake stalls. */
+    std::uint64_t mshrWaitPs() const { return mshrWaitPs_; }
+
     /** AMMAT in picoseconds: total stall / original trace length. */
     double ammatPs() const;
 
     /** Per-request latency distribution. */
     const Log2Histogram &latencyHistogramNs() const { return latencyNs_; }
+
+    /**
+     * Per-core latency distribution, or nullptr when the core issued
+     * nothing (index = core id).
+     */
+    const Log2Histogram *
+    coreLatencyHistogramNs(std::size_t core) const
+    {
+        return core < perCore_.size() ? &perCore_[core].latencyNs
+                                      : nullptr;
+    }
 
     std::uint64_t completed() const { return completed_; }
 
@@ -88,6 +102,9 @@ class TraceFrontend
     void pump();
     void schedulePump(TimePs when);
 
+    /** Tracer track for a core's demand spans ("core<i>"). */
+    static std::uint32_t coreTrack(Tracer &tr, std::uint8_t core);
+
     EventQueue &eq_;
     MemoryManager &manager_;
     const LogicalToPhysical &placement_;
@@ -102,6 +119,7 @@ class TraceFrontend
     TimePs pumpScheduledAt_ = kTimeNever;
 
     double totalStallPs_ = 0.0;
+    std::uint64_t mshrWaitPs_ = 0; //!< attribution: admit - arrival
     Log2Histogram latencyNs_;
 
     struct PerCore
@@ -109,6 +127,7 @@ class TraceFrontend
         double stallPs = 0.0;
         std::uint64_t requests = 0;
         std::uint64_t completed = 0;
+        Log2Histogram latencyNs;
     };
     std::vector<PerCore> perCore_;
 };

@@ -10,11 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "common/metrics.h"
 #include "common/types.h"
+#include "mem/request.h"
 
 namespace mempod {
 
@@ -29,13 +29,17 @@ struct MigrationStats
     std::uint64_t wastedMigrations = 0;  //!< evicted before ever re-used
     std::uint64_t metaCacheHits = 0;
     std::uint64_t metaCacheMisses = 0;
+    /** Summed demand delay behind in-flight swaps (AMMAT attribution). */
+    std::uint64_t blockedPs = 0;
+    /** Summed demand delay on metadata-cache misses (attribution). */
+    std::uint64_t metadataPs = 0;
 };
 
 /** Base class for MemPod and all baseline mechanisms. */
 class MemoryManager
 {
   public:
-    using CompletionFn = std::function<void(TimePs finish)>;
+    using CompletionFn = CompletionCallback;
 
     virtual ~MemoryManager() = default;
 
@@ -47,10 +51,14 @@ class MemoryManager
      * @param arrival Trace arrival time (AMMAT accounting).
      * @param core Issuing core.
      * @param done Called exactly once when the data transfer finishes.
+     * @param trace_id Tracing correlation id (0 = request not sampled).
+     *        Defaulted identically in every override so direct callers
+     *        without tracing stay unchanged.
      */
     virtual void handleDemand(Addr home_addr, AccessType type,
                               TimePs arrival, std::uint8_t core,
-                              CompletionFn done) = 0;
+                              CompletionFn done,
+                              std::uint64_t trace_id = 0) = 0;
 
     /** Arm interval timers; called once before the trace starts. */
     virtual void start() {}
@@ -105,6 +113,14 @@ class MemoryManager
             "migration.meta_cache_misses",
             "bookkeeping-cache misses on the demand path",
             [this] { return migrationStats().metaCacheMisses; });
+        reg.addCounterFn(
+            "migration.blocked_ps",
+            "summed demand delay behind in-flight swaps",
+            [this] { return migrationStats().blockedPs; });
+        reg.addCounterFn(
+            "migration.metadata_ps",
+            "summed demand delay on metadata-cache misses",
+            [this] { return migrationStats().metadataPs; });
     }
 
   protected:

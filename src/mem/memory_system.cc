@@ -33,6 +33,10 @@ MemorySystem::MemorySystem(EventQueue &eq, const SystemGeometry &geom,
                 extra_latency_ps, policy));
         }
     }
+    // One shared hook per channel keeps in-flight tracking off the
+    // per-request path: requests carry their own callback unwrapped.
+    for (auto &ch : channels_)
+        ch->setCompletionHook([this](TimePs) { --inFlight_; });
 }
 
 void
@@ -54,13 +58,6 @@ MemorySystem::access(Request req)
     }
 
     ++inFlight_;
-    auto inner = std::move(req.onComplete);
-    req.onComplete = [this, cb = std::move(inner)](TimePs finish) {
-        --inFlight_;
-        if (cb)
-            cb(finish);
-    };
-
     channels_[d.channel]->enqueue(std::move(req),
                                   ChannelAddr{d.bank, d.row});
 }
@@ -187,6 +184,22 @@ MemorySystem::registerMetrics(MetricRegistry &reg) const
     reg.addGauge("mem.in_flight",
                  "line transfers dispatched but not completed",
                  [this] { return static_cast<double>(inFlight_); });
+    reg.addCounterFn("mem.demand_queue_wait_ps",
+                     "summed demand enqueue-to-CAS wait, all channels",
+                     [this] {
+                         std::uint64_t sum = 0;
+                         for (const auto &ch : channels_)
+                             sum += ch->stats().demandQueueWaitPs;
+                         return sum;
+                     });
+    reg.addCounterFn("mem.demand_service_ps",
+                     "summed demand CAS-to-completion time, all channels",
+                     [this] {
+                         std::uint64_t sum = 0;
+                         for (const auto &ch : channels_)
+                             sum += ch->stats().demandServicePs;
+                         return sum;
+                     });
     for (const auto &ch : channels_)
         ch->registerMetrics(reg, "mem." + ch->name());
 }

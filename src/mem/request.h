@@ -6,11 +6,22 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "common/callback.h"
 #include "common/types.h"
 
 namespace mempod {
+
+/**
+ * Completion callback carried by every request. Move-only with a
+ * 40-byte inline buffer: the demand path stores the frontend's
+ * accounting closure (32 bytes) here directly — no wrapper layers, so
+ * issuing a demand performs no heap allocation. The buffer is kept
+ * deliberately tight because channels park these in a slab while the
+ * data transfer completes; rare larger captures (migration-engine
+ * barriers) take the boxed fallback.
+ */
+using CompletionCallback = MoveFunction<void(TimePs), 40>;
 
 /** One 64 B memory transaction. */
 struct Request
@@ -29,8 +40,15 @@ struct Request
     TimePs arrival = 0;     //!< trace arrival time, for AMMAT accounting
     std::uint8_t core = 0;  //!< issuing core (demand requests)
 
+    /**
+     * Tracing correlation id: nonzero for sampled demand requests
+     * (trace record index + 1), zero otherwise. Channels use it to
+     * emit per-phase spans for exactly the sampled requests.
+     */
+    std::uint64_t traceId = 0;
+
     /** Invoked exactly once when the line transfer finishes. */
-    std::function<void(TimePs finish)> onComplete;
+    CompletionCallback onComplete;
 };
 
 } // namespace mempod

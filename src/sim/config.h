@@ -13,6 +13,7 @@
 #include "baselines/cameo.h"
 #include "baselines/hma.h"
 #include "baselines/thm.h"
+#include "common/tracer.h"
 #include "core/mempod_manager.h"
 #include "dram/channel.h"
 #include "dram/spec.h"
@@ -58,6 +59,14 @@ struct SimConfig
      * count).
      */
     TimePs statsIntervalPs = 0;
+
+    /**
+     * Causal event tracing (Chrome trace-event JSON). Disabled by
+     * default; when disabled the only cost is one pointer test per
+     * trace point (no events are added or removed from the queue, so
+     * golden executed-event counts are unchanged either way).
+     */
+    TracerConfig tracer;
 
     /** Paper Table 2: 1 GB HBM-1GHz + 8 GB DDR4-1600, 4 Pods. */
     static SimConfig paper(Mechanism m);

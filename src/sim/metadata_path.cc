@@ -17,7 +17,7 @@ MetadataPath::MetadataPath(EventQueue &eq, MemorySystem &mem,
 }
 
 void
-MetadataPath::access(std::uint64_t entry_idx, std::function<void()> ready)
+MetadataPath::access(std::uint64_t entry_idx, ReadyFn ready)
 {
     if (cache_.lookup(entry_idx)) {
         ready();

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/callback.h"
 #include "common/event_queue.h"
 #include "common/metrics.h"
 #include "mem/memory_system.h"
@@ -27,6 +28,13 @@ class MetadataPath
     /** Maps a metadata block number to its backing-store address. */
     using BlockAddrFn = std::function<Addr(std::uint64_t block)>;
 
+    /**
+     * Miss/hit continuation. Move-only and sized for a parked demand
+     * request (the manager's continuation carries the request's
+     * move-only completion callback inline).
+     */
+    using ReadyFn = MoveFunction<void(), 176>;
+
     MetadataPath(EventQueue &eq, MemorySystem &mem,
                  std::uint64_t capacity_bytes, std::uint32_t assoc,
                  std::uint32_t entry_bytes, BlockAddrFn block_addr);
@@ -36,7 +44,7 @@ class MetadataPath
      * or after the injected backing-store read completes on a miss
      * (piggybacking on an outstanding fill of the same block).
      */
-    void access(std::uint64_t entry_idx, std::function<void()> ready);
+    void access(std::uint64_t entry_idx, ReadyFn ready);
 
     std::uint64_t hits() const { return cache_.hits(); }
     std::uint64_t misses() const { return cache_.misses(); }
@@ -54,8 +62,7 @@ class MetadataPath
     MetadataCache cache_;
     BlockAddrFn blockAddr_;
     std::uint64_t fills_ = 0; //!< injected backing-store reads
-    std::unordered_map<std::uint64_t, std::vector<std::function<void()>>>
-        pending_;
+    std::unordered_map<std::uint64_t, std::vector<ReadyFn>> pending_;
 };
 
 } // namespace mempod

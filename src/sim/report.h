@@ -15,6 +15,37 @@
 
 namespace mempod {
 
+/**
+ * AMMAT latency attribution: the average memory access time split into
+ * additive pipeline components, each in nanoseconds per trace record
+ * (the same denominator as AMMAT itself). The components partition
+ * every completed demand's arrival-to-finish interval exactly, so
+ * their sum equals the measured AMMAT.
+ */
+struct AmmatAttribution
+{
+    double mshrWaitNs = 0.0;  //!< admission delay behind the MSHR cap
+    double metadataNs = 0.0;  //!< metadata-cache miss fill waits
+    double blockedNs = 0.0;   //!< parked behind in-flight migrations
+    double queueWaitNs = 0.0; //!< controller queue wait (enqueue->CAS)
+    double serviceNs = 0.0;   //!< CAS to completion incl. interconnect
+
+    double
+    totalNs() const
+    {
+        return mshrWaitNs + metadataNs + blockedNs + queueWaitNs +
+               serviceNs;
+    }
+};
+
+/** p50/p95/p99 of a per-request latency distribution, nanoseconds. */
+struct LatencyPercentiles
+{
+    double p50Ns = 0.0;
+    double p95Ns = 0.0;
+    double p99Ns = 0.0;
+};
+
 /** Everything measured by one simulation run. */
 struct RunResult
 {
@@ -40,6 +71,15 @@ struct RunResult
 
     /** Per-core AMMAT in nanoseconds (index = core id). */
     std::vector<double> perCoreAmmatNs;
+
+    /** AMMAT split into additive components (sums to ammatNs). */
+    AmmatAttribution attribution;
+
+    /** Request-latency percentiles, all cores together. */
+    LatencyPercentiles latency;
+
+    /** Per-core request-latency percentiles (index = core id). */
+    std::vector<LatencyPercentiles> perCoreLatency;
 
     /** Migration data volume in MiB. */
     double

@@ -98,9 +98,9 @@ BatchRunner::execute(const BatchJob &job, std::size_t index)
           case JobKind::kTiming: {
             Simulation sim(job.config);
             out.result = sim.run(*trace, job.workload);
+            const std::string stem = StatsWriter::jobFileStem(
+                index, job.label, job.workload);
             if (!opt_.statsDir.empty()) {
-                const std::string stem = StatsWriter::jobFileStem(
-                    index, job.label, job.workload);
                 const std::string base = opt_.statsDir + "/" + stem;
                 StatsWriter::writeFile(
                     base + ".json",
@@ -113,6 +113,10 @@ BatchRunner::execute(const BatchJob &job, std::size_t index)
                         StatsWriter::toJsonl(
                             sim.sampler()->records()));
             }
+            if (!opt_.traceDir.empty() && sim.tracer())
+                StatsWriter::writeFile(opt_.traceDir + "/" + stem +
+                                           ".trace.json",
+                                       sim.tracer()->toJson());
             break;
           }
           case JobKind::kIntervalStudy:
@@ -146,6 +150,8 @@ BatchRunner::runAll()
     // any worker races to write into it.
     if (!opt_.statsDir.empty())
         std::filesystem::create_directories(opt_.statsDir);
+    if (!opt_.traceDir.empty())
+        std::filesystem::create_directories(opt_.traceDir);
 
     // Stats files are numbered by overall submission order so repeated
     // runAll() batches on one runner never overwrite each other.
@@ -284,8 +290,25 @@ serializeRunResult(const RunResult &r)
     field("bookkeepingSlow", "%llu",
           static_cast<unsigned long long>(r.memStats.bookkeepingSlow));
     field("podLocalMigrations", "%d", r.podLocalMigrations ? 1 : 0);
+    field("blockedPs", "%llu",
+          static_cast<unsigned long long>(r.migration.blockedPs));
+    field("metadataPs", "%llu",
+          static_cast<unsigned long long>(r.migration.metadataPs));
+    field("attribution.mshrWaitNs", "%a", r.attribution.mshrWaitNs);
+    field("attribution.metadataNs", "%a", r.attribution.metadataNs);
+    field("attribution.blockedNs", "%a", r.attribution.blockedNs);
+    field("attribution.queueWaitNs", "%a", r.attribution.queueWaitNs);
+    field("attribution.serviceNs", "%a", r.attribution.serviceNs);
+    field("latencyP50Ns", "%a", r.latency.p50Ns);
+    field("latencyP95Ns", "%a", r.latency.p95Ns);
+    field("latencyP99Ns", "%a", r.latency.p99Ns);
     for (double a : r.perCoreAmmatNs)
         field("perCoreAmmatNs", "%a", a);
+    for (const LatencyPercentiles &lp : r.perCoreLatency) {
+        field("perCoreLatencyP50Ns", "%a", lp.p50Ns);
+        field("perCoreLatencyP95Ns", "%a", lp.p95Ns);
+        field("perCoreLatencyP99Ns", "%a", lp.p99Ns);
+    }
     return out;
 }
 

@@ -134,6 +134,14 @@ struct RunnerOptions
      * any worker count.
      */
     std::string statsDir;
+
+    /**
+     * When non-empty, every timing job whose config armed the tracer
+     * writes "<traceDir>/<same stem>.trace.json" (Chrome trace-event
+     * JSON). Deterministic sampling plus submission-index naming makes
+     * the trace bytes identical at any worker count.
+     */
+    std::string traceDir;
 };
 
 /**

@@ -8,6 +8,10 @@ namespace mempod {
 Simulation::Simulation(const SimConfig &config) : config_(config)
 {
     config_.geom.validate();
+    if (config_.tracer.enabled) {
+        tracer_ = std::make_unique<Tracer>(config_.tracer);
+        eq_.setTracer(tracer_.get());
+    }
     mem_ = std::make_unique<MemorySystem>(eq_, config_.geom, config_.fast,
                                           config_.slow,
                                           config_.extraLatencyPs,
@@ -143,6 +147,8 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
     r.migration.wastedMigrations = s.u64("migration.wasted");
     r.migration.metaCacheHits = s.u64("migration.meta_cache_hits");
     r.migration.metaCacheMisses = s.u64("migration.meta_cache_misses");
+    r.migration.blockedPs = s.u64("migration.blocked_ps");
+    r.migration.metadataPs = s.u64("migration.metadata_ps");
     r.memStats.demandFast = demand_fast;
     r.memStats.demandSlow = s.u64("mem.demand_slow");
     r.memStats.migrationFast = s.u64("mem.migration_fast");
@@ -150,17 +156,53 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
     r.memStats.bookkeepingFast = s.u64("mem.bookkeeping_fast");
     r.memStats.bookkeepingSlow = s.u64("mem.bookkeeping_slow");
     r.podLocalMigrations = config_.mechanism == Mechanism::kMemPod;
+
+    // AMMAT attribution: the per-stage picosecond sums partition every
+    // completed demand's arrival-to-finish interval, so dividing by the
+    // AMMAT denominator (the trace length) makes them sum to ammatNs.
+    if (!trace.empty()) {
+        const double denom =
+            static_cast<double>(trace.size()) * 1000.0; // ps -> ns
+        r.attribution.mshrWaitNs =
+            static_cast<double>(s.u64("frontend.mshr_wait_ps")) / denom;
+        r.attribution.metadataNs =
+            static_cast<double>(s.u64("migration.metadata_ps")) / denom;
+        r.attribution.blockedNs =
+            static_cast<double>(s.u64("migration.blocked_ps")) / denom;
+        r.attribution.queueWaitNs =
+            static_cast<double>(s.u64("mem.demand_queue_wait_ps")) /
+            denom;
+        r.attribution.serviceNs =
+            static_cast<double>(s.u64("mem.demand_service_ps")) / denom;
+    }
+    r.latency.p50Ns = s.real("frontend.latency_p50_ns");
+    r.latency.p95Ns = s.real("frontend.latency_p95_ns");
+    r.latency.p99Ns = s.real("frontend.latency_p99_ns");
+
     // Per-core metrics are registered for [0, numCores); a trace with
     // out-of-range core ids still gets its AMMAT from the frontend.
     const std::size_t cores_seen = frontend_->coresSeen();
     for (std::size_t c = 0; c < cores_seen; ++c) {
-        const std::string g = "core" + std::to_string(c) + ".ammat_ps";
-        if (s.has(g)) {
-            r.perCoreAmmatNs.push_back(s.real(g) / 1000.0);
+        const std::string cp = "core" + std::to_string(c);
+        if (s.has(cp + ".ammat_ps")) {
+            r.perCoreAmmatNs.push_back(s.real(cp + ".ammat_ps") /
+                                       1000.0);
         } else {
             r.perCoreAmmatNs.push_back(frontend_->perCoreAmmatPs()[c] /
                                        1000.0);
         }
+        LatencyPercentiles lp;
+        if (s.has(cp + ".latency_p50_ns")) {
+            lp.p50Ns = s.real(cp + ".latency_p50_ns");
+            lp.p95Ns = s.real(cp + ".latency_p95_ns");
+            lp.p99Ns = s.real(cp + ".latency_p99_ns");
+        } else if (const Log2Histogram *h =
+                       frontend_->coreLatencyHistogramNs(c)) {
+            lp.p50Ns = static_cast<double>(h->percentile(0.50));
+            lp.p95Ns = static_cast<double>(h->percentile(0.95));
+            lp.p99Ns = static_cast<double>(h->percentile(0.99));
+        }
+        r.perCoreLatency.push_back(lp);
     }
     return r;
 }

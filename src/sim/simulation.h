@@ -12,6 +12,7 @@
 
 #include "common/event_queue.h"
 #include "common/metrics.h"
+#include "common/tracer.h"
 #include "mem/frontend.h"
 #include "mem/manager.h"
 #include "mem/memory_system.h"
@@ -50,11 +51,15 @@ class Simulation
     /** Interval sampler, or nullptr when statsIntervalPs == 0. */
     const IntervalSampler *sampler() const { return sampler_.get(); }
 
+    /** Event tracer, or nullptr when config.tracer.enabled is false. */
+    const Tracer *tracer() const { return tracer_.get(); }
+
   private:
     void registerAllMetrics();
 
     SimConfig config_;
     EventQueue eq_;
+    std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<LogicalToPhysical> placement_;
     std::unique_ptr<MemoryManager> manager_;

@@ -213,6 +213,36 @@ StatsWriter::toJson(const MetricRegistry &reg, const MetricSnapshot &snap,
             out += ',';
         out += formatDouble(r.perCoreAmmatNs[c]);
     }
+    out += "],\n    \"attribution_ns\": {";
+    appendKeyDouble(out, "mshr_wait", r.attribution.mshrWaitNs);
+    out += ',';
+    appendKeyDouble(out, "metadata", r.attribution.metadataNs);
+    out += ',';
+    appendKeyDouble(out, "blocked", r.attribution.blockedNs);
+    out += ',';
+    appendKeyDouble(out, "queue_wait", r.attribution.queueWaitNs);
+    out += ',';
+    appendKeyDouble(out, "service", r.attribution.serviceNs);
+    out += ',';
+    appendKeyDouble(out, "total", r.attribution.totalNs());
+    out += "},\n    \"latency_ns\": {";
+    appendKeyDouble(out, "p50", r.latency.p50Ns);
+    out += ',';
+    appendKeyDouble(out, "p95", r.latency.p95Ns);
+    out += ',';
+    appendKeyDouble(out, "p99", r.latency.p99Ns);
+    out += "},\n    \"per_core_latency_ns\":[";
+    for (std::size_t c = 0; c < r.perCoreLatency.size(); ++c) {
+        if (c)
+            out += ',';
+        out += '{';
+        appendKeyDouble(out, "p50", r.perCoreLatency[c].p50Ns);
+        out += ',';
+        appendKeyDouble(out, "p95", r.perCoreLatency[c].p95Ns);
+        out += ',';
+        appendKeyDouble(out, "p99", r.perCoreLatency[c].p99Ns);
+        out += '}';
+    }
     out += "]\n  },\n  \"metrics\": {\n";
     bool first = true;
     for (const auto &[name, value] : snap.values) {

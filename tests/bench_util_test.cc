@@ -118,6 +118,25 @@ TEST(ParseOptionsDeathTest, RejectsUnknownWorkload)
                 ::testing::ExitedWithCode(1), "unknown workload");
 }
 
+TEST(ParseOptions, TraceFlags)
+{
+    const Options opt =
+        parse({"--trace-out", "/tmp", "--trace-sample", "16"});
+    EXPECT_EQ(opt.traceOut, "/tmp");
+    EXPECT_EQ(opt.traceSample, 16u);
+    // Defaults: off, 1-in-64.
+    const Options def = parse({});
+    EXPECT_TRUE(def.traceOut.empty());
+    EXPECT_EQ(def.traceSample, 64u);
+}
+
+TEST(ParseOptionsDeathTest, RejectsZeroTraceSample)
+{
+    EXPECT_EXIT(parse({"--trace-sample", "0"}),
+                ::testing::ExitedWithCode(2),
+                "--trace-sample must be");
+}
+
 TEST(WorkloadSelection, SweepDefaultsToRepresentativeSet)
 {
     const Options opt = parse({});

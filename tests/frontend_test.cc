@@ -20,15 +20,16 @@ class FixedLatencyManager : public MemoryManager
 
     void
     handleDemand(Addr addr, AccessType, TimePs, std::uint8_t,
-                 CompletionFn done) override
+                 CompletionFn done, std::uint64_t = 0) override
     {
         ++received;
         addrs.push_back(addr);
         ++inFlight_;
-        eq_.scheduleAfter(latency_, [this, done = std::move(done)] {
-            --inFlight_;
-            done(eq_.now());
-        });
+        eq_.scheduleAfter(latency_,
+                          [this, done = std::move(done)]() mutable {
+                              --inFlight_;
+                              done(eq_.now());
+                          });
     }
 
     std::string name() const override { return "fixed"; }

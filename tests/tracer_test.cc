@@ -1,0 +1,120 @@
+/** @file Unit tests for the sampling event tracer. */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/tracer.h"
+
+namespace mempod {
+namespace {
+
+TracerConfig
+cfg(std::uint64_t every, std::uint64_t seed = 0)
+{
+    TracerConfig c;
+    c.enabled = true;
+    c.sampleEvery = every;
+    c.seed = seed;
+    return c;
+}
+
+TEST(Tracer, SampleEveryOneTakesEverything)
+{
+    const Tracer t(cfg(1));
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_TRUE(t.sampleDemand(i));
+}
+
+TEST(Tracer, SampleEveryZeroClampsToOne)
+{
+    const Tracer t(cfg(0));
+    EXPECT_EQ(t.sampleEvery(), 1u);
+    EXPECT_TRUE(t.sampleDemand(12345));
+}
+
+TEST(Tracer, SamplingIsDeterministicAndSeedKeyed)
+{
+    const Tracer a(cfg(64, 42)), b(cfg(64, 42)), c(cfg(64, 7));
+    std::uint64_t taken = 0, differs = 0;
+    for (std::uint64_t i = 0; i < 100'000; ++i) {
+        EXPECT_EQ(a.sampleDemand(i), b.sampleDemand(i));
+        taken += a.sampleDemand(i) ? 1 : 0;
+        differs += a.sampleDemand(i) != c.sampleDemand(i) ? 1 : 0;
+    }
+    // A well-mixed 1-in-64 hash: close to the nominal rate, and a
+    // different seed picks a mostly-disjoint sample.
+    EXPECT_NEAR(static_cast<double>(taken), 100'000.0 / 64, 300.0);
+    EXPECT_GT(differs, 1000u);
+}
+
+TEST(Tracer, TrackIdsAreStablePerName)
+{
+    Tracer t(cfg(1));
+    const std::uint32_t core0 = t.track("core0");
+    const std::uint32_t pod1 = t.track("pod1");
+    EXPECT_NE(core0, pod1);
+    EXPECT_EQ(t.track("core0"), core0);
+    EXPECT_EQ(t.track("pod1"), pod1);
+}
+
+TEST(Tracer, FlowIdsAreUniqueAndDisjointFromDemandIds)
+{
+    Tracer t(cfg(1));
+    const std::uint64_t f1 = t.newFlowId();
+    const std::uint64_t f2 = t.newFlowId();
+    EXPECT_NE(f1, f2);
+    // Demand ids are record_idx + 1; flows live in a different range.
+    EXPECT_GT(f1, 1ull << 31);
+}
+
+TEST(Tracer, ToJsonShape)
+{
+    Tracer t(cfg(1));
+    const std::uint32_t tid = t.track("core0");
+    TraceArgs args;
+    args.add("core", std::uint64_t{3}).add("kind", "demand");
+    t.asyncBegin(tid, 1'500'000, "req", 9, "demand", args.str());
+    t.asyncEnd(tid, 2'500'000, "req", 9, "demand");
+    t.durBegin(tid, 3'000'000, "refresh");
+    t.durEnd(tid, 4'000'000);
+    t.instant(tid, 5'000'000, "mea_victory");
+    t.flowStart(tid, 1'500'000, "mig", 77, "migration");
+    t.flowEnd(tid, 2'500'000, "mig", 77, "migration");
+
+    const std::string json = t.toJson();
+    // Metadata names the process and the track.
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("{\"name\":\"core0\"}"), std::string::npos);
+    // ps -> µs via integer math: 1'500'000 ps = 1.500000 µs.
+    EXPECT_NE(json.find("\"ts\":1.500000"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"req\",\"id\":\"9\""),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"core\":3,\"kind\":\"demand\"}"),
+              std::string::npos);
+    // Flow events carry the enclosing-slice binding point.
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+    EXPECT_EQ(t.eventCount(), 7u);
+}
+
+TEST(Tracer, ToJsonBytesAreDeterministic)
+{
+    auto build = [] {
+        Tracer t(cfg(4, 11));
+        const std::uint32_t tid = t.track("pod0");
+        for (std::uint64_t i = 0; i < 50; ++i) {
+            if (!t.sampleDemand(i))
+                continue;
+            t.asyncBegin(tid, i * 1000, "req", i + 1, "demand");
+            t.asyncEnd(tid, i * 1000 + 500, "req", i + 1, "demand");
+        }
+        return t.toJson();
+    };
+    EXPECT_EQ(build(), build());
+}
+
+} // namespace
+} // namespace mempod

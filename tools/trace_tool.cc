@@ -5,14 +5,19 @@
  * repeatedly against identical frozen inputs.
  *
  * Usage:
- *   trace_tool gen  <workload> <file.bin> [requests] [seed]
- *   trace_tool info <file.bin>
+ *   trace_tool gen     <workload> <file.bin> [requests] [seed]
+ *   trace_tool info    <file.bin>
+ *   trace_tool summary <file.trace.json> [topk]
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "analysis/footprint.h"
 #include "trace/workloads.h"
@@ -89,19 +94,172 @@ cmdInfo(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Extract the string value of `"key":"..."` from one trace-event line;
+ * returns "" when absent. The tracer writes one event per line with
+ * unescaped identifier-like values, so plain substring search is an
+ * exact parse for its own output.
+ */
+std::string
+jsonField(const std::string &line, const char *key)
+{
+    const std::string needle = std::string("\"") + key + "\":\"";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t start = at + needle.size();
+    const std::size_t end = line.find('"', start);
+    return end == std::string::npos ? "" : line.substr(start, end - start);
+}
+
+/** Extract a numeric field `"key":123[.456]`; -1 when absent. */
+double
+jsonNumber(const std::string &line, const char *key)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return -1.0;
+    return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+int
+cmdSummary(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: trace_tool summary "
+                             "<file.trace.json> [topk]\n");
+        return 2;
+    }
+    const std::size_t topk =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
+    std::ifstream in(argv[2]);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
+        return 2;
+    }
+
+    struct Span
+    {
+        std::string id;
+        double beginUs = 0, endUs = 0;
+        double durUs() const { return endUs - beginUs; }
+    };
+    // Open async spans keyed by cat/id/name until their 'e' arrives.
+    std::unordered_map<std::string, Span> open;
+    std::map<std::string, std::uint64_t> counts; // per (ph,name)
+    std::vector<Span> demands, migrations, blocked;
+    std::uint64_t events = 0, unmatched = 0;
+    std::map<std::string, std::uint64_t> instants;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string ph = jsonField(line, "ph");
+        if (ph.empty() || ph == "M")
+            continue;
+        ++events;
+        const std::string name = jsonField(line, "name");
+        ++counts[ph + " " + name];
+        if (ph == "i")
+            ++instants[name];
+        if (ph != "b" && ph != "e")
+            continue;
+        const std::string key = jsonField(line, "cat") + "/" +
+                                jsonField(line, "id") + "/" + name;
+        const double ts = jsonNumber(line, "ts");
+        if (ph == "b") {
+            open[key] = Span{jsonField(line, "id"), ts, ts};
+        } else {
+            auto it = open.find(key);
+            if (it == open.end()) {
+                ++unmatched;
+                continue;
+            }
+            Span s = it->second;
+            s.endUs = ts;
+            open.erase(it);
+            if (name == "demand")
+                demands.push_back(s);
+            else if (name == "migration")
+                migrations.push_back(s);
+            else if (name == "blocked")
+                blocked.push_back(s);
+        }
+    }
+
+    std::printf("events: %llu  (unmatched async ends: %llu, "
+                "still-open spans: %zu)\n",
+                static_cast<unsigned long long>(events),
+                static_cast<unsigned long long>(unmatched),
+                open.size());
+    std::printf("\nevent counts by phase+name:\n");
+    for (const auto &[k, n] : counts)
+        std::printf("  %-24s %llu\n", k.c_str(),
+                    static_cast<unsigned long long>(n));
+
+    auto byDur = [](const Span &a, const Span &b) {
+        return a.durUs() > b.durUs();
+    };
+    std::sort(demands.begin(), demands.end(), byDur);
+    std::printf("\ntop %zu longest sampled demand requests:\n",
+                std::min(topk, demands.size()));
+    for (std::size_t i = 0; i < std::min(topk, demands.size()); ++i)
+        std::printf("  id=%-10s start=%12.3f us  latency=%9.3f us\n",
+                    demands[i].id.c_str(), demands[i].beginUs,
+                    demands[i].durUs());
+
+    // Interference windows: for each migration, how many sampled
+    // demand spans overlap it in time (they contended for the same
+    // banks or were parked behind its page locks).
+    std::sort(migrations.begin(), migrations.end(), byDur);
+    double migUs = 0;
+    for (const Span &m : migrations)
+        migUs += m.durUs();
+    std::printf("\nmigrations: %zu complete, total span %.3f us\n",
+                migrations.size(), migUs);
+    for (std::size_t i = 0; i < std::min(topk, migrations.size());
+         ++i) {
+        const Span &m = migrations[i];
+        std::uint64_t overlap = 0;
+        for (const Span &d : demands)
+            if (d.beginUs < m.endUs && m.beginUs < d.endUs)
+                ++overlap;
+        std::printf("  flow=%-12s start=%12.3f us  dur=%9.3f us  "
+                    "overlapping sampled demands=%llu\n",
+                    m.id.c_str(), m.beginUs, m.durUs(),
+                    static_cast<unsigned long long>(overlap));
+    }
+    double blockedUs = 0;
+    for (const Span &b : blocked)
+        blockedUs += b.durUs();
+    std::printf("\nblocked windows: %zu sampled demands parked behind "
+                "migrations, total %.3f us\n",
+                blocked.size(), blockedUs);
+    if (!instants.empty()) {
+        std::printf("\nmarkers:");
+        for (const auto &[k, n] : instants)
+            std::printf(" %s=%llu", k.c_str(),
+                        static_cast<unsigned long long>(n));
+        std::printf("\n");
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: trace_tool gen|info ...\n");
+        std::fprintf(stderr, "usage: trace_tool gen|info|summary ...\n");
         return 2;
     }
     if (!std::strcmp(argv[1], "gen"))
         return cmdGen(argc, argv);
     if (!std::strcmp(argv[1], "info"))
         return cmdInfo(argc, argv);
+    if (!std::strcmp(argv[1], "summary"))
+        return cmdSummary(argc, argv);
     std::fprintf(stderr, "unknown subcommand '%s'\n", argv[1]);
     return 2;
 }
