@@ -99,6 +99,68 @@ BM_MetadataCacheLookup(benchmark::State &state)
 BENCHMARK(BM_MetadataCacheLookup);
 
 void
+BM_EventQueueUniform(benchmark::State &state)
+{
+    // Steady-state kernel load: a fixed population of events, each
+    // re-arming at a uniform DRAM-scale delta (0.2-50 ns), so inserts
+    // land across wheel-0/1 slots and every runAll drains hot slots.
+    EventQueue eq;
+    Rng rng(7);
+    std::function<void()> tick = [&] {
+        eq.scheduleAfter(200 + rng.nextBelow(50'000), tick);
+    };
+    for (int i = 0; i < 256; ++i)
+        eq.schedule(rng.nextBelow(50'000), tick);
+    for (auto _ : state)
+        eq.runAll(1024);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueUniform);
+
+void
+BM_EventQueueBursty(benchmark::State &state)
+{
+    // Same-timestamp bursts (a channel completing a queued batch):
+    // exercises the one-slot claim-sort-drain path and the FIFO
+    // tie-break.
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const TimePs when = eq.now() + 1'000'000;
+        for (int i = 0; i < 256; ++i)
+            eq.schedule(when, [&sink] { ++sink; });
+        eq.runAll();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EventQueueBursty);
+
+void
+BM_EventQueueFarFuture(benchmark::State &state)
+{
+    // Interval-timer profile: mostly near events plus a slice beyond
+    // the outermost wheel (HMA epochs, samplers), so the overflow
+    // ladder and multi-level cascades stay on the measured path.
+    EventQueue eq;
+    Rng rng(8);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i) {
+            const TimePs delta =
+                (i & 15) == 0
+                    ? EventQueue::kWheelSpanPs + rng.nextBelow(1 << 20)
+                    : 200 + rng.nextBelow(2'000'000);
+            eq.scheduleAfter(delta, [&sink] { ++sink; });
+        }
+        eq.runAll();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueFarFuture);
+
+void
 BM_ChannelThroughput(benchmark::State &state)
 {
     for (auto _ : state) {

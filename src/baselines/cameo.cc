@@ -1,9 +1,11 @@
 #include "baselines/cameo.h"
 
 #include <bit>
+#include <memory>
 
 #include "common/log.h"
 #include "common/tracer.h"
+#include "mem/manager_factory.h"
 
 namespace mempod {
 
@@ -72,16 +74,13 @@ CameoManager::slotOfMember(std::uint64_t group, std::uint32_t member) const
 }
 
 void
-CameoManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                           std::uint8_t core, CompletionFn done,
-                           std::uint64_t trace_id)
+CameoManager::handleDemand(Demand d)
 {
-    proceed(BlockedDemand{home_addr, type, arrival, core, trace_id,
-                          /*parkedAt=*/0, std::move(done)});
+    proceed(std::move(d));
 }
 
 void
-CameoManager::proceed(BlockedDemand d)
+CameoManager::proceed(Demand d)
 {
     const LineId line = d.homeAddr / kLineBytes;
     const auto [group, member] = groupOf(line);
@@ -228,5 +227,11 @@ CameoManager::remapStorageBits() const
     // full LLT needs one entry per line in the group.
     return fastLines_ * (ratio_ + 1) * std::bit_width(ratio_);
 }
+
+MEMPOD_REGISTER_MANAGER(
+    Mechanism::kCameo,
+    [](const SimConfig &cfg, EventQueue &eq, MemorySystem &mem) {
+        return std::make_unique<CameoManager>(eq, mem, cfg.cameo);
+    })
 
 } // namespace mempod

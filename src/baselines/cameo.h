@@ -19,21 +19,9 @@
 #include "core/migration_engine.h"
 #include "mem/manager.h"
 #include "mem/memory_system.h"
+#include "sim/mechanism_params.h"
 
 namespace mempod {
-
-/** CAMEO configuration. */
-struct CameoParams
-{
-    /** Concurrent line swaps (swaps ride the MC queues, not a CPU). */
-    std::uint32_t engineParallelism = 8;
-    /**
-     * Backpressure bound on queued swaps: beyond it new slow accesses
-     * skip their swap instead of queueing unboundedly (the demand
-     * itself is never skipped).
-     */
-    std::size_t maxQueuedSwaps = 256;
-};
 
 /** Line-granularity swap-on-access migration manager. */
 class CameoManager : public MemoryManager
@@ -42,9 +30,7 @@ class CameoManager : public MemoryManager
     CameoManager(EventQueue &eq, MemorySystem &mem,
                  const CameoParams &params);
 
-    void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                      std::uint8_t core, CompletionFn done,
-                      std::uint64_t trace_id = 0) override;
+    void handleDemand(Demand d) override;
 
     std::string name() const override { return "CAMEO"; }
 
@@ -111,7 +97,7 @@ class CameoManager : public MemoryManager
     /** Home line of (group, slot). */
     LineId lineAt(std::uint64_t group, std::uint32_t slot) const;
 
-    void proceed(BlockedDemand d);
+    void proceed(Demand d);
     void scheduleSwap(std::uint64_t group, std::uint32_t member);
 
     EventQueue &eq_;

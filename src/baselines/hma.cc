@@ -1,7 +1,10 @@
 #include "baselines/hma.h"
 
+#include <memory>
+
 #include "common/log.h"
 #include "common/tracer.h"
+#include "mem/manager_factory.h"
 
 namespace mempod {
 
@@ -12,7 +15,8 @@ HmaManager::HmaManager(EventQueue &eq, MemorySystem &mem,
       params_(params),
       counters_(mem.geom().totalPages(), params.counterBits),
       placement_(mem.geom().totalPages(), mem.geom().fastPages()),
-      engine_(eq, mem, /*max_in_flight_ops=*/1, "hma.engine")
+      engine_(eq, mem, /*max_in_flight_ops=*/1, "hma.engine"),
+      epochTimer_(eq, params.interval, [this] { onInterval(); })
 {
     if (params_.metaCacheEnabled) {
         const std::uint64_t fast_bytes = mem.geom().fastBytes;
@@ -27,20 +31,15 @@ HmaManager::HmaManager(EventQueue &eq, MemorySystem &mem,
 }
 
 void
-HmaManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                         std::uint8_t core, CompletionFn done,
-                         std::uint64_t trace_id)
+HmaManager::handleDemand(Demand d)
 {
-    BlockedDemand d{home_addr, type,     arrival,
-                    core,      trace_id, /*parkedAt=*/0,
-                    std::move(done)};
     if (!metaPath_) {
         proceed(std::move(d));
         return;
     }
     // The per-page counter must be fetched to be updated; a miss
     // blocks the request just like the paper's model.
-    const PageId page = AddressMap::pageOf(home_addr);
+    const PageId page = AddressMap::pageOf(d.homeAddr);
     const std::uint64_t misses_before = metaPath_->misses();
     const TimePs t0 = eq_.now();
     metaPath_->access(page, [this, t0, d = std::move(d)]() mutable {
@@ -54,7 +53,7 @@ HmaManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
 }
 
 void
-HmaManager::proceed(BlockedDemand d)
+HmaManager::proceed(Demand d)
 {
     const PageId page = AddressMap::pageOf(d.homeAddr);
     counters_.touch(page);
@@ -76,7 +75,7 @@ HmaManager::proceed(BlockedDemand d)
 }
 
 void
-HmaManager::issueToCurrentLocation(BlockedDemand d)
+HmaManager::issueToCurrentLocation(Demand d)
 {
     const PageId page = AddressMap::pageOf(d.homeAddr);
     const std::uint64_t slot = placement_.locationOf(page);
@@ -94,10 +93,7 @@ HmaManager::issueToCurrentLocation(BlockedDemand d)
 void
 HmaManager::start()
 {
-    eq_.scheduleAfter(params_.interval, [this] {
-        onInterval();
-        start();
-    });
+    epochTimer_.start();
 }
 
 std::uint64_t
@@ -230,5 +226,11 @@ HmaManager::pendingWork() const
            engine_.activeOps() +
            (metaPath_ ? metaPath_->outstandingFills() : 0);
 }
+
+MEMPOD_REGISTER_MANAGER(
+    Mechanism::kHma,
+    [](const SimConfig &cfg, EventQueue &eq, MemorySystem &mem) {
+        return std::make_unique<HmaManager>(eq, mem, cfg.hma);
+    })
 
 } // namespace mempod

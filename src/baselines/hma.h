@@ -20,6 +20,7 @@
 #include "core/remap_table.h"
 #include "mem/manager.h"
 #include "mem/memory_system.h"
+#include "sim/mechanism_params.h"
 #include "sim/metadata_path.h"
 #include "tracking/full_counters.h"
 
@@ -27,30 +28,13 @@
 
 namespace mempod {
 
-/** HMA configuration. */
-struct HmaParams
-{
-    TimePs interval = 100_ms;     //!< paper's optimal epoch
-    TimePs sortStall = 7_ms;      //!< intake freeze per epoch
-    std::uint32_t counterBits = 16;
-    std::uint32_t threshold = 16; //!< min accesses to migrate a page
-    std::uint32_t maxMigrationsPerInterval = 2048;
-    /** Counter cache (Figure 9); disabled = free on-chip counters. */
-    bool metaCacheEnabled = false;
-    std::uint64_t metaCacheBytes = 16 * 1024;
-    std::uint32_t metaCacheAssoc = 8;
-    std::uint32_t counterEntryBytes = 2; //!< 16-bit packed counters
-};
-
 /** Full-counter, OS-epoch migration manager. */
 class HmaManager : public MemoryManager
 {
   public:
     HmaManager(EventQueue &eq, MemorySystem &mem, const HmaParams &params);
 
-    void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                      std::uint8_t core, CompletionFn done,
-                      std::uint64_t trace_id = 0) override;
+    void handleDemand(Demand d) override;
 
     void start() override;
 
@@ -81,11 +65,8 @@ class HmaManager : public MemoryManager
                      [this] { return placement_.fastOccupancy(); });
     }
 
-    /**
-     * Hook invoked with the sort *duration* each epoch; the simulation
-     * wires it to TraceFrontend::suspendCores.
-     */
-    void setStallHook(std::function<void(TimePs)> hook)
+    /** Receives the sort *duration* each epoch (core freeze). */
+    void setCoreStallHook(std::function<void(TimePs)> hook) override
     {
         stallHook_ = std::move(hook);
     }
@@ -103,12 +84,12 @@ class HmaManager : public MemoryManager
 
   private:
     void onInterval();
-    void issueToCurrentLocation(BlockedDemand d);
+    void issueToCurrentLocation(Demand d);
     std::uint64_t findVictimSlot(
         const std::unordered_set<std::uint64_t> &hot_set);
 
     /** Count/park/issue; stage after any counter-cache fill. */
-    void proceed(BlockedDemand d);
+    void proceed(Demand d);
 
     EventQueue &eq_;
     MemorySystem &mem_;
@@ -121,6 +102,7 @@ class HmaManager : public MemoryManager
     std::unordered_set<std::uint64_t> busy_;
     std::optional<MetadataPath> metaPath_;
     std::function<void(TimePs)> stallHook_;
+    PeriodicTimer epochTimer_;
     std::uint64_t victimScan_ = 0;
 };
 

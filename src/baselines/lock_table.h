@@ -13,21 +13,9 @@
 #include <vector>
 
 #include "common/types.h"
-#include "mem/manager.h"
+#include "mem/request.h"
 
 namespace mempod {
-
-/** A demand access held while its page migrates. */
-struct BlockedDemand
-{
-    Addr homeAddr = 0;
-    AccessType type = AccessType::kRead;
-    TimePs arrival = 0;
-    std::uint8_t core = 0;
-    std::uint64_t traceId = 0; //!< 0 = request not sampled
-    TimePs parkedAt = 0;       //!< when a swap lock parked it
-    MemoryManager::CompletionFn done;
-};
 
 /** Lock/park bookkeeping keyed by a mechanism-defined region id. */
 class LockTable
@@ -39,21 +27,21 @@ class LockTable
 
     /** Park a demand against a locked key. */
     void
-    park(std::uint64_t key, BlockedDemand d)
+    park(std::uint64_t key, Demand d)
     {
         parked_[key].push_back(std::move(d));
         ++parkedCount_;
     }
 
     /** Unlock `key` and return (draining) everything parked on it. */
-    std::vector<BlockedDemand>
+    std::vector<Demand>
     unlock(std::uint64_t key)
     {
         locked_.erase(key);
         auto it = parked_.find(key);
         if (it == parked_.end())
             return {};
-        std::vector<BlockedDemand> out = std::move(it->second);
+        std::vector<Demand> out = std::move(it->second);
         parked_.erase(it);
         parkedCount_ -= out.size();
         return out;
@@ -64,7 +52,7 @@ class LockTable
 
   private:
     std::unordered_set<std::uint64_t> locked_;
-    std::unordered_map<std::uint64_t, std::vector<BlockedDemand>> parked_;
+    std::unordered_map<std::uint64_t, std::vector<Demand>> parked_;
     std::uint64_t parkedCount_ = 0;
 };
 

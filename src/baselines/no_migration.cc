@@ -1,22 +1,29 @@
 #include "baselines/no_migration.h"
 
+#include <memory>
+
+#include "mem/manager_factory.h"
+
 namespace mempod {
 
 void
-NoMigrationManager::handleDemand(Addr home_addr, AccessType type,
-                                 TimePs arrival, std::uint8_t core,
-                                 CompletionFn done,
-                                 std::uint64_t trace_id)
+NoMigrationManager::handleDemand(Demand d)
 {
     Request req;
-    req.addr = home_addr;
-    req.type = type;
+    req.addr = d.homeAddr;
+    req.type = d.type;
     req.kind = Request::Kind::kDemand;
-    req.arrival = arrival;
-    req.core = core;
-    req.traceId = trace_id;
-    req.onComplete = std::move(done);
+    req.arrival = d.arrival;
+    req.core = d.core;
+    req.traceId = d.traceId;
+    req.onComplete = std::move(d.done);
     mem_.access(std::move(req));
 }
+
+MEMPOD_REGISTER_MANAGER(
+    Mechanism::kNoMigration,
+    [](const SimConfig &, EventQueue &, MemorySystem &mem) {
+        return std::make_unique<NoMigrationManager>(mem);
+    })
 
 } // namespace mempod

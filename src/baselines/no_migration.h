@@ -18,9 +18,7 @@ class NoMigrationManager : public MemoryManager
   public:
     explicit NoMigrationManager(MemorySystem &mem) : mem_(mem) {}
 
-    void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                      std::uint8_t core, CompletionFn done,
-                      std::uint64_t trace_id = 0) override;
+    void handleDemand(Demand d) override;
 
     std::string name() const override { return "NoMigration"; }
 

@@ -1,9 +1,11 @@
 #include "baselines/thm.h"
 
 #include <bit>
+#include <memory>
 
 #include "common/log.h"
 #include "common/tracer.h"
+#include "mem/manager_factory.h"
 
 namespace mempod {
 
@@ -80,18 +82,13 @@ ThmManager::fastResidentMember(std::uint64_t seg) const
 }
 
 void
-ThmManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                         std::uint8_t core, CompletionFn done,
-                         std::uint64_t trace_id)
+ThmManager::handleDemand(Demand d)
 {
-    BlockedDemand d{home_addr, type,     arrival,
-                    core,      trace_id, /*parkedAt=*/0,
-                    std::move(done)};
     if (!metaPath_) {
         proceed(std::move(d));
         return;
     }
-    const auto [seg, member] = segmentOf(AddressMap::pageOf(home_addr));
+    const auto [seg, member] = segmentOf(AddressMap::pageOf(d.homeAddr));
     (void)member;
     const std::uint64_t misses_before = metaPath_->misses();
     const TimePs t0 = eq_.now();
@@ -106,7 +103,7 @@ ThmManager::handleDemand(Addr home_addr, AccessType type, TimePs arrival,
 }
 
 void
-ThmManager::proceed(BlockedDemand d)
+ThmManager::proceed(Demand d)
 {
     const auto [seg, member] = segmentOf(AddressMap::pageOf(d.homeAddr));
     if (locks_.isLocked(seg)) {
@@ -142,7 +139,7 @@ ThmManager::proceed(BlockedDemand d)
 
 void
 ThmManager::issueAt(std::uint64_t seg, std::uint32_t slot,
-                    BlockedDemand d)
+                    Demand d)
 {
     Request req;
     req.addr = AddressMap::addrOfPage(pageAt(seg, slot)) +
@@ -242,5 +239,11 @@ ThmManager::remapStorageBits() const
     // One "which member is fast-resident" pointer per segment.
     return numSegments_ * std::bit_width(ratio_);
 }
+
+MEMPOD_REGISTER_MANAGER(
+    Mechanism::kThm,
+    [](const SimConfig &cfg, EventQueue &eq, MemorySystem &mem) {
+        return std::make_unique<ThmManager>(eq, mem, cfg.thm);
+    })
 
 } // namespace mempod

@@ -21,22 +21,11 @@
 #include "core/migration_engine.h"
 #include "mem/manager.h"
 #include "mem/memory_system.h"
+#include "sim/mechanism_params.h"
 #include "sim/metadata_path.h"
 #include "tracking/competing_counter.h"
 
 namespace mempod {
-
-/** THM configuration. */
-struct ThmParams
-{
-    std::uint32_t threshold = 16;  //!< competing-counter trigger
-    std::uint32_t counterBits = 8; //!< paper: 8 bits per fast page
-    /** Segment-state cache (Figure 9); disabled = free lookups. */
-    bool metaCacheEnabled = false;
-    std::uint64_t metaCacheBytes = 16 * 1024;
-    std::uint32_t metaCacheAssoc = 8;
-    std::uint32_t segEntryBytes = 4; //!< counter + remap state packed
-};
 
 /** Segment-restricted threshold-triggered migration manager. */
 class ThmManager : public MemoryManager
@@ -44,9 +33,7 @@ class ThmManager : public MemoryManager
   public:
     ThmManager(EventQueue &eq, MemorySystem &mem, const ThmParams &params);
 
-    void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                      std::uint8_t core, CompletionFn done,
-                      std::uint64_t trace_id = 0) override;
+    void handleDemand(Demand d) override;
 
     std::string name() const override { return "THM"; }
 
@@ -99,8 +86,8 @@ class ThmManager : public MemoryManager
     /** Home page of (segment, slot). */
     PageId pageAt(std::uint64_t seg, std::uint32_t slot) const;
 
-    void proceed(BlockedDemand d);
-    void issueAt(std::uint64_t seg, std::uint32_t slot, BlockedDemand d);
+    void proceed(Demand d);
+    void issueAt(std::uint64_t seg, std::uint32_t slot, Demand d);
     void scheduleSwap(std::uint64_t seg, std::uint32_t member);
 
     EventQueue &eq_;

@@ -9,8 +9,10 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <queue>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/callback.h"
@@ -20,7 +22,25 @@ namespace mempod {
 
 class Tracer;
 
-/** A single binary-heap discrete-event queue ordered by time. */
+/**
+ * Hierarchical timing-wheel discrete-event queue.
+ *
+ * Events are bucketed by arrival tick (kTickPs = 256 ps, finer than
+ * any DRAM clock in the model) into kWheels wheels of kSlots slots
+ * each. Wheel 0 resolves single ticks (~65 ns horizon); each higher
+ * wheel covers a kSlots-times larger region and cascades whole slots
+ * down as the cursor reaches them; deltas beyond the outermost wheel
+ * (~1.1 s — interval timers, HMA epochs) wait in a small overflow
+ * ladder. Scheduling and dispatch are O(1) amortized versus the
+ * O(log n) sift of the binary heap this replaces, and slot storage is
+ * recycled through a free list, so steady-state scheduling performs
+ * no allocation.
+ *
+ * Ordering guarantee: events execute in ascending (when, seq) order,
+ * where seq is global scheduling order — exactly the total order of a
+ * time-sorted heap with a FIFO tie-break, so replacing the heap
+ * cannot change simulation output.
+ */
 class EventQueue
 {
   public:
@@ -28,13 +48,24 @@ class EventQueue
      * Move-only with a buffer sized for the largest hot-path capture
      * (a channel completion: this + slab slot + timestamp = 24 bytes);
      * anything bigger falls back to the heap. Kept tight on purpose:
-     * Events live in a binary heap whose sift operations move whole
-     * elements, so with the 8-byte timestamp and sequence fields the
-     * Event is exactly one cache line.
+     * slot drains and cascades move whole Events, so with the 8-byte
+     * timestamp and sequence fields the Event is exactly one cache
+     * line.
      */
     using Callback = MoveFunction<void(), 24>;
 
+    /** Wheel geometry. One tick = 256 ps. */
+    static constexpr unsigned kTickShift = 8;
+    static constexpr TimePs kTickPs = TimePs{1} << kTickShift;
+    static constexpr unsigned kSlotBits = 8;
+    static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+    static constexpr unsigned kWheels = 4;
+    /** Deltas at/beyond roughly this defer to the overflow ladder. */
+    static constexpr TimePs kWheelSpanPs =
+        TimePs{1} << (kTickShift + kWheels * kSlotBits);
+
     EventQueue() = default;
+    ~EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -55,10 +86,10 @@ class EventQueue
     }
 
     /** Whether any events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Time of the earliest pending event, or kTimeNever. */
     TimePs nextTime() const;
@@ -75,6 +106,12 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t executed() const { return executed_; }
 
+    /** Slots cascaded down the hierarchy (introspection/benchmarks). */
+    std::uint64_t cascades() const { return cascades_; }
+
+    /** Events that entered the far-future overflow ladder. */
+    std::uint64_t ladderDeferred() const { return ladderDeferred_; }
+
     /**
      * The simulation-wide event tracer, or nullptr when tracing is
      * off. Components reach it through the queue they already hold, so
@@ -90,23 +127,88 @@ class EventQueue
         std::uint64_t seq; //!< FIFO tie-break for equal timestamps
         Callback cb;
     };
+    using EventList = std::vector<Event>;
 
-    struct Later
+    struct Wheel
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        EventList *slots[kSlots] = {};
+        /** One bit per slot; scanned circularly from the cursor. */
+        std::uint64_t occupied[kSlots / 64] = {};
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    static bool
+    earlier(const Event &a, const Event &b)
+    {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+
+    EventList *acquireList();
+    void releaseList(EventList *list);
+    void appendToSlot(unsigned level, std::size_t idx, Event ev);
+    void place(Event ev);
+    void fixupStranded();
+    bool findNextSlot(std::uint64_t &out_tick);
+    void claimSlot(std::uint64_t tick);
+    bool popNext(Event &out);
+    TimePs peekNextTime();
+
+    Wheel wheels_[kWheels];
+    /** Owns every slot vector ever created; capacity is recycled. */
+    std::vector<std::unique_ptr<EventList>> pool_;
+    std::vector<EventList *> freeLists_;
+    EventList ladder_; //!< min-heap by (when, seq), beyond the wheels
+    EventList front_;  //!< sorted; peek-cascade overshoot spill
+    EventList *drain_ = nullptr; //!< slot currently being executed
+    std::size_t drainPos_ = 0;
+    std::uint64_t drainTick_ = 0;
+    std::uint64_t cursorTick_ = 0;
+
     Tracer *tracer_ = nullptr;
     TimePs now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t cascades_ = 0;
+    std::uint64_t ladderDeferred_ = 0;
+};
+
+/**
+ * Fixed-period repeating timer for interval mechanisms (MemPod/HMA
+ * epochs, the stats sampler). Fires `fn` every `period` after
+ * start(), re-arming *after* the callback returns — the same
+ * callback-then-re-arm order the mechanisms used to hand-roll with
+ * recursive lambdas, so event sequence numbers (and therefore golden
+ * output) are unchanged.
+ */
+class PeriodicTimer
+{
+  public:
+    PeriodicTimer(EventQueue &eq, TimePs period, std::function<void()> fn)
+        : eq_(eq), period_(period), fn_(std::move(fn))
+    {
+    }
+
+    PeriodicTimer(const PeriodicTimer &) = delete;
+    PeriodicTimer &operator=(const PeriodicTimer &) = delete;
+
+    /** Arm the timer: first fire at now + period, then every period. */
+    void start() { arm(); }
+
+    TimePs period() const { return period_; }
+
+  private:
+    void
+    arm()
+    {
+        eq_.scheduleAfter(period_, [this] {
+            fn_();
+            arm();
+        });
+    }
+
+    EventQueue &eq_;
+    TimePs period_;
+    std::function<void()> fn_;
 };
 
 } // namespace mempod

@@ -250,7 +250,8 @@ MetricRegistry::snapshot(TimePs now) const
 
 IntervalSampler::IntervalSampler(EventQueue &eq, MetricRegistry &registry,
                                  TimePs period)
-    : eq_(eq), registry_(registry), period_(period)
+    : eq_(eq), registry_(registry), period_(period),
+      timer_(eq, period, [this] { onTick(); })
 {
     MEMPOD_ASSERT(period > 0, "sampling period must be positive");
 }
@@ -261,7 +262,7 @@ IntervalSampler::start()
     MEMPOD_ASSERT(!started_, "sampler already started");
     started_ = true;
     last_ = registry_.snapshot(eq_.now());
-    eq_.scheduleAfter(period_, [this] { onTick(); });
+    timer_.start();
 }
 
 void
@@ -276,7 +277,6 @@ IntervalSampler::onTick()
     rec.delta = metricDelta(last_, cur);
     records_.push_back(std::move(rec));
     last_ = std::move(cur);
-    eq_.scheduleAfter(period_, [this] { onTick(); });
 }
 
 void

@@ -209,6 +209,7 @@ class IntervalSampler
     EventQueue &eq_;
     MetricRegistry &registry_;
     TimePs period_;
+    PeriodicTimer timer_;
     bool started_ = false;
     MetricSnapshot last_;
     std::vector<IntervalRecord> records_;

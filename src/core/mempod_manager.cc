@@ -1,12 +1,21 @@
 #include "core/mempod_manager.h"
 
+#include <memory>
+
 #include "common/log.h"
+#include "mem/manager_factory.h"
 
 namespace mempod {
 
 MemPodManager::MemPodManager(EventQueue &eq, MemorySystem &mem,
                              const MemPodParams &params)
-    : eq_(eq), mem_(mem), params_(params)
+    : eq_(eq), mem_(mem), params_(params),
+      intervalTimer_(eq, params.interval, [this] {
+          // All Pods run their migration passes in parallel (each via
+          // its own engine); the timer then re-arms.
+          for (auto &pod : pods_)
+              pod->onInterval();
+      })
 {
     const std::uint32_t n = mem.geom().numPods;
     pods_.reserve(n);
@@ -15,32 +24,18 @@ MemPodManager::MemPodManager(EventQueue &eq, MemorySystem &mem,
 }
 
 void
-MemPodManager::handleDemand(Addr home_addr, AccessType type,
-                            TimePs arrival, std::uint8_t core,
-                            CompletionFn done, std::uint64_t trace_id)
+MemPodManager::handleDemand(Demand d)
 {
-    const PageId page = AddressMap::pageOf(home_addr);
+    const PageId page = AddressMap::pageOf(d.homeAddr);
     const std::uint32_t pod = mem_.map().podOfPage(page);
-    pods_[pod]->handleDemand(page, home_addr % kPageBytes, type, arrival,
-                             core, std::move(done), trace_id);
+    const std::uint64_t offset = d.homeAddr % kPageBytes;
+    pods_[pod]->handleDemand(page, offset, std::move(d));
 }
 
 void
 MemPodManager::start()
 {
-    onIntervalTimer();
-}
-
-void
-MemPodManager::onIntervalTimer()
-{
-    eq_.scheduleAfter(params_.interval, [this] {
-        // All Pods run their migration passes in parallel (each via its
-        // own engine); the timer then re-arms.
-        for (auto &pod : pods_)
-            pod->onInterval();
-        onIntervalTimer();
-    });
+    intervalTimer_.start();
 }
 
 const MigrationStats &
@@ -99,5 +94,11 @@ MemPodManager::remapStorageBits() const
         total += pod->remapStorageBits();
     return total;
 }
+
+MEMPOD_REGISTER_MANAGER(
+    Mechanism::kMemPod,
+    [](const SimConfig &cfg, EventQueue &eq, MemorySystem &mem) {
+        return std::make_unique<MemPodManager>(eq, mem, cfg.mempod);
+    })
 
 } // namespace mempod

@@ -14,15 +14,9 @@
 #include "core/pod.h"
 #include "mem/manager.h"
 #include "mem/memory_system.h"
+#include "sim/mechanism_params.h"
 
 namespace mempod {
-
-/** MemPod configuration. */
-struct MemPodParams
-{
-    TimePs interval = 50_us; //!< migration epoch (paper optimum)
-    PodParams pod;
-};
 
 /** Clustered interval-based migration manager. */
 class MemPodManager : public MemoryManager
@@ -31,9 +25,7 @@ class MemPodManager : public MemoryManager
     MemPodManager(EventQueue &eq, MemorySystem &mem,
                   const MemPodParams &params);
 
-    void handleDemand(Addr home_addr, AccessType type, TimePs arrival,
-                      std::uint8_t core, CompletionFn done,
-                      std::uint64_t trace_id = 0) override;
+    void handleDemand(Demand d) override;
 
     void start() override;
 
@@ -59,12 +51,12 @@ class MemPodManager : public MemoryManager
     std::uint64_t remapStorageBits() const;
 
   private:
-    void onIntervalTimer();
-
     EventQueue &eq_;
     MemorySystem &mem_;
     MemPodParams params_;
     std::vector<std::unique_ptr<Pod>> pods_;
+    /** Fires every Pod's migration pass in parallel, every interval. */
+    PeriodicTimer intervalTimer_;
     mutable MigrationStats aggregated_;
 };
 

@@ -68,15 +68,13 @@ Pod::backingAddrOfBlock(std::uint64_t block) const
 
 void
 Pod::handleDemand(PageId home_page, std::uint64_t offset_in_page,
-                  AccessType type, TimePs arrival, std::uint8_t core,
-                  MemoryManager::CompletionFn done,
-                  std::uint64_t trace_id)
+                  Demand d)
 {
     const std::uint64_t local = mem_.map().podLocalOfPage(home_page);
     mea_.touch(local);
-    BlockedReq r{offset_in_page, type,     arrival,
-                 core,           trace_id, /*parkedAt=*/0,
-                 std::move(done)};
+    BlockedReq r{offset_in_page, d.type,    d.arrival,
+                 d.core,         d.traceId, /*parkedAt=*/0,
+                 std::move(d.done)};
     if (!metaPath_) {
         proceed(local, std::move(r));
         return;

@@ -18,30 +18,11 @@
 #include "core/remap_table.h"
 #include "mem/manager.h"
 #include "mem/memory_system.h"
+#include "sim/mechanism_params.h"
 #include "sim/metadata_path.h"
 #include "tracking/mea.h"
 
 namespace mempod {
-
-/** Per-Pod configuration knobs. */
-struct PodParams
-{
-    std::uint32_t meaEntries = 64;    //!< K counters (paper optimum)
-    std::uint32_t meaCounterBits = 2; //!< paper optimum at 50 us
-    /** Migration cap per interval; 0 means "up to K". */
-    std::uint32_t maxMigrationsPerInterval = 0;
-    /**
-     * Minimum MEA count for a tracked page to be migration-worthy.
-     * Entries at count 1 are often one-touch insertions that survived
-     * the last sweep by luck; moving them rarely amortizes the swap.
-     */
-    std::uint32_t minHotCount = 3;
-    /** Remap-table cache (Figure 9); disabled = free on-chip lookups. */
-    bool metaCacheEnabled = false;
-    std::uint64_t metaCacheBytes = 16 * 1024;
-    std::uint32_t metaCacheAssoc = 8;
-    std::uint32_t remapEntryBytes = 4; //!< packed remap entry size
-};
 
 /** A Pod: clustered MCs with private migration machinery. */
 class Pod
@@ -54,11 +35,11 @@ class Pod
      * Forward one demand access whose home page belongs to this Pod.
      * @param home_page Global page id of the OS-assigned home.
      * @param offset_in_page Byte offset of the line within the page.
+     * @param d The demand (d.homeAddr is already decomposed into the
+     *        first two parameters; only the remaining fields matter).
      */
     void handleDemand(PageId home_page, std::uint64_t offset_in_page,
-                      AccessType type, TimePs arrival, std::uint8_t core,
-                      MemoryManager::CompletionFn done,
-                      std::uint64_t trace_id = 0);
+                      Demand d);
 
     /** Interval boundary: pick hot pages and schedule migrations. */
     void onInterval();

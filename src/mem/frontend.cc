@@ -214,30 +214,34 @@ TraceFrontend::pump()
                 tr->asyncEnd(tid, now, "req", trace_id, "mshr_wait");
             }
         }
-        manager_.handleDemand(
-            phys, rec.type, arrival, rec.core,
-            [this, arrival, core, trace_id](TimePs fin) {
-                MEMPOD_ASSERT(fin >= arrival, "completion precedes arrival");
-                totalStallPs_ += static_cast<double>(fin - arrival);
-                perCore_[core].stallPs +=
-                    static_cast<double>(fin - arrival);
-                ++perCore_[core].completed;
-                latencyNs_.sample((fin - arrival) / 1000);
-                perCore_[core].latencyNs.sample((fin - arrival) / 1000);
-                if (trace_id != 0) {
-                    if (Tracer *tr = eq_.tracer()) {
-                        TraceArgs a;
-                        a.add("latency_ns", (fin - arrival) / 1000);
-                        tr->asyncEnd(coreTrack(*tr, core), fin, "req",
-                                     trace_id, "demand", a.str());
-                    }
+        Demand d;
+        d.homeAddr = phys;
+        d.type = rec.type;
+        d.arrival = arrival;
+        d.core = rec.core;
+        d.traceId = trace_id;
+        d.done = [this, arrival, core, trace_id](TimePs fin) {
+            MEMPOD_ASSERT(fin >= arrival, "completion precedes arrival");
+            totalStallPs_ += static_cast<double>(fin - arrival);
+            perCore_[core].stallPs +=
+                static_cast<double>(fin - arrival);
+            ++perCore_[core].completed;
+            latencyNs_.sample((fin - arrival) / 1000);
+            perCore_[core].latencyNs.sample((fin - arrival) / 1000);
+            if (trace_id != 0) {
+                if (Tracer *tr = eq_.tracer()) {
+                    TraceArgs a;
+                    a.add("latency_ns", (fin - arrival) / 1000);
+                    tr->asyncEnd(coreTrack(*tr, core), fin, "req",
+                                 trace_id, "demand", a.str());
                 }
-                ++completed_;
-                MEMPOD_ASSERT(outstanding_ > 0, "completion underflow");
-                --outstanding_;
-                pump();
-            },
-            trace_id);
+            }
+            ++completed_;
+            MEMPOD_ASSERT(outstanding_ > 0, "completion underflow");
+            --outstanding_;
+            pump();
+        };
+        manager_.handleDemand(std::move(d));
     }
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/metrics.h"
@@ -44,24 +45,23 @@ class MemoryManager
     virtual ~MemoryManager() = default;
 
     /**
-     * Handle one demand line access.
-     *
-     * @param home_addr OS-assigned physical address (pre-remap).
-     * @param type Read or write.
-     * @param arrival Trace arrival time (AMMAT accounting).
-     * @param core Issuing core.
-     * @param done Called exactly once when the data transfer finishes.
-     * @param trace_id Tracing correlation id (0 = request not sampled).
-     *        Defaulted identically in every override so direct callers
-     *        without tracing stay unchanged.
+     * Handle one demand line access. `d.done` must be called exactly
+     * once when the data transfer finishes; everything else is input.
+     * (Until PR 4 this took six positional parameters — external
+     * callers now brace-initialize a Demand in the same field order.)
      */
-    virtual void handleDemand(Addr home_addr, AccessType type,
-                              TimePs arrival, std::uint8_t core,
-                              CompletionFn done,
-                              std::uint64_t trace_id = 0) = 0;
+    virtual void handleDemand(Demand d) = 0;
 
     /** Arm interval timers; called once before the trace starts. */
     virtual void start() {}
+
+    /**
+     * Install a hook invoked when the mechanism freezes the cores for
+     * a modeled software pass (duration as argument); the simulation
+     * wires it to TraceFrontend::suspendCores. Mechanisms without such
+     * stalls ignore it.
+     */
+    virtual void setCoreStallHook(std::function<void(TimePs)>) {}
 
     /** Mechanism name for reports. */
     virtual std::string name() const = 0;

@@ -1,0 +1,62 @@
+#include "mem/manager_factory.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.h"
+#include "mem/manager.h"
+
+namespace mempod {
+
+namespace {
+
+/** Meyers singleton: safe against TU initialization order. */
+std::map<Mechanism, ManagerFactory::Builder> &
+registry()
+{
+    static std::map<Mechanism, ManagerFactory::Builder> builders;
+    return builders;
+}
+
+} // namespace
+
+void
+ManagerFactory::registerBuilder(Mechanism m, Builder builder)
+{
+    MEMPOD_ASSERT(builder != nullptr, "null builder for %s",
+                  mechanismName(m));
+    const bool inserted =
+        registry().emplace(m, std::move(builder)).second;
+    MEMPOD_ASSERT(inserted, "duplicate manager registration for %s",
+                  mechanismName(m));
+}
+
+bool
+ManagerFactory::known(Mechanism m)
+{
+    return registry().contains(m);
+}
+
+std::vector<std::string>
+ManagerFactory::registeredNames()
+{
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const auto &[m, builder] : registry())
+        names.emplace_back(mechanismName(m));
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::unique_ptr<MemoryManager>
+ManagerFactory::build(const SimConfig &cfg, EventQueue &eq,
+                      MemorySystem &mem)
+{
+    auto it = registry().find(cfg.mechanism);
+    MEMPOD_ASSERT(it != registry().end(),
+                  "no manager registered for mechanism '%s'",
+                  mechanismName(cfg.mechanism));
+    return it->second(cfg, eq, mem);
+}
+
+} // namespace mempod

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Self-registering factory tying the Mechanism tag to concrete
+ * MemoryManager classes. Each mechanism's translation unit registers
+ * its builder from a static initializer, so SimConfig stays data-only
+ * (sim/config.h includes no mechanism headers) and adding a mechanism
+ * touches only its own files plus one registration line.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace mempod {
+
+class EventQueue;
+class MemoryManager;
+class MemorySystem;
+
+class ManagerFactory
+{
+  public:
+    /** Builds a manager for `cfg.mechanism` from the full config. */
+    using Builder = std::function<std::unique_ptr<MemoryManager>(
+        const SimConfig &cfg, EventQueue &eq, MemorySystem &mem)>;
+
+    /**
+     * Register `builder` for `m`. Call once per mechanism, from a
+     * static initializer (see MEMPOD_REGISTER_MANAGER); duplicate
+     * registration panics.
+     */
+    static void registerBuilder(Mechanism m, Builder builder);
+
+    /** True when a builder for `m` is registered. */
+    static bool known(Mechanism m);
+
+    /** Canonical names of every registered mechanism, sorted. */
+    static std::vector<std::string> registeredNames();
+
+    /**
+     * Build the manager selected by `cfg.mechanism`. Panics when no
+     * builder is registered for it.
+     */
+    static std::unique_ptr<MemoryManager> build(const SimConfig &cfg,
+                                                EventQueue &eq,
+                                                MemorySystem &mem);
+};
+
+/**
+ * Registers `builder_expr` (a ManagerFactory::Builder) for `mech` at
+ * static-initialization time. Use at namespace scope in the
+ * mechanism's .cc file.
+ */
+#define MEMPOD_REGISTER_MANAGER(mech, builder_expr)                        \
+    namespace {                                                            \
+    const bool mempodManagerRegistered_ = [] {                             \
+        ::mempod::ManagerFactory::registerBuilder((mech), (builder_expr)); \
+        return true;                                                       \
+    }();                                                                   \
+    }
+
+} // namespace mempod

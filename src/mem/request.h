@@ -23,6 +23,26 @@ namespace mempod {
  */
 using CompletionCallback = MoveFunction<void(TimePs), 40>;
 
+/**
+ * One demand line access as a MemoryManager receives it: the OS view
+ * of the address plus completion plumbing, before any remap. Field
+ * order mirrors the old positional handleDemand signature, so brace
+ * initialization reads the same way the call sites used to.
+ */
+struct Demand
+{
+    Addr homeAddr = 0; //!< OS-assigned physical address (pre-remap)
+    AccessType type = AccessType::kRead;
+    TimePs arrival = 0;    //!< trace arrival time (AMMAT accounting)
+    std::uint8_t core = 0; //!< issuing core
+    /** Tracing correlation id (0 = request not sampled). */
+    std::uint64_t traceId = 0;
+    /** When a migration lock parked it (blocked-time attribution). */
+    TimePs parkedAt = 0;
+    /** Invoked exactly once when the data transfer finishes. */
+    CompletionCallback done{};
+};
+
 /** One 64 B memory transaction. */
 struct Request
 {

@@ -1,5 +1,8 @@
 #include "sim/config.h"
 
+#include <algorithm>
+#include <cctype>
+
 #include "common/log.h"
 
 namespace mempod {
@@ -20,6 +23,28 @@ mechanismName(Mechanism m)
         return "CAMEO";
     }
     return "?";
+}
+
+bool
+mechanismFromName(const std::string &name, Mechanism &out)
+{
+    std::string low(name.size(), '\0');
+    std::transform(name.begin(), name.end(), low.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    if (low == "nomigration" || low == "none" || low == "tlm")
+        out = Mechanism::kNoMigration;
+    else if (low == "mempod")
+        out = Mechanism::kMemPod;
+    else if (low == "hma")
+        out = Mechanism::kHma;
+    else if (low == "thm")
+        out = Mechanism::kThm;
+    else if (low == "cameo")
+        out = Mechanism::kCameo;
+    else
+        return false;
+    return true;
 }
 
 SimConfig

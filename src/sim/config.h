@@ -10,14 +10,11 @@
 #include <cstdint>
 #include <string>
 
-#include "baselines/cameo.h"
-#include "baselines/hma.h"
-#include "baselines/thm.h"
 #include "common/tracer.h"
-#include "core/mempod_manager.h"
 #include "dram/channel.h"
 #include "dram/spec.h"
 #include "mem/address_map.h"
+#include "sim/mechanism_params.h"
 
 namespace mempod {
 
@@ -32,6 +29,13 @@ enum class Mechanism
 };
 
 const char *mechanismName(Mechanism m);
+
+/**
+ * Parse a mechanism name; accepts the canonical mechanismName()
+ * spellings case-insensitively plus the CLI aliases ("none",
+ * "nomigration", "tlm"). Returns false on unknown names.
+ */
+bool mechanismFromName(const std::string &name, Mechanism &out);
 
 /** Everything needed to build one simulation. */
 struct SimConfig
@@ -89,6 +93,27 @@ struct SimConfig
     void scaleHmaEpoch(double epoch_ratio);
 
     std::string describe() const;
+
+    /**
+     * Serialize every field as nested JSON (dotted keys become
+     * objects), in a fixed field order: fromJson(c.toJson()).toJson()
+     * == c.toJson(). The schema is documented in EXPERIMENTS.md.
+     */
+    std::string toJson() const;
+
+    /**
+     * Build a config from JSON text produced by toJson() (or written
+     * by hand; missing keys keep their defaults). Panics with a
+     * descriptive message on malformed JSON or unknown keys.
+     */
+    static SimConfig fromJson(const std::string &json);
+
+    /**
+     * Apply one dotted-key override, e.g. set("mempod.interval",
+     * "50000000") or set("mechanism", "MemPod") — the CLI's
+     * `--set key=value`. Panics on unknown keys or unparsable values.
+     */
+    void set(const std::string &key, const std::string &value);
 };
 
 } // namespace mempod

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * SimConfig JSON round-trip and dotted-key overrides, built on one
+ * field table so toJson(), fromJson() and set() can never disagree
+ * about which knobs exist. The schema is the table below verbatim;
+ * EXPERIMENTS.md documents it for experiment authors.
+ */
+#include "sim/config.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/log.h"
+
+namespace mempod {
+
+namespace {
+
+/** Parse a non-negative integer, rejecting trailing junk/overflow. */
+template <typename T>
+void
+parseValue(T &dst, const std::string &v, const char *key)
+{
+    static_assert(std::is_unsigned_v<T>);
+    if (v.empty() ||
+        v.find_first_not_of("0123456789") != std::string::npos) {
+        MEMPOD_PANIC("config key '%s': '%s' is not a non-negative "
+                     "integer",
+                     key, v.c_str());
+    }
+    errno = 0;
+    const unsigned long long raw = std::strtoull(v.c_str(), nullptr, 10);
+    if (errno != 0 || raw > std::numeric_limits<T>::max()) {
+        MEMPOD_PANIC("config key '%s': value %s out of range", key,
+                     v.c_str());
+    }
+    dst = static_cast<T>(raw);
+}
+
+void
+parseValue(bool &dst, const std::string &v, const char *key)
+{
+    if (v == "true" || v == "1") {
+        dst = true;
+    } else if (v == "false" || v == "0") {
+        dst = false;
+    } else {
+        MEMPOD_PANIC("config key '%s': '%s' is not a boolean", key,
+                     v.c_str());
+    }
+}
+
+void
+parseValue(std::string &dst, const std::string &v, const char *)
+{
+    dst = v;
+}
+
+void
+parseValue(Mechanism &dst, const std::string &v, const char *key)
+{
+    if (!mechanismFromName(v, dst)) {
+        MEMPOD_PANIC("config key '%s': unknown mechanism '%s'", key,
+                     v.c_str());
+    }
+}
+
+std::string
+quoted(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+std::string
+printValue(bool v)
+{
+    return v ? "true" : "false";
+}
+
+std::string
+printValue(const std::string &v)
+{
+    return quoted(v);
+}
+
+std::string
+printValue(Mechanism m)
+{
+    return quoted(mechanismName(m));
+}
+
+template <typename T>
+std::string
+printValue(T v)
+{
+    static_assert(std::is_unsigned_v<T>);
+    return std::to_string(v);
+}
+
+/** One leaf knob: a dotted key plus its accessors. */
+struct Field
+{
+    const char *key;
+    std::function<std::string(const SimConfig &)> get;
+    std::function<void(SimConfig &, const std::string &)> set;
+};
+
+/** One table entry for the member reached by expression `expr`. */
+#define MEMPOD_CONFIG_FIELD(key, expr)                                 \
+    Field                                                              \
+    {                                                                  \
+        key, [](const SimConfig &c) { return printValue(c.expr); },    \
+            [](SimConfig &c, const std::string &v) {                   \
+                parseValue(c.expr, v, key);                            \
+            }                                                          \
+    }
+
+/** The 22 per-device leaves, shared between `fast` and `slow`. */
+#define MEMPOD_CONFIG_DRAM_FIELDS(tier)                                \
+    MEMPOD_CONFIG_FIELD(#tier ".name", tier.name),                     \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.clockPeriodPs",             \
+                            tier.timing.clockPeriodPs),                \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tCL", tier.timing.tCL),     \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tCWL", tier.timing.tCWL),   \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tRCD", tier.timing.tRCD),   \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tRP", tier.timing.tRP),     \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tRAS", tier.timing.tRAS),   \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tBL", tier.timing.tBL),     \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tCCD", tier.timing.tCCD),   \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tWR", tier.timing.tWR),     \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tWTR", tier.timing.tWTR),   \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tRTP", tier.timing.tRTP),   \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tRTW", tier.timing.tRTW),   \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tRRD", tier.timing.tRRD),   \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tFAW", tier.timing.tFAW),   \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tREFI", tier.timing.tREFI), \
+        MEMPOD_CONFIG_FIELD(#tier ".timing.tRFC", tier.timing.tRFC),   \
+        MEMPOD_CONFIG_FIELD(#tier ".org.ranks", tier.org.ranks),       \
+        MEMPOD_CONFIG_FIELD(#tier ".org.banksPerRank",                 \
+                            tier.org.banksPerRank),                    \
+        MEMPOD_CONFIG_FIELD(#tier ".org.rowsPerBank",                  \
+                            tier.org.rowsPerBank),                     \
+        MEMPOD_CONFIG_FIELD(#tier ".org.rowBufferBytes",               \
+                            tier.org.rowBufferBytes),                  \
+        MEMPOD_CONFIG_FIELD(#tier ".org.busBits", tier.org.busBits)
+
+/**
+ * Every serialized knob, in schema order. toJson() emits exactly this
+ * sequence; fromJson()/set() accept exactly these keys.
+ */
+const std::vector<Field> &
+fieldTable()
+{
+    static const std::vector<Field> table = {
+        MEMPOD_CONFIG_FIELD("mechanism", mechanism),
+        MEMPOD_CONFIG_FIELD("geom.fastBytes", geom.fastBytes),
+        MEMPOD_CONFIG_FIELD("geom.slowBytes", geom.slowBytes),
+        MEMPOD_CONFIG_FIELD("geom.fastChannels", geom.fastChannels),
+        MEMPOD_CONFIG_FIELD("geom.slowChannels", geom.slowChannels),
+        MEMPOD_CONFIG_FIELD("geom.numPods", geom.numPods),
+        MEMPOD_CONFIG_DRAM_FIELDS(fast),
+        MEMPOD_CONFIG_DRAM_FIELDS(slow),
+        MEMPOD_CONFIG_FIELD("mempod.interval", mempod.interval),
+        MEMPOD_CONFIG_FIELD("mempod.pod.meaEntries",
+                            mempod.pod.meaEntries),
+        MEMPOD_CONFIG_FIELD("mempod.pod.meaCounterBits",
+                            mempod.pod.meaCounterBits),
+        MEMPOD_CONFIG_FIELD("mempod.pod.maxMigrationsPerInterval",
+                            mempod.pod.maxMigrationsPerInterval),
+        MEMPOD_CONFIG_FIELD("mempod.pod.minHotCount",
+                            mempod.pod.minHotCount),
+        MEMPOD_CONFIG_FIELD("mempod.pod.metaCacheEnabled",
+                            mempod.pod.metaCacheEnabled),
+        MEMPOD_CONFIG_FIELD("mempod.pod.metaCacheBytes",
+                            mempod.pod.metaCacheBytes),
+        MEMPOD_CONFIG_FIELD("mempod.pod.metaCacheAssoc",
+                            mempod.pod.metaCacheAssoc),
+        MEMPOD_CONFIG_FIELD("mempod.pod.remapEntryBytes",
+                            mempod.pod.remapEntryBytes),
+        MEMPOD_CONFIG_FIELD("hma.interval", hma.interval),
+        MEMPOD_CONFIG_FIELD("hma.sortStall", hma.sortStall),
+        MEMPOD_CONFIG_FIELD("hma.counterBits", hma.counterBits),
+        MEMPOD_CONFIG_FIELD("hma.threshold", hma.threshold),
+        MEMPOD_CONFIG_FIELD("hma.maxMigrationsPerInterval",
+                            hma.maxMigrationsPerInterval),
+        MEMPOD_CONFIG_FIELD("hma.metaCacheEnabled",
+                            hma.metaCacheEnabled),
+        MEMPOD_CONFIG_FIELD("hma.metaCacheBytes", hma.metaCacheBytes),
+        MEMPOD_CONFIG_FIELD("hma.metaCacheAssoc", hma.metaCacheAssoc),
+        MEMPOD_CONFIG_FIELD("hma.counterEntryBytes",
+                            hma.counterEntryBytes),
+        MEMPOD_CONFIG_FIELD("thm.threshold", thm.threshold),
+        MEMPOD_CONFIG_FIELD("thm.counterBits", thm.counterBits),
+        MEMPOD_CONFIG_FIELD("thm.metaCacheEnabled",
+                            thm.metaCacheEnabled),
+        MEMPOD_CONFIG_FIELD("thm.metaCacheBytes", thm.metaCacheBytes),
+        MEMPOD_CONFIG_FIELD("thm.metaCacheAssoc", thm.metaCacheAssoc),
+        MEMPOD_CONFIG_FIELD("thm.segEntryBytes", thm.segEntryBytes),
+        MEMPOD_CONFIG_FIELD("cameo.engineParallelism",
+                            cameo.engineParallelism),
+        MEMPOD_CONFIG_FIELD("cameo.maxQueuedSwaps",
+                            cameo.maxQueuedSwaps),
+        MEMPOD_CONFIG_FIELD("maxOutstanding", maxOutstanding),
+        MEMPOD_CONFIG_FIELD("placementSeed", placementSeed),
+        MEMPOD_CONFIG_FIELD("extraLatencyPs", extraLatencyPs),
+        MEMPOD_CONFIG_FIELD("numCores", numCores),
+        MEMPOD_CONFIG_FIELD("controller.closedPage",
+                            controller.closedPage),
+        MEMPOD_CONFIG_FIELD("controller.fcfs", controller.fcfs),
+        MEMPOD_CONFIG_FIELD("statsIntervalPs", statsIntervalPs),
+        MEMPOD_CONFIG_FIELD("tracer.enabled", tracer.enabled),
+        MEMPOD_CONFIG_FIELD("tracer.sampleEvery", tracer.sampleEvery),
+        MEMPOD_CONFIG_FIELD("tracer.seed", tracer.seed),
+    };
+    return table;
+}
+
+#undef MEMPOD_CONFIG_DRAM_FIELDS
+#undef MEMPOD_CONFIG_FIELD
+
+std::vector<std::string>
+splitKey(const std::string &key)
+{
+    std::vector<std::string> segs;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= key.size(); ++i) {
+        if (i == key.size() || key[i] == '.') {
+            segs.push_back(key.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return segs;
+}
+
+/**
+ * Minimal JSON reader for the subset toJson() emits: objects whose
+ * leaves are unsigned integers, booleans or strings. Produces the
+ * flattened (dotted key, raw value) list in document order.
+ */
+class JsonFlattener
+{
+  public:
+    explicit JsonFlattener(const std::string &text) : text_(text) {}
+
+    std::vector<std::pair<std::string, std::string>>
+    flatten()
+    {
+        std::vector<std::pair<std::string, std::string>> out;
+        skipWs();
+        parseObject("", out);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after top-level object");
+        return out;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        MEMPOD_PANIC("SimConfig::fromJson: %s (at byte %zu)", what,
+                     pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string s;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return s;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("unterminated escape");
+                const char e = text_[pos_++];
+                if (e != '"' && e != '\\')
+                    fail("unsupported escape sequence");
+                s += e;
+            } else {
+                s += c;
+            }
+        }
+    }
+
+    std::string
+    parseScalar()
+    {
+        if (peek() == '"')
+            return parseString();
+        std::string s;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_]))))
+            s += text_[pos_++];
+        if (s.empty())
+            fail("expected a value");
+        return s;
+    }
+
+    void
+    parseObject(const std::string &prefix,
+                std::vector<std::pair<std::string, std::string>> &out)
+    {
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            skipWs();
+            const std::string key = parseString();
+            if (key.empty() || key.find('.') != std::string::npos)
+                fail("invalid object key");
+            skipWs();
+            expect(':');
+            skipWs();
+            const std::string dotted =
+                prefix.empty() ? key : prefix + "." + key;
+            if (peek() == '{')
+                parseObject(dotted, out);
+            else
+                out.emplace_back(dotted, parseScalar());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+namespace {
+
+/** Order-preserving JSON tree assembled from the dotted field keys. */
+struct JsonNode
+{
+    std::string value; // leaf payload (already JSON-encoded)
+    std::vector<std::pair<std::string, JsonNode>> children;
+
+    JsonNode &
+    child(const std::string &name)
+    {
+        for (auto &[n, node] : children)
+            if (n == name)
+                return node;
+        children.emplace_back(name, JsonNode{});
+        return children.back().second;
+    }
+
+    void
+    emit(std::string &out, std::size_t depth) const
+    {
+        if (children.empty()) {
+            out += value;
+            return;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < children.size(); ++i) {
+            out.append(2 * (depth + 1), ' ');
+            out += quoted(children[i].first) + ": ";
+            children[i].second.emit(out, depth + 1);
+            out += i + 1 < children.size() ? ",\n" : "\n";
+        }
+        out.append(2 * depth, ' ');
+        out += "}";
+    }
+};
+
+} // namespace
+
+std::string
+SimConfig::toJson() const
+{
+    JsonNode root;
+    for (const Field &f : fieldTable()) {
+        JsonNode *node = &root;
+        for (const std::string &seg : splitKey(f.key))
+            node = &node->child(seg);
+        node->value = f.get(*this);
+    }
+    std::string out;
+    root.emit(out, 0);
+    out += "\n";
+    return out;
+}
+
+void
+SimConfig::set(const std::string &key, const std::string &value)
+{
+    for (const Field &f : fieldTable()) {
+        if (key == f.key) {
+            f.set(*this, value);
+            return;
+        }
+    }
+    MEMPOD_PANIC("unknown config key '%s' (see EXPERIMENTS.md for the "
+                 "schema)",
+                 key.c_str());
+}
+
+SimConfig
+SimConfig::fromJson(const std::string &json)
+{
+    SimConfig cfg;
+    for (const auto &[key, value] : JsonFlattener(json).flatten())
+        cfg.set(key, value);
+    return cfg;
+}
+
+} // namespace mempod

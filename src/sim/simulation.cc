@@ -1,7 +1,7 @@
 #include "sim/simulation.h"
 
-#include "baselines/no_migration.h"
 #include "common/log.h"
+#include "mem/manager_factory.h"
 
 namespace mempod {
 
@@ -20,36 +20,15 @@ Simulation::Simulation(const SimConfig &config) : config_(config)
         config_.geom.totalPages(), config_.numCores,
         config_.placementSeed);
 
-    switch (config_.mechanism) {
-      case Mechanism::kNoMigration:
-        manager_ = std::make_unique<NoMigrationManager>(*mem_);
-        break;
-      case Mechanism::kMemPod:
-        manager_ = std::make_unique<MemPodManager>(eq_, *mem_,
-                                                   config_.mempod);
-        break;
-      case Mechanism::kHma:
-        manager_ =
-            std::make_unique<HmaManager>(eq_, *mem_, config_.hma);
-        break;
-      case Mechanism::kThm:
-        manager_ =
-            std::make_unique<ThmManager>(eq_, *mem_, config_.thm);
-        break;
-      case Mechanism::kCameo:
-        manager_ =
-            std::make_unique<CameoManager>(eq_, *mem_, config_.cameo);
-        break;
-    }
+    manager_ = ManagerFactory::build(config_, eq_, *mem_);
 
     frontend_ = std::make_unique<TraceFrontend>(
         eq_, *manager_, *placement_, config_.maxOutstanding);
 
-    if (auto *hma = dynamic_cast<HmaManager *>(manager_.get())) {
-        hma->setStallHook([this](TimePs duration) {
-            frontend_->suspendCores(duration);
-        });
-    }
+    // Mechanisms whose bookkeeping pauses the cores (HMA's epoch sort)
+    // override the hook; for everyone else this is a no-op.
+    manager_->setCoreStallHook(
+        [this](TimePs duration) { frontend_->suspendCores(duration); });
 
     registerAllMetrics();
 }

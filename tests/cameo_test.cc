@@ -30,7 +30,7 @@ struct CameoFixture : ::testing::Test
     touch(CameoManager &mgr, Addr a, int times = 1)
     {
         for (int i = 0; i < times; ++i)
-            mgr.handleDemand(a, AccessType::kRead, eq.now(), 0, nullptr);
+            mgr.handleDemand({.homeAddr = a, .arrival = eq.now()});
         eq.runAll();
     }
 };
@@ -110,8 +110,8 @@ TEST_F(CameoFixture, SwapBackpressureSkipsNotBlocks)
     p.maxQueuedSwaps = 0; // every swap skipped
     CameoManager mgr(eq, mem, p);
     int done = 0;
-    mgr.handleDemand(lineAddr(2, 1), AccessType::kRead, 0, 0,
-                     [&](TimePs) { ++done; });
+    mgr.handleDemand({.homeAddr = lineAddr(2, 1),
+                      .done = [&](TimePs) { ++done; }});
     eq.runAll();
     EXPECT_EQ(done, 1); // demand still served
     EXPECT_EQ(mgr.migrationStats().migrations, 0u);

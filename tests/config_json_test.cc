@@ -1,0 +1,99 @@
+/** @file Unit tests for SimConfig JSON round-trip and overrides. */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/config.h"
+
+namespace mempod {
+namespace {
+
+TEST(ConfigJson, RoundTripIsIdentity)
+{
+    SimConfig c = SimConfig::paper(Mechanism::kMemPod);
+    c.mempod.interval = 12_us;
+    c.mempod.pod.metaCacheEnabled = true;
+    c.statsIntervalPs = 50_us;
+    c.tracer.enabled = true;
+    c.tracer.sampleEvery = 7;
+    c.controller.closedPage = true;
+    const std::string json = c.toJson();
+    EXPECT_EQ(SimConfig::fromJson(json).toJson(), json);
+}
+
+TEST(ConfigJson, RoundTripPreservesEveryPreset)
+{
+    for (const SimConfig &c :
+         {SimConfig::paper(Mechanism::kHma),
+          SimConfig::future(Mechanism::kThm), SimConfig::fastOnly(),
+          SimConfig::slowOnly(true)}) {
+        const SimConfig back = SimConfig::fromJson(c.toJson());
+        EXPECT_EQ(back.toJson(), c.toJson());
+        EXPECT_EQ(back.mechanism, c.mechanism);
+        EXPECT_EQ(back.geom.fastBytes, c.geom.fastBytes);
+        EXPECT_EQ(back.fast.name, c.fast.name);
+        EXPECT_EQ(back.fast.timing.tCL, c.fast.timing.tCL);
+        EXPECT_EQ(back.slow.org.busBits, c.slow.org.busBits);
+    }
+}
+
+TEST(ConfigJson, MissingKeysKeepDefaults)
+{
+    const SimConfig c = SimConfig::fromJson(
+        R"({"mechanism": "THM", "thm": {"threshold": 5}})");
+    EXPECT_EQ(c.mechanism, Mechanism::kThm);
+    EXPECT_EQ(c.thm.threshold, 5u);
+    // Untouched fields are the struct defaults.
+    const SimConfig d;
+    EXPECT_EQ(c.geom.fastBytes, d.geom.fastBytes);
+    EXPECT_EQ(c.mempod.pod.meaEntries, d.mempod.pod.meaEntries);
+}
+
+TEST(ConfigJson, SetParsesEveryValueKind)
+{
+    SimConfig c;
+    c.set("mechanism", "tlm"); // CLI alias, case-insensitive path
+    EXPECT_EQ(c.mechanism, Mechanism::kNoMigration);
+    c.set("mechanism", "CAMEO");
+    EXPECT_EQ(c.mechanism, Mechanism::kCameo);
+    c.set("mempod.interval", "250000000");
+    EXPECT_EQ(c.mempod.interval, 250000000u);
+    c.set("controller.fcfs", "true");
+    EXPECT_TRUE(c.controller.fcfs);
+    c.set("controller.fcfs", "0");
+    EXPECT_FALSE(c.controller.fcfs);
+    c.set("numCores", "4");
+    EXPECT_EQ(c.numCores, 4u);
+    c.set("fast.name", "custom");
+    EXPECT_EQ(c.fast.name, "custom");
+}
+
+TEST(ConfigJsonDeathTest, UnknownKeyPanics)
+{
+    SimConfig c;
+    EXPECT_DEATH(c.set("mempod.bogus", "1"), "unknown config key");
+    EXPECT_DEATH(
+        (void)SimConfig::fromJson(R"({"nonsense": 1})"),
+        "unknown config key");
+}
+
+TEST(ConfigJsonDeathTest, BadValuesPanic)
+{
+    SimConfig c;
+    EXPECT_DEATH(c.set("numCores", "lots"), "not a non-negative");
+    EXPECT_DEATH(c.set("numCores", "4096"), "out of range");
+    EXPECT_DEATH(c.set("controller.fcfs", "maybe"), "not a boolean");
+    EXPECT_DEATH(c.set("mechanism", "quantum"), "unknown mechanism");
+}
+
+TEST(ConfigJsonDeathTest, MalformedJsonPanics)
+{
+    EXPECT_DEATH((void)SimConfig::fromJson("{"), "fromJson");
+    EXPECT_DEATH((void)SimConfig::fromJson(R"({"geom": [1]})"),
+                 "fromJson");
+    EXPECT_DEATH((void)SimConfig::fromJson(R"({"numCores": 1} x)"),
+                 "trailing");
+}
+
+} // namespace
+} // namespace mempod

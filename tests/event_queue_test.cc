@@ -1,6 +1,8 @@
 /** @file Unit tests for the discrete-event queue. */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/event_queue.h"
@@ -119,6 +121,147 @@ TEST(EventQueueDeathTest, SchedulingInThePastPanics)
     eq.schedule(100, [] {});
     eq.runOne();
     EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+// ---- timing-wheel specifics: cross-level ordering and slot edges ----
+
+TEST(EventQueueWheel, FifoTieBreakAcrossWheelLevels)
+{
+    // Two events with the same timestamp, scheduled from different
+    // distances: the first lands in an outer wheel (delta >> wheel-0
+    // horizon), the second is scheduled 100 ps beforehand and lands in
+    // wheel 0. The cascade must not lose the FIFO tie-break.
+    EventQueue eq;
+    const TimePs when = 3 * EventQueue::kTickPs * EventQueue::kSlots *
+                        EventQueue::kSlots; // wheel-2 territory
+    std::vector<int> order;
+    eq.schedule(when, [&] { order.push_back(1); }); // seq 0, outer wheel
+    eq.schedule(when - 100, [&] {
+        eq.scheduleAfter(100, [&] { order.push_back(2); }); // wheel 0
+    });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.now(), when);
+}
+
+TEST(EventQueueWheel, FifoTieBreakAcrossLadderBoundary)
+{
+    // Same timestamp, one event deferred to the overflow ladder (delta
+    // beyond the outermost wheel), one scheduled later from close by.
+    EventQueue eq;
+    const TimePs when = 2 * EventQueue::kWheelSpanPs + 12345;
+    std::vector<int> order;
+    eq.schedule(when, [&] { order.push_back(1); });
+    EXPECT_EQ(eq.ladderDeferred(), 1u);
+    eq.schedule(when - EventQueue::kTickPs, [&] {
+        eq.scheduleAfter(EventQueue::kTickPs,
+                         [&] { order.push_back(2); });
+    });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.now(), when);
+}
+
+TEST(EventQueueWheel, LadderEventFiresAtExactTime)
+{
+    EventQueue eq;
+    const TimePs far = 3 * EventQueue::kWheelSpanPs + 777;
+    TimePs fired = 0;
+    eq.schedule(far, [&] { fired = eq.now(); });
+    // An intermediate event forces cursor movement through all wheels.
+    eq.schedule(EventQueue::kWheelSpanPs / 2, [] {});
+    eq.runAll();
+    EXPECT_EQ(fired, far);
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(EventQueueWheel, RunUntilAtSlotEdges)
+{
+    // Events straddling a wheel-0 slot boundary: runUntil exactly at
+    // the boundary must execute the boundary event but nothing after,
+    // even though later events share its slot region.
+    EventQueue eq;
+    const TimePs tick = EventQueue::kTickPs;
+    std::vector<TimePs> ran;
+    for (TimePs t : {tick - 1, tick, tick + 1, 2 * tick - 1, 2 * tick})
+        eq.schedule(t, [&, t] { ran.push_back(t); });
+    eq.runUntil(tick);
+    EXPECT_EQ(ran, (std::vector<TimePs>{tick - 1, tick}));
+    EXPECT_EQ(eq.now(), tick);
+    eq.runUntil(2 * tick - 1);
+    EXPECT_EQ(ran.size(), 4u);
+    EXPECT_EQ(eq.now(), 2 * tick - 1);
+    eq.runUntil(2 * tick);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 2 * tick);
+}
+
+TEST(EventQueueWheel, NextTimePeeksAcrossAllLevels)
+{
+    EventQueue eq;
+    const TimePs far = EventQueue::kWheelSpanPs + 999; // ladder
+    eq.schedule(far, [] {});
+    EXPECT_EQ(eq.nextTime(), far);
+    const TimePs mid =
+        EventQueue::kTickPs * EventQueue::kSlots * 7; // wheel >= 1
+    eq.schedule(mid, [] {});
+    EXPECT_EQ(eq.nextTime(), mid);
+    eq.schedule(42, [] {}); // wheel 0
+    EXPECT_EQ(eq.nextTime(), 42u);
+    // Peeking never reorders: execution still follows (when, seq).
+    std::vector<TimePs> ran;
+    while (eq.runOne())
+        ran.push_back(eq.now());
+    EXPECT_EQ(ran, (std::vector<TimePs>{42, mid, far}));
+}
+
+TEST(EventQueueWheel, StressMatchesStableSortReference)
+{
+    // Deterministic pseudo-random schedule spanning every level
+    // (wheel 0 through the ladder), with re-scheduling from inside
+    // callbacks. Execution order must equal a stable sort by time of
+    // scheduling order — the heap semantics the wheel replaced.
+    EventQueue eq;
+    std::uint64_t lcg = 12345;
+    auto rnd = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg >> 33;
+    };
+    std::vector<std::pair<TimePs, int>> expected; // (when, seq)
+    std::vector<int> ran;
+    int seq = 0;
+    auto scheduleOne = [&](TimePs when) {
+        const int id = seq++;
+        expected.emplace_back(when, id);
+        eq.schedule(when, [&ran, id] { ran.push_back(id); });
+    };
+    for (int i = 0; i < 400; ++i) {
+        // Mix of deltas: same-tick, slot-distance, cross-wheel, ladder.
+        const std::uint64_t pick = rnd() % 5;
+        const TimePs base = eq.now();
+        TimePs delta;
+        switch (pick) {
+          case 0: delta = rnd() % 4; break;
+          case 1: delta = rnd() % (EventQueue::kTickPs * 4); break;
+          case 2: delta = rnd() % (EventQueue::kTickPs *
+                                   EventQueue::kSlots * 4); break;
+          case 3: delta = rnd() % (EventQueue::kWheelSpanPs / 16); break;
+          default: delta = EventQueue::kWheelSpanPs + rnd(); break;
+        }
+        scheduleOne(base + delta);
+        // Occasionally drain a few events so scheduling happens from
+        // many different cursor positions.
+        if (i % 7 == 0)
+            eq.runAll(3);
+    }
+    eq.runAll();
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    ASSERT_EQ(ran.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(ran[i], expected[i].second) << "at position " << i;
 }
 
 } // namespace

@@ -19,14 +19,13 @@ class FixedLatencyManager : public MemoryManager
     }
 
     void
-    handleDemand(Addr addr, AccessType, TimePs, std::uint8_t,
-                 CompletionFn done, std::uint64_t = 0) override
+    handleDemand(Demand d) override
     {
         ++received;
-        addrs.push_back(addr);
+        addrs.push_back(d.homeAddr);
         ++inFlight_;
         eq_.scheduleAfter(latency_,
-                          [this, done = std::move(done)]() mutable {
+                          [this, done = std::move(d.done)]() mutable {
                               --inFlight_;
                               done(eq_.now());
                           });

@@ -27,8 +27,8 @@ struct HmaFixture : ::testing::Test
     touch(HmaManager &mgr, PageId page, int times)
     {
         for (int i = 0; i < times; ++i)
-            mgr.handleDemand(AddressMap::addrOfPage(page),
-                             AccessType::kRead, eq.now(), 0, nullptr);
+            mgr.handleDemand({.homeAddr = AddressMap::addrOfPage(page),
+                              .arrival = eq.now()});
         // Drain the demands without following the (self-rescheduling)
         // interval timer chain: a bounded time window suffices.
         eq.runUntil(eq.now() + 5_us);
@@ -69,7 +69,7 @@ TEST_F(HmaFixture, SortStallHookReceivesDurationEachEpoch)
     HmaManager mgr(eq, mem, params());
     int calls = 0;
     TimePs duration = 0;
-    mgr.setStallHook([&](TimePs d) {
+    mgr.setCoreStallHook([&](TimePs d) {
         ++calls;
         duration = d;
     });

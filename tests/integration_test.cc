@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include "baselines/thm.h"
+#include "core/mempod_manager.h"
 #include "sim/simulation.h"
 #include "trace/workloads.h"
 
@@ -76,9 +78,9 @@ TEST(Integration, MemPodBeatsThmWhenHotPagesShareSegments)
                 for (const std::uint64_t member : {0ull, 1ull}) {
                     const PageId page =
                         geom.fastPages() + s * 8 + member;
-                    mgr->handleDemand(AddressMap::addrOfPage(page),
-                                      AccessType::kRead, eq.now(), 0,
-                                      nullptr);
+                    mgr->handleDemand(
+                        {.homeAddr = AddressMap::addrOfPage(page),
+                         .arrival = eq.now()});
                 }
             }
             eq.runUntil(eq.now() + 50_us);

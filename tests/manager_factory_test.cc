@@ -1,0 +1,103 @@
+/** @file Unit tests for the self-registering mechanism factory. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "mem/manager.h"
+#include "mem/manager_factory.h"
+#include "mem/memory_system.h"
+#include "sim/config.h"
+
+namespace mempod {
+namespace {
+
+/** Small system every mechanism can be built against. */
+struct FactoryFixture : ::testing::Test
+{
+    EventQueue eq;
+    MemorySystem mem{eq, SystemGeometry::tiny(), DramSpec::hbm1GHz(),
+                     DramSpec::ddr4_1600()};
+};
+
+const Mechanism kAll[] = {Mechanism::kNoMigration, Mechanism::kMemPod,
+                          Mechanism::kHma, Mechanism::kThm,
+                          Mechanism::kCameo};
+
+TEST_F(FactoryFixture, AllMechanismsRegisteredAndBuildable)
+{
+    for (const Mechanism m : kAll) {
+        EXPECT_TRUE(ManagerFactory::known(m)) << mechanismName(m);
+        SimConfig cfg;
+        cfg.mechanism = m;
+        cfg.geom = SystemGeometry::tiny();
+        auto mgr = ManagerFactory::build(cfg, eq, mem);
+        ASSERT_NE(mgr, nullptr) << mechanismName(m);
+        EXPECT_EQ(mgr->name(), mechanismName(m));
+    }
+}
+
+TEST_F(FactoryFixture, RegisteredNamesAreSortedAndComplete)
+{
+    const std::vector<std::string> names =
+        ManagerFactory::registeredNames();
+    ASSERT_EQ(names.size(), std::size(kAll));
+    for (std::size_t i = 1; i < names.size(); ++i)
+        EXPECT_LT(names[i - 1], names[i]);
+    for (const Mechanism m : kAll)
+        EXPECT_NE(std::find(names.begin(), names.end(),
+                            mechanismName(m)),
+                  names.end());
+}
+
+TEST_F(FactoryFixture, CoreStallHookDefaultsToNoOp)
+{
+    SimConfig cfg;
+    cfg.geom = SystemGeometry::tiny();
+    cfg.mechanism = Mechanism::kNoMigration;
+    auto mgr = ManagerFactory::build(cfg, eq, mem);
+    // The base-class hook is a no-op: installing one must be safe on
+    // mechanisms that never stall the cores.
+    mgr->setCoreStallHook([](TimePs) { FAIL() << "unexpected stall"; });
+    mgr->handleDemand({.done = nullptr});
+    eq.runAll();
+}
+
+TEST_F(FactoryFixture, HmaForwardsEpochStallThroughHook)
+{
+    SimConfig cfg;
+    cfg.geom = SystemGeometry::tiny();
+    cfg.mechanism = Mechanism::kHma;
+    cfg.hma.interval = 10_us;
+    cfg.hma.sortStall = 1_us;
+    auto mgr = ManagerFactory::build(cfg, eq, mem);
+    int stalls = 0;
+    TimePs seen = 0;
+    mgr->setCoreStallHook([&](TimePs d) {
+        ++stalls;
+        seen = d;
+    });
+    mgr->start();
+    eq.runUntil(25_us);
+    EXPECT_EQ(stalls, 2); // epochs at 10 us and 20 us
+    EXPECT_EQ(seen, 1_us);
+}
+
+TEST(ManagerFactoryDeathTest, UnregisteredMechanismPanics)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, SystemGeometry::tiny(), DramSpec::hbm1GHz(),
+                     DramSpec::ddr4_1600());
+    SimConfig cfg;
+    cfg.geom = SystemGeometry::tiny();
+    cfg.mechanism = static_cast<Mechanism>(99);
+    EXPECT_DEATH((void)ManagerFactory::build(cfg, eq, mem),
+                 "mechanism");
+}
+
+} // namespace
+} // namespace mempod

@@ -35,9 +35,9 @@ TEST_F(ManagerFixture, RoutesDemandToOwningPod)
     // Slow page with global slow index 2 belongs to pod 2.
     const PageId page = mem.geom().fastPages() + 2;
     int done = 0;
-    mgr.handleDemand(AddressMap::addrOfPage(page) + 128,
-                     AccessType::kRead, eq.now(), 0,
-                     [&](TimePs) { ++done; });
+    mgr.handleDemand({.homeAddr = AddressMap::addrOfPage(page) + 128,
+                      .arrival = eq.now(),
+                      .done = [&](TimePs) { ++done; }});
     eq.runAll();
     EXPECT_EQ(done, 1);
     EXPECT_EQ(mgr.pod(2).mea().size(), 1u);
@@ -61,8 +61,8 @@ TEST_F(ManagerFixture, HotPagesMigrateViaTimer)
     // Hammer one slow page of pod 0.
     const PageId hot = mem.geom().fastPages();
     for (int i = 0; i < 10; ++i) {
-        mgr.handleDemand(AddressMap::addrOfPage(hot), AccessType::kRead,
-                         eq.now(), 0, nullptr);
+        mgr.handleDemand({.homeAddr = AddressMap::addrOfPage(hot),
+                          .arrival = eq.now()});
     }
     eq.runUntil(30_us);
     EXPECT_GE(mgr.migrationStats().migrations, 1u);
@@ -78,8 +78,8 @@ TEST_F(ManagerFixture, AggregatesAcrossPods)
     for (std::uint32_t p = 0; p < 4; ++p) {
         const PageId hot = mem.geom().fastPages() + p;
         for (int i = 0; i < 5; ++i)
-            mgr.handleDemand(AddressMap::addrOfPage(hot),
-                             AccessType::kRead, eq.now(), 0, nullptr);
+            mgr.handleDemand({.homeAddr = AddressMap::addrOfPage(hot),
+                              .arrival = eq.now()});
     }
     eq.runUntil(30_us);
     EXPECT_EQ(mgr.migrationStats().migrations, 4u);
@@ -94,8 +94,8 @@ TEST_F(ManagerFixture, PodsMigrateInParallel)
     for (std::uint32_t p = 0; p < 4; ++p) {
         const PageId hot = mem.geom().fastPages() + p;
         for (int i = 0; i < 5; ++i)
-            mgr.handleDemand(AddressMap::addrOfPage(hot),
-                             AccessType::kRead, eq.now(), 0, nullptr);
+            mgr.handleDemand({.homeAddr = AddressMap::addrOfPage(hot),
+                              .arrival = eq.now()});
     }
     eq.runAll(); // drain demands without starting the timer
     for (std::size_t p = 0; p < mgr.numPods(); ++p)
@@ -127,8 +127,8 @@ TEST_F(ManagerFixture, PendingWorkDrainsToZero)
     mgr.start();
     const PageId hot = mem.geom().fastPages();
     for (int i = 0; i < 10; ++i)
-        mgr.handleDemand(AddressMap::addrOfPage(hot), AccessType::kRead,
-                         eq.now(), 0, nullptr);
+        mgr.handleDemand({.homeAddr = AddressMap::addrOfPage(hot),
+                          .arrival = eq.now()});
     eq.runUntil(50_us);
     EXPECT_EQ(mgr.pendingWork(), 0u);
 }

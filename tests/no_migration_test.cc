@@ -14,9 +14,10 @@ TEST(NoMigration, ServesAtHomeAddress)
                      DramSpec::ddr4_1600());
     NoMigrationManager mgr(mem);
     int done = 0;
-    mgr.handleDemand(0, AccessType::kRead, 0, 0, [&](TimePs) { ++done; });
-    mgr.handleDemand(16_MiB, AccessType::kWrite, 0, 0,
-                     [&](TimePs) { ++done; });
+    mgr.handleDemand({.done = [&](TimePs) { ++done; }});
+    mgr.handleDemand({.homeAddr = 16_MiB,
+                      .type = AccessType::kWrite,
+                      .done = [&](TimePs) { ++done; }});
     eq.runAll();
     EXPECT_EQ(done, 2);
     EXPECT_EQ(mem.stats().demandFast, 1u);
@@ -33,8 +34,8 @@ TEST(NoMigration, NeverGeneratesMigrationTraffic)
     NoMigrationManager mgr(mem);
     mgr.start();
     for (int i = 0; i < 200; ++i)
-        mgr.handleDemand(static_cast<Addr>(i) * 4096, AccessType::kRead,
-                         eq.now(), 0, nullptr);
+        mgr.handleDemand({.homeAddr = static_cast<Addr>(i) * 4096,
+                          .arrival = eq.now()});
     eq.runAll();
     EXPECT_EQ(mem.stats().migrationLines(), 0u);
     EXPECT_EQ(mem.stats().bookkeepingLines(), 0u);

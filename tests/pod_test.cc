@@ -33,8 +33,9 @@ struct PodFixture : ::testing::Test
     demand(Pod &pod, PageId page, std::uint64_t offset = 0)
     {
         int completions = 0;
-        pod.handleDemand(page, offset, AccessType::kRead, eq.now(), 0,
-                         [&](TimePs) { ++completions; });
+        pod.handleDemand(page, offset,
+                         {.arrival = eq.now(),
+                          .done = [&](TimePs) { ++completions; }});
         eq.runAll();
         return completions;
     }
@@ -136,8 +137,9 @@ TEST_F(PodFixture, RequestsBlockedDuringMigrationDrainAfterCommit)
     // Without draining the event queue, issue a demand to the
     // migrating page: it must be blocked, then complete after commit.
     int completions = 0;
-    pod.handleDemand(hot, 64, AccessType::kRead, eq.now(), 0,
-                     [&](TimePs) { ++completions; });
+    pod.handleDemand(hot, 64,
+                     {.arrival = eq.now(),
+                      .done = [&](TimePs) { ++completions; }});
     EXPECT_EQ(pod.stats().blockedRequests, 1u);
     EXPECT_EQ(completions, 0);
     eq.runAll();

@@ -118,11 +118,14 @@ TEST_P(PodSweep, InvariantsUnderRandomTraffic)
                 fast ? k * mem.geom().numPods
                      : mem.geom().fastPages() + k * mem.geom().numPods;
             ++issued;
-            pod.handleDemand(page, 64 * rng.nextBelow(32),
-                             rng.nextBool(0.3) ? AccessType::kWrite
-                                               : AccessType::kRead,
-                             eq.now(), 0,
-                             [&](TimePs) { ++completed; });
+            const std::uint64_t offset = 64 * rng.nextBelow(32);
+            const AccessType type = rng.nextBool(0.3)
+                                        ? AccessType::kWrite
+                                        : AccessType::kRead;
+            pod.handleDemand(page, offset,
+                             {.type = type,
+                              .arrival = eq.now(),
+                              .done = [&](TimePs) { ++completed; }});
         }
         pod.onInterval();
         eq.runAll();

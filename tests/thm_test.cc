@@ -34,8 +34,8 @@ struct ThmFixture : ::testing::Test
     touch(ThmManager &mgr, PageId page, int times)
     {
         for (int i = 0; i < times; ++i)
-            mgr.handleDemand(AddressMap::addrOfPage(page),
-                             AccessType::kRead, eq.now(), 0, nullptr);
+            mgr.handleDemand({.homeAddr = AddressMap::addrOfPage(page),
+                              .arrival = eq.now()});
         eq.runAll();
     }
 };
@@ -51,8 +51,8 @@ TEST_F(ThmFixture, DemandsComplete)
 {
     ThmManager mgr(eq, mem, params());
     int done = 0;
-    mgr.handleDemand(AddressMap::addrOfPage(pageOf(5, 2)) + 64,
-                     AccessType::kRead, 0, 0, [&](TimePs) { ++done; });
+    mgr.handleDemand({.homeAddr = AddressMap::addrOfPage(pageOf(5, 2)) + 64,
+                      .done = [&](TimePs) { ++done; }});
     eq.runAll();
     EXPECT_EQ(done, 1);
     EXPECT_EQ(mem.stats().demandSlow, 1u);

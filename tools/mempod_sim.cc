@@ -14,7 +14,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/log.h"
 #include "sim/energy.h"
@@ -28,19 +32,24 @@ using namespace mempod;
 Mechanism
 parseMechanism(const std::string &s)
 {
-    if (s == "none" || s == "nomigration" || s == "tlm")
-        return Mechanism::kNoMigration;
-    if (s == "mempod")
-        return Mechanism::kMemPod;
-    if (s == "hma")
-        return Mechanism::kHma;
-    if (s == "thm")
-        return Mechanism::kThm;
-    if (s == "cameo")
-        return Mechanism::kCameo;
-    MEMPOD_FATAL("unknown mechanism '%s' (use "
-                 "none|mempod|hma|thm|cameo)",
-                 s.c_str());
+    Mechanism m;
+    if (!mechanismFromName(s, m)) {
+        MEMPOD_FATAL("unknown mechanism '%s' (use "
+                     "none|mempod|hma|thm|cameo)",
+                     s.c_str());
+    }
+    return m;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        MEMPOD_FATAL("cannot open config file '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
 }
 
 [[noreturn]] void
@@ -57,7 +66,12 @@ usage()
         "  [--cache-kb C]       bookkeeping cache     (default off)\n"
         "  [--future]           HBM-4GHz + DDR4-2400 system\n"
         "  [--fast-only|--slow-only] single-technology system\n"
-        "  [--seed S] [--per-core] [--baseline]\n");
+        "  [--seed S] [--per-core] [--baseline]\n"
+        "  [--config FILE]      load a SimConfig JSON file; the knob\n"
+        "                       flags above are ignored (use --set)\n"
+        "  [--set key=value]    dotted-key override, applied last\n"
+        "                       (repeatable; schema in EXPERIMENTS.md)\n"
+        "  [--dump-config]      print the resolved config JSON and exit\n");
     std::exit(0);
 }
 
@@ -80,6 +94,9 @@ main(int argc, char **argv)
     std::uint64_t cache_kb = 0;
     bool future = false, fast_only = false, slow_only = false;
     bool per_core = false, baseline = false;
+    std::string config_file;
+    std::vector<std::pair<std::string, std::string>> overrides;
+    bool dump_config = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -114,6 +131,18 @@ main(int argc, char **argv)
             fast_only = true;
         else if (a == "--slow-only")
             slow_only = true;
+        else if (a == "--config")
+            config_file = next();
+        else if (a == "--set") {
+            const std::string kv = next();
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0)
+                MEMPOD_FATAL("--set expects key=value, got '%s'",
+                             kv.c_str());
+            overrides.emplace_back(kv.substr(0, eq),
+                                   kv.substr(eq + 1));
+        } else if (a == "--dump-config")
+            dump_config = true;
         else if (a == "--per-core")
             per_core = true;
         else if (a == "--baseline")
@@ -122,26 +151,38 @@ main(int argc, char **argv)
             usage();
     }
 
-    const Mechanism mech = parseMechanism(mech_name);
-    SimConfig cfg = future ? SimConfig::future(mech)
-                           : SimConfig::paper(mech);
-    if (fast_only)
-        cfg = SimConfig::fastOnly(future);
-    if (slow_only)
-        cfg = SimConfig::slowOnly(future);
-    cfg.geom.numPods = fast_only || slow_only ? 1 : pods;
-    cfg.mempod.interval = epoch_us * 1_us;
-    cfg.mempod.pod.meaEntries = counters;
-    cfg.mempod.pod.meaCounterBits = bits;
-    if (mech == Mechanism::kHma)
-        cfg.scaleHmaEpoch(40.0);
-    if (cache_kb > 0) {
-        cfg.mempod.pod.metaCacheEnabled = true;
-        cfg.mempod.pod.metaCacheBytes = cache_kb * 1024 / pods;
-        cfg.hma.metaCacheEnabled = true;
-        cfg.hma.metaCacheBytes = cache_kb * 1024;
-        cfg.thm.metaCacheEnabled = true;
-        cfg.thm.metaCacheBytes = cache_kb * 1024;
+    SimConfig cfg;
+    if (!config_file.empty()) {
+        // The file is the whole truth; only --set amends it.
+        cfg = SimConfig::fromJson(readFile(config_file));
+    } else {
+        const Mechanism mech = parseMechanism(mech_name);
+        cfg = future ? SimConfig::future(mech)
+                     : SimConfig::paper(mech);
+        if (fast_only)
+            cfg = SimConfig::fastOnly(future);
+        if (slow_only)
+            cfg = SimConfig::slowOnly(future);
+        cfg.geom.numPods = fast_only || slow_only ? 1 : pods;
+        cfg.mempod.interval = epoch_us * 1_us;
+        cfg.mempod.pod.meaEntries = counters;
+        cfg.mempod.pod.meaCounterBits = bits;
+        if (mech == Mechanism::kHma)
+            cfg.scaleHmaEpoch(40.0);
+        if (cache_kb > 0) {
+            cfg.mempod.pod.metaCacheEnabled = true;
+            cfg.mempod.pod.metaCacheBytes = cache_kb * 1024 / pods;
+            cfg.hma.metaCacheEnabled = true;
+            cfg.hma.metaCacheBytes = cache_kb * 1024;
+            cfg.thm.metaCacheEnabled = true;
+            cfg.thm.metaCacheBytes = cache_kb * 1024;
+        }
+    }
+    for (const auto &[key, value] : overrides)
+        cfg.set(key, value);
+    if (dump_config) {
+        std::printf("%s", cfg.toJson().c_str());
+        return 0;
     }
 
     Trace trace;
