@@ -187,6 +187,61 @@ BM_ChannelThroughput(benchmark::State &state)
 BENCHMARK(BM_ChannelThroughput);
 
 void
+BM_ChannelRowHit(benchmark::State &state)
+{
+    // Streaming profile: long same-row runs on a handful of banks, so
+    // nearly every CAS is a row hit and the scheduler lives in pass 1
+    // (cached oldest-hit candidates, bus-limited pipelining).
+    for (auto _ : state) {
+        EventQueue eq;
+        Channel ch(eq, DramSpec::hbm1GHz().withChannelBytes(8_MiB),
+                   "bm", 0);
+        for (int i = 0; i < 512; ++i) {
+            Request r;
+            r.onComplete = [](TimePs) {};
+            ch.enqueue(std::move(r),
+                       ChannelAddr{static_cast<std::uint32_t>(
+                                       (i / 128) & 3),
+                                   static_cast<std::int64_t>(i / 128)});
+        }
+        eq.runAll();
+        benchmark::DoNotOptimize(ch.stats().rowHits);
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_ChannelRowHit);
+
+void
+BM_ChannelRandom(benchmark::State &state)
+{
+    // Conflict profile: random bank, random row over a large row
+    // space, so almost every access precharges and re-activates and
+    // the scheduler spends its time in passes 2/3 (closed-bank ACT
+    // selection and conflicting PRE).
+    for (auto _ : state) {
+        EventQueue eq;
+        Channel ch(eq, DramSpec::hbm1GHz().withChannelBytes(512_MiB),
+                   "bm", 0);
+        Rng rng(9);
+        for (int i = 0; i < 512; ++i) {
+            Request r;
+            r.type = rng.nextBool(0.3) ? AccessType::kWrite
+                                       : AccessType::kRead;
+            r.onComplete = [](TimePs) {};
+            ch.enqueue(std::move(r),
+                       ChannelAddr{static_cast<std::uint32_t>(
+                                       rng.nextBelow(16)),
+                                   static_cast<std::int64_t>(
+                                       rng.nextBelow(4096))});
+        }
+        eq.runAll();
+        benchmark::DoNotOptimize(ch.stats().rowMisses);
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_ChannelRandom);
+
+void
 BM_TraceGeneration(benchmark::State &state)
 {
     GeneratorConfig gc;

@@ -97,7 +97,10 @@ main(int argc, char **argv)
             "tCL-tRCD-tRP-tRAS = %u-%u-%u-%u @ %.2f GHz\n",
             s.name.c_str(), s.org.busBits, s.org.banksPerRank,
             static_cast<unsigned long long>(s.org.rowBufferBytes),
-            s.timing.tCL, s.timing.tRCD, s.timing.tRP, s.timing.tRAS,
+            static_cast<unsigned>(s.timing.cycles(s.timing.tCL)),
+            static_cast<unsigned>(s.timing.cycles(s.timing.tRCD)),
+            static_cast<unsigned>(s.timing.cycles(s.timing.tRP)),
+            static_cast<unsigned>(s.timing.cycles(s.timing.tRAS)),
             1000.0 / static_cast<double>(s.timing.clockPeriodPs));
     }
     const SystemGeometry g = SystemGeometry::paper();

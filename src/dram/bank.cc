@@ -6,79 +6,110 @@
 
 namespace mempod {
 
-void
-Bank::activate(TimePs now, std::int64_t row, const DramTiming &t)
+BankStateArray::BankStateArray(const CommandTimingTable &table,
+                               std::uint32_t num_banks,
+                               std::uint32_t banks_per_rank)
+    : tbl_(table),
+      banksPerRank_(banks_per_rank),
+      openRow_(num_banks, kNoRow),
+      acts_(num_banks, 0),
+      reads_(num_banks, 0),
+      writes_(num_banks, 0)
 {
-    MEMPOD_ASSERT(!isOpen(), "ACT to open bank");
-    MEMPOD_ASSERT(now >= actAllowedAt_, "ACT issued too early");
-    openRow_ = row;
-    ++stats_.activates;
-    casAllowedAt_ = std::max(casAllowedAt_, now + t.ps(t.tRCD));
-    preAllowedAt_ = std::max(preAllowedAt_, now + t.ps(t.tRAS));
-    actAllowedAt_ = std::max(actAllowedAt_, now + t.ps(t.tRC()));
+    const std::uint32_t ranks =
+        (num_banks + banks_per_rank - 1) / banks_per_rank;
+    for (auto &r : ready_)
+        r.assign(num_banks, 0);
+    rankActReady_.assign(ranks, 0);
+    fawRing_.assign(ranks, {});
+    fawHead_.assign(ranks, 0);
+    fawCount_.assign(ranks, 0);
 }
 
 void
-Bank::precharge(TimePs now, const DramTiming &t)
+BankStateArray::applyBankRow(DramCmd c, std::uint32_t b, TimePs now)
 {
-    MEMPOD_ASSERT(isOpen(), "PRE to closed bank");
-    MEMPOD_ASSERT(now >= preAllowedAt_, "PRE issued too early");
-    openRow_ = kNoRow;
-    actAllowedAt_ = std::max(actAllowedAt_, now + t.ps(t.tRP));
+    const TimePs *row = tbl_.bank[cmdIndex(c)];
+    for (std::size_t n = 0; n < kNumDramCmds; ++n)
+        ready_[n][b] = std::max(ready_[n][b], now + row[n]);
 }
 
 TimePs
-Bank::read(TimePs now, const DramTiming &t)
+BankStateArray::actReadyAt(std::uint32_t b) const
 {
-    MEMPOD_ASSERT(isOpen(), "read CAS to closed bank");
-    MEMPOD_ASSERT(now >= casAllowedAt_, "read CAS issued too early");
-    ++stats_.reads;
-    const TimePs data_end = now + t.ps(t.tCL + t.tBL);
-    preAllowedAt_ = std::max(preAllowedAt_, now + t.ps(t.tRTP));
-    casAllowedAt_ = std::max(casAllowedAt_, now + t.ps(t.tCCD));
-    return data_end;
-}
-
-TimePs
-Bank::write(TimePs now, const DramTiming &t)
-{
-    MEMPOD_ASSERT(isOpen(), "write CAS to closed bank");
-    MEMPOD_ASSERT(now >= casAllowedAt_, "write CAS issued too early");
-    ++stats_.writes;
-    const TimePs data_end = now + t.ps(t.tCWL + t.tBL);
-    preAllowedAt_ = std::max(preAllowedAt_, data_end + t.ps(t.tWR));
-    casAllowedAt_ = std::max(casAllowedAt_, now + t.ps(t.tCCD));
-    return data_end;
-}
-
-void
-Bank::blockUntil(TimePs until)
-{
-    actAllowedAt_ = std::max(actAllowedAt_, until);
-    casAllowedAt_ = std::max(casAllowedAt_, until);
-    preAllowedAt_ = std::max(preAllowedAt_, until);
-}
-
-TimePs
-Rank::actAllowedAt() const
-{
-    TimePs earliest = 0;
-    if (anyAct_)
-        earliest = lastActAt_ + timing_.ps(timing_.tRRD);
-    if (actWindow_.size() >= 4)
+    const std::uint32_t rank = b / banksPerRank_;
+    TimePs earliest = std::max(ready_[cmdIndex(DramCmd::kAct)][b],
+                               rankActReady_[rank]);
+    if (fawCount_[rank] >= 4) {
+        // The oldest of the last four ACTs gates the next one.
         earliest = std::max(earliest,
-                            actWindow_.front() + timing_.ps(timing_.tFAW));
+                            fawRing_[rank][fawHead_[rank]] + tbl_.fawPs);
+    }
     return earliest;
 }
 
 void
-Rank::recordAct(TimePs now)
+BankStateArray::activate(TimePs now, std::uint32_t b, std::int64_t row)
 {
-    lastActAt_ = now;
-    anyAct_ = true;
-    actWindow_.push_back(now);
-    if (actWindow_.size() > 4)
-        actWindow_.erase(actWindow_.begin());
+    MEMPOD_ASSERT(!isOpen(b), "ACT to open bank");
+    MEMPOD_ASSERT(now >= actReadyAt(b), "ACT issued too early");
+    openRow_[b] = row;
+    ++acts_[b];
+    applyBankRow(DramCmd::kAct, b, now);
+
+    const std::uint32_t rank = b / banksPerRank_;
+    rankActReady_[rank] =
+        std::max(rankActReady_[rank],
+                 now + tbl_.rank[cmdIndex(DramCmd::kAct)]
+                                [cmdIndex(DramCmd::kAct)]);
+    auto &ring = fawRing_[rank];
+    if (fawCount_[rank] < 4) {
+        ring[(fawHead_[rank] + fawCount_[rank]) % 4] = now;
+        ++fawCount_[rank];
+    } else {
+        ring[fawHead_[rank]] = now;
+        fawHead_[rank] = static_cast<std::uint8_t>(
+            (fawHead_[rank] + 1) % 4);
+    }
+}
+
+void
+BankStateArray::precharge(TimePs now, std::uint32_t b)
+{
+    MEMPOD_ASSERT(isOpen(b), "PRE to closed bank");
+    MEMPOD_ASSERT(now >= readyAt(b, DramCmd::kPre),
+                  "PRE issued too early");
+    openRow_[b] = kNoRow;
+    applyBankRow(DramCmd::kPre, b, now);
+}
+
+TimePs
+BankStateArray::read(TimePs now, std::uint32_t b)
+{
+    MEMPOD_ASSERT(isOpen(b), "read CAS to closed bank");
+    MEMPOD_ASSERT(now >= readyAt(b, DramCmd::kRd),
+                  "read CAS issued too early");
+    ++reads_[b];
+    applyBankRow(DramCmd::kRd, b, now);
+    return now + tbl_.rdDataPs;
+}
+
+TimePs
+BankStateArray::write(TimePs now, std::uint32_t b)
+{
+    MEMPOD_ASSERT(isOpen(b), "write CAS to closed bank");
+    MEMPOD_ASSERT(now >= readyAt(b, DramCmd::kWr),
+                  "write CAS issued too early");
+    ++writes_[b];
+    applyBankRow(DramCmd::kWr, b, now);
+    return now + tbl_.wrDataPs;
+}
+
+void
+BankStateArray::blockUntil(std::uint32_t b, TimePs until)
+{
+    for (auto &r : ready_)
+        r[b] = std::max(r[b], until);
 }
 
 } // namespace mempod

@@ -1,11 +1,16 @@
 /**
  * @file
- * Per-bank and per-rank DRAM timing state. A Bank tracks its open row
- * and the earliest times each command class may next be issued to it;
- * a Rank enforces the cross-bank tRRD and tFAW activation constraints.
+ * Struct-of-arrays DRAM bank timing state. One BankStateArray holds
+ * every bank of a channel: open rows, the next-ready time of each
+ * command class per bank, and the per-rank activation windows (tRRD
+ * and the rolling four-ACT tFAW window). Command legality and the
+ * ready-time bumps come from the precomputed CommandTimingTable, so
+ * issuing a command is table-lookup max-folding, never per-command
+ * arithmetic.
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -14,70 +19,88 @@
 
 namespace mempod {
 
-/** Timing state of one DRAM bank (open-page policy). */
-class Bank
+/** Timing state of all banks in one channel (open-page policy). */
+class BankStateArray
 {
   public:
     static constexpr std::int64_t kNoRow = -1;
 
-    /** Per-bank command counters (metrics registration). */
-    struct Stats
+    /**
+     * @param table Constraint table; must outlive this object.
+     * @param num_banks Rank-merged bank count (ranks x banksPerRank).
+     * @param banks_per_rank Banks per rank, for rank-scope windows.
+     */
+    BankStateArray(const CommandTimingTable &table,
+                   std::uint32_t num_banks,
+                   std::uint32_t banks_per_rank);
+
+    std::uint32_t numBanks() const
     {
-        std::uint64_t activates = 0;
-        std::uint64_t reads = 0;
-        std::uint64_t writes = 0;
-    };
+        return static_cast<std::uint32_t>(openRow_.size());
+    }
 
-    /** Row currently latched in the row buffer, or kNoRow. */
-    std::int64_t openRow() const { return openRow_; }
-    bool isOpen() const { return openRow_ != kNoRow; }
+    /** Row currently latched in bank `b`'s row buffer, or kNoRow. */
+    std::int64_t openRow(std::uint32_t b) const { return openRow_[b]; }
+    bool isOpen(std::uint32_t b) const { return openRow_[b] != kNoRow; }
 
-    const Stats &stats() const { return stats_; }
+    /** Bank-local earliest issue time of `c` at bank `b`. */
+    TimePs
+    readyAt(std::uint32_t b, DramCmd c) const
+    {
+        return ready_[cmdIndex(c)][b];
+    }
 
-    TimePs actAllowedAt() const { return actAllowedAt_; }
-    TimePs casAllowedAt() const { return casAllowedAt_; }
-    TimePs preAllowedAt() const { return preAllowedAt_; }
+    /**
+     * Earliest ACT issue time at bank `b`, folding in the rank's tRRD
+     * spacing and the rolling four-ACT (tFAW) window.
+     */
+    TimePs actReadyAt(std::uint32_t b) const;
 
     /** Apply an ACTIVATE at time `now`. */
-    void activate(TimePs now, std::int64_t row, const DramTiming &t);
+    void activate(TimePs now, std::uint32_t b, std::int64_t row);
 
     /** Apply a PRECHARGE at time `now`. */
-    void precharge(TimePs now, const DramTiming &t);
+    void precharge(TimePs now, std::uint32_t b);
 
     /** Apply a read CAS at `now`; returns the data-end time. */
-    TimePs read(TimePs now, const DramTiming &t);
+    TimePs read(TimePs now, std::uint32_t b);
 
     /** Apply a write CAS at `now`; returns the data-end time. */
-    TimePs write(TimePs now, const DramTiming &t);
+    TimePs write(TimePs now, std::uint32_t b);
 
-    /** Push all command windows past a refresh completing at `until`. */
-    void blockUntil(TimePs until);
+    /** Push bank `b`'s command windows past a refresh ending `until`. */
+    void blockUntil(std::uint32_t b, TimePs until);
 
-  private:
-    std::int64_t openRow_ = kNoRow;
-    TimePs actAllowedAt_ = 0;
-    TimePs casAllowedAt_ = 0;
-    TimePs preAllowedAt_ = 0;
-    Stats stats_;
-};
-
-/** Cross-bank activation bookkeeping for one rank. */
-class Rank
-{
-  public:
-    explicit Rank(const DramTiming &t) : timing_(t) {}
-
-    /** Earliest time a new ACT may issue in this rank. */
-    TimePs actAllowedAt() const;
-
-    /** Record an ACT at `now`. */
-    void recordAct(TimePs now);
+    /**
+     * Per-bank command counters as flat arrays sized numBanks(); the
+     * addresses are stable for the object's lifetime, so telemetry
+     * can attach to them directly.
+     */
+    const std::uint64_t *activateCounts() const { return acts_.data(); }
+    const std::uint64_t *readCounts() const { return reads_.data(); }
+    const std::uint64_t *writeCounts() const { return writes_.data(); }
 
   private:
-    const DramTiming &timing_;
-    TimePs lastActAt_ = 0;
-    bool anyAct_ = false;
-    std::vector<TimePs> actWindow_; //!< last up-to-4 ACT times (tFAW)
+    /** Fold table row `c` into bank `b`'s ready times at `now`. */
+    void applyBankRow(DramCmd c, std::uint32_t b, TimePs now);
+
+    const CommandTimingTable &tbl_;
+    std::uint32_t banksPerRank_;
+
+    std::vector<std::int64_t> openRow_;
+    /** ready_[cmd][bank]: earliest issue time per command class. */
+    std::array<std::vector<TimePs>, kNumDramCmds> ready_;
+
+    /** Per-rank tRRD gate (earliest next ACT in the rank). */
+    std::vector<TimePs> rankActReady_;
+    /** Per-rank ring of the last four ACT times (tFAW). */
+    std::vector<std::array<TimePs, 4>> fawRing_;
+    std::vector<std::uint8_t> fawHead_;
+    std::vector<std::uint8_t> fawCount_;
+
+    std::vector<std::uint64_t> acts_;
+    std::vector<std::uint64_t> reads_;
+    std::vector<std::uint64_t> writes_;
 };
 
 } // namespace mempod

@@ -11,16 +11,20 @@ Channel::Channel(EventQueue &eq, const DramSpec &spec, std::string name,
                  TimePs extra_latency_ps, ControllerPolicy policy)
     : eq_(eq),
       spec_(spec),
+      tbl_(CommandTimingTable::build(spec.timing)),
       name_(std::move(name)),
       extraLatencyPs_(extra_latency_ps),
       policy_(policy),
-      banks_(spec_.org.totalBanks()),
+      banks_(tbl_, spec_.org.totalBanks(), spec_.org.banksPerRank),
       autoPrePending_(spec_.org.totalBanks(), false)
 {
-    ranks_.reserve(spec_.org.ranks);
-    for (std::uint32_t r = 0; r < spec_.org.ranks; ++r)
-        ranks_.emplace_back(spec_.timing);
-    nextRefreshAt_ = spec_.timing.ps(spec_.timing.tREFI);
+    const std::uint32_t nbanks = spec_.org.totalBanks();
+    const std::size_t words = (nbanks + 63) / 64;
+    for (Queue *q : {&readQ_, &writeQ_}) {
+        q->banks.assign(nbanks, BankList{});
+        q->workWords.assign(words, 0);
+    }
+    nextRefreshAt_ = spec_.timing.tREFI;
 }
 
 TimePs
@@ -31,17 +35,142 @@ Channel::alignUp(TimePs t) const
 }
 
 void
+Channel::pushEntry(Queue &q, std::uint32_t idx)
+{
+    Entry &e = entries_[idx];
+    e.prevG = q.tail;
+    e.nextG = kNil;
+    if (q.tail != kNil)
+        entries_[q.tail].nextG = idx;
+    else
+        q.head = idx;
+    q.tail = idx;
+
+    const std::uint32_t b = e.at.bank;
+    BankList &bl = q.banks[b];
+    e.prevB = bl.tail;
+    e.nextB = kNil;
+    if (bl.tail != kNil) {
+        entries_[bl.tail].nextB = idx;
+    } else {
+        bl.head = idx;
+        q.workWords[b / 64] |= std::uint64_t{1} << (b % 64);
+    }
+    bl.tail = idx;
+    ++q.size;
+
+    // The hit/conflict caches are maintained only while the row is
+    // open; a closed bank recomputes them on its next ACT.
+    if (banks_.isOpen(b)) {
+        if (banks_.openRow(b) == e.at.row) {
+            if (bl.oldestHit == kNil)
+                bl.oldestHit = idx;
+        } else if (bl.oldestMiss == kNil) {
+            bl.oldestMiss = idx;
+        }
+    }
+}
+
+void
+Channel::removeEntry(Queue &q, std::uint32_t idx)
+{
+    Entry &e = entries_[idx];
+    if (e.prevG != kNil)
+        entries_[e.prevG].nextG = e.nextG;
+    else
+        q.head = e.nextG;
+    if (e.nextG != kNil)
+        entries_[e.nextG].prevG = e.prevG;
+    else
+        q.tail = e.prevG;
+
+    const std::uint32_t b = e.at.bank;
+    BankList &bl = q.banks[b];
+    if (e.prevB != kNil)
+        entries_[e.prevB].nextB = e.nextB;
+    else
+        bl.head = e.nextB;
+    if (e.nextB != kNil)
+        entries_[e.nextB].prevB = e.prevB;
+    else
+        bl.tail = e.prevB;
+    --q.size;
+
+    if (bl.head == kNil) {
+        q.workWords[b / 64] &= ~(std::uint64_t{1} << (b % 64));
+        bl.oldestHit = kNil;
+        bl.oldestMiss = kNil;
+        return;
+    }
+    // The bank FIFO is age-ordered, so the next cached entry is the
+    // first match at or after the removed entry's successor.
+    if (bl.oldestHit == idx) {
+        bl.oldestHit = kNil;
+        const std::int64_t row = banks_.openRow(b);
+        for (std::uint32_t i = e.nextB; i != kNil;
+             i = entries_[i].nextB) {
+            if (entries_[i].at.row == row) {
+                bl.oldestHit = i;
+                break;
+            }
+        }
+    }
+    if (bl.oldestMiss == idx) {
+        bl.oldestMiss = kNil;
+        const std::int64_t row = banks_.openRow(b);
+        for (std::uint32_t i = e.nextB; i != kNil;
+             i = entries_[i].nextB) {
+            if (entries_[i].at.row != row) {
+                bl.oldestMiss = i;
+                break;
+            }
+        }
+    }
+}
+
+void
+Channel::refreshBankCaches(Queue &q, std::uint32_t b)
+{
+    BankList &bl = q.banks[b];
+    bl.oldestHit = kNil;
+    bl.oldestMiss = kNil;
+    if (!banks_.isOpen(b))
+        return;
+    const std::int64_t row = banks_.openRow(b);
+    for (std::uint32_t i = bl.head; i != kNil; i = entries_[i].nextB) {
+        if (entries_[i].at.row == row) {
+            if (bl.oldestHit == kNil)
+                bl.oldestHit = i;
+        } else if (bl.oldestMiss == kNil) {
+            bl.oldestMiss = i;
+        }
+        if (bl.oldestHit != kNil && bl.oldestMiss != kNil)
+            break;
+    }
+}
+
+void
 Channel::enqueue(Request req, ChannelAddr where)
 {
-    MEMPOD_ASSERT(where.bank < banks_.size(), "bank %u out of range",
+    MEMPOD_ASSERT(where.bank < banks_.numBanks(), "bank %u out of range",
                   where.bank);
     MEMPOD_ASSERT(where.row >= 0 &&
                       where.row < static_cast<std::int64_t>(
                                       spec_.org.rowsPerBank),
                   "row out of range");
-    Entry e;
+    std::uint32_t idx;
+    if (freeEntries_.empty()) {
+        idx = static_cast<std::uint32_t>(entries_.size());
+        entries_.emplace_back();
+    } else {
+        idx = freeEntries_.back();
+        freeEntries_.pop_back();
+        entries_[idx] = Entry{};
+    }
+    Entry &e = entries_[idx];
     e.at = where;
     e.enqueuedAt = eq_.now();
+    e.seq = nextSeq_++;
     e.traceId = req.traceId;
     e.kind = req.kind;
     if (req.onComplete) {
@@ -55,10 +184,10 @@ Channel::enqueue(Request req, ChannelAddr where)
         }
         completionSlots_[e.cbSlot] = std::move(req.onComplete);
     }
-    auto &q = req.type == AccessType::kWrite ? writeQ_ : readQ_;
-    q.push_back(std::move(e));
-    stats_.maxQueueDepth = std::max<std::uint64_t>(
-        stats_.maxQueueDepth, readQ_.size() + writeQ_.size());
+    pushEntry(req.type == AccessType::kWrite ? writeQ_ : readQ_, idx);
+    ++stats_.queuedNow;
+    stats_.maxQueueDepth =
+        std::max(stats_.maxQueueDepth, stats_.queuedNow);
     scheduleTick(alignUp(eq_.now()));
 }
 
@@ -80,22 +209,30 @@ void
 Channel::performRefresh()
 {
     const TimePs now = eq_.now();
+    const std::uint32_t nbanks = banks_.numBanks();
     // All banks must be precharged; model the worst pending constraint.
     TimePs start = now;
-    for (auto &b : banks_)
-        if (b.isOpen())
-            start = std::max(start, b.preAllowedAt());
-    const TimePs end =
-        start + spec_.timing.ps(spec_.timing.tRP + spec_.timing.tRFC);
-    for (auto &b : banks_) {
-        if (b.isOpen())
-            b.blockUntil(start); // wait out tRAS, then implicit PRE
-        // Force-close and block through the refresh cycle.
-        if (b.isOpen())
-            b.precharge(std::max(now, b.preAllowedAt()), spec_.timing);
-        b.blockUntil(end);
+    for (std::uint32_t b = 0; b < nbanks; ++b)
+        if (banks_.isOpen(b))
+            start = std::max(start, banks_.readyAt(b, DramCmd::kPre));
+    const TimePs end = start + spec_.timing.tRP + spec_.timing.tRFC;
+    for (std::uint32_t b = 0; b < nbanks; ++b) {
+        if (banks_.isOpen(b)) {
+            // Wait out tRAS, then implicit PRE (uncounted: refresh
+            // precharges are part of the refresh cycle, not demand).
+            banks_.blockUntil(b, start);
+            banks_.precharge(
+                std::max(now, banks_.readyAt(b, DramCmd::kPre)), b);
+        }
+        // Block through the refresh cycle.
+        banks_.blockUntil(b, end);
+        // Every row is closed now; the caches rebuild on the next ACT.
+        readQ_.banks[b].oldestHit = kNil;
+        readQ_.banks[b].oldestMiss = kNil;
+        writeQ_.banks[b].oldestHit = kNil;
+        writeQ_.banks[b].oldestMiss = kNil;
     }
-    nextRefreshAt_ += spec_.timing.ps(spec_.timing.tREFI);
+    nextRefreshAt_ += spec_.timing.tREFI;
     ++stats_.refreshes;
     if (Tracer *tr = eq_.tracer()) {
         const std::uint32_t tid = tr->track(name_);
@@ -111,7 +248,7 @@ Channel::tick()
 
     if (now >= nextRefreshAt_) {
         performRefresh();
-        if (!readQ_.empty() || !writeQ_.empty())
+        if (readQ_.size != 0 || writeQ_.size != 0)
             scheduleTick(alignUp(earliestWork()));
         else
             scheduleTick(alignUp(nextRefreshAt_));
@@ -121,30 +258,32 @@ Channel::tick()
     // Closed-page policy: retire auto-precharges that became legal
     // (even while the request queues are empty).
     if (policy_.closedPage) {
-        for (std::uint32_t b = 0; b < banks_.size(); ++b) {
-            if (!autoPrePending_[b] || !banks_[b].isOpen()) {
+        for (std::uint32_t b = 0; b < banks_.numBanks(); ++b) {
+            if (!autoPrePending_[b] || !banks_.isOpen(b)) {
                 autoPrePending_[b] = false;
                 continue;
             }
-            if (pendingHitFor(b, banks_[b].openRow()))
+            if (openRowHasPendingHit(b))
                 continue; // a new hit arrived; keep the row open
-            if (now >= banks_[b].preAllowedAt()) {
-                banks_[b].precharge(now, spec_.timing);
+            if (now >= banks_.readyAt(b, DramCmd::kPre)) {
+                banks_.precharge(now, b);
+                refreshBankCaches(readQ_, b);
+                refreshBankCaches(writeQ_, b);
                 ++stats_.precharges;
                 autoPrePending_[b] = false;
             }
         }
     }
 
-    if (readQ_.empty() && writeQ_.empty()) {
+    if (readQ_.size == 0 && writeQ_.size == 0) {
         // Idle: stay armed only to finish pending auto-precharges;
         // closed banks refresh lazily when work next arrives.
         if (policy_.closedPage) {
-            for (std::uint32_t b = 0; b < banks_.size(); ++b) {
-                if (autoPrePending_[b] && banks_[b].isOpen()) {
+            for (std::uint32_t b = 0; b < banks_.numBanks(); ++b) {
+                if (autoPrePending_[b] && banks_.isOpen(b)) {
                     scheduleTick(alignUp(std::max(
                         now + spec_.timing.clockPeriodPs,
-                        banks_[b].preAllowedAt())));
+                        banks_.readyAt(b, DramCmd::kPre))));
                     break;
                 }
             }
@@ -166,12 +305,12 @@ bool
 Channel::tryIssue()
 {
     // Write-drain hysteresis.
-    if (writeQ_.size() >= kDrainHigh)
+    if (writeQ_.size >= kDrainHigh)
         draining_ = true;
-    else if (writeQ_.size() <= kDrainLow)
+    else if (writeQ_.size <= kDrainLow)
         draining_ = false;
 
-    const bool writes_first = draining_ || readQ_.empty();
+    const bool writes_first = draining_ || readQ_.size == 0;
     if (writes_first) {
         if (tryIssueFrom(writeQ_, true))
             return true;
@@ -183,105 +322,154 @@ Channel::tryIssue()
 }
 
 bool
-Channel::tryIssueFrom(std::vector<Entry> &q, bool is_write_queue)
+Channel::tryIssueFrom(Queue &q, bool is_write_queue)
 {
-    if (q.empty())
+    if (q.size == 0)
         return false;
 
     const TimePs now = eq_.now();
     const TimePs cas_gate = is_write_queue ? nextWrCasAt_ : nextRdCasAt_;
+    const DramCmd cas = is_write_queue ? DramCmd::kWr : DramCmd::kRd;
+    const TimePs cas_to_data =
+        is_write_queue ? spec_.timing.tCWL : spec_.timing.tCL;
 
     // Anti-starvation: if the oldest entry has waited too long, only
     // consider it. Plain FCFS always considers only the oldest.
-    const bool starved =
-        policy_.fcfs || now - q.front().enqueuedAt > kStarvationAgePs;
-    const std::size_t scan_limit = starved ? 1 : q.size();
+    const Entry &front = entries_[q.head];
+    if (policy_.fcfs || now - front.enqueuedAt > kStarvationAgePs) {
+        // Single-candidate arbitration on the globally oldest entry,
+        // same CAS/ACT/PRE precedence as the general path below.
+        const std::uint32_t b = front.at.bank;
+        if (banks_.openRow(b) == front.at.row) {
+            if (now >= banks_.readyAt(b, cas) && now >= cas_gate &&
+                now + cas_to_data >= busFreeAt_) {
+                issueCas(q, q.head, is_write_queue);
+                return true;
+            }
+        } else if (!banks_.isOpen(b)) {
+            if (now >= banks_.actReadyAt(b)) {
+                Entry &e = entries_[q.head];
+                banks_.activate(now, b, e.at.row);
+                refreshBankCaches(readQ_, b);
+                refreshBankCaches(writeQ_, b);
+                e.causedAct = true;
+                ++stats_.activates;
+                return true;
+            }
+        } else if (now >= banks_.readyAt(b, DramCmd::kPre)) {
+            // Starving: close the conflicting row even if other
+            // queued requests still hit it.
+            banks_.precharge(now, b);
+            refreshBankCaches(readQ_, b);
+            refreshBankCaches(writeQ_, b);
+            ++stats_.precharges;
+            return true;
+        }
+        return false;
+    }
 
-    // Pass 1 (FR-FCFS): oldest ready row hit.
-    for (std::size_t i = 0; i < scan_limit; ++i) {
-        Entry &e = q[i];
-        Bank &b = banks_[e.at.bank];
-        if (b.openRow() != e.at.row)
-            continue;
-        if (now < b.casAllowedAt() || now < cas_gate)
-            continue;
-        const TimePs data_start =
-            now + spec_.timing.ps(is_write_queue ? spec_.timing.tCWL
-                                                 : spec_.timing.tCL);
-        if (data_start < busFreeAt_)
-            continue;
-        issueCas(q, i, is_write_queue);
-        return true;
+    // Pass 1 (FR-FCFS): oldest ready row hit. The CAS gate and the
+    // data-bus check are bank-independent, so they hoist.
+    if (now >= cas_gate && now + cas_to_data >= busFreeAt_) {
+        std::uint32_t best = kNil;
+        std::uint64_t best_seq = 0;
+        forEachWorkBank(q, [&](std::uint32_t b) {
+            const std::uint32_t h = q.banks[b].oldestHit;
+            if (h == kNil || now < banks_.readyAt(b, cas))
+                return;
+            if (best == kNil || entries_[h].seq < best_seq) {
+                best = h;
+                best_seq = entries_[h].seq;
+            }
+        });
+        if (best != kNil) {
+            issueCas(q, best, is_write_queue);
+            return true;
+        }
     }
 
     // Pass 2: oldest entry whose bank is closed -> ACT.
-    for (std::size_t i = 0; i < scan_limit; ++i) {
-        Entry &e = q[i];
-        Bank &b = banks_[e.at.bank];
-        if (b.isOpen())
-            continue;
-        const std::uint32_t rank = e.at.bank / spec_.org.banksPerRank;
-        const TimePs ready =
-            std::max(b.actAllowedAt(), ranks_[rank].actAllowedAt());
-        if (now < ready)
-            continue;
-        b.activate(now, e.at.row, spec_.timing);
-        ranks_[rank].recordAct(now);
-        e.causedAct = true;
-        ++stats_.activates;
-        return true;
+    {
+        std::uint32_t best = kNil;
+        std::uint64_t best_seq = 0;
+        forEachWorkBank(q, [&](std::uint32_t b) {
+            if (banks_.isOpen(b) || now < banks_.actReadyAt(b))
+                return;
+            const std::uint32_t h = q.banks[b].head;
+            if (best == kNil || entries_[h].seq < best_seq) {
+                best = h;
+                best_seq = entries_[h].seq;
+            }
+        });
+        if (best != kNil) {
+            Entry &e = entries_[best];
+            const std::uint32_t b = e.at.bank;
+            banks_.activate(now, b, e.at.row);
+            refreshBankCaches(readQ_, b);
+            refreshBankCaches(writeQ_, b);
+            e.causedAct = true;
+            ++stats_.activates;
+            return true;
+        }
     }
 
     // Pass 3: oldest conflicting entry -> PRE, unless the open row
-    // still has pending hits (and we are not starving).
-    for (std::size_t i = 0; i < scan_limit; ++i) {
-        Entry &e = q[i];
-        Bank &b = banks_[e.at.bank];
-        if (!b.isOpen() || b.openRow() == e.at.row)
-            continue;
-        if (!starved && pendingHitFor(e.at.bank, b.openRow()))
-            continue;
-        if (now < b.preAllowedAt())
-            continue;
-        b.precharge(now, spec_.timing);
-        ++stats_.precharges;
-        return true;
+    // still has pending hits.
+    {
+        std::uint32_t best = kNil;
+        std::uint64_t best_seq = 0;
+        forEachWorkBank(q, [&](std::uint32_t b) {
+            const std::uint32_t m = q.banks[b].oldestMiss;
+            if (m == kNil || openRowHasPendingHit(b) ||
+                now < banks_.readyAt(b, DramCmd::kPre))
+                return;
+            if (best == kNil || entries_[m].seq < best_seq) {
+                best = m;
+                best_seq = entries_[m].seq;
+            }
+        });
+        if (best != kNil) {
+            const std::uint32_t b = entries_[best].at.bank;
+            banks_.precharge(now, b);
+            refreshBankCaches(readQ_, b);
+            refreshBankCaches(writeQ_, b);
+            ++stats_.precharges;
+            return true;
+        }
     }
 
     return false;
 }
 
 void
-Channel::issueCas(std::vector<Entry> &q, std::size_t idx,
-                  bool is_write_queue)
+Channel::issueCas(Queue &q, std::uint32_t idx, bool is_write_queue)
 {
     const TimePs now = eq_.now();
-    Entry e = std::move(q[idx]);
-    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+    Entry &e = entries_[idx];
+    removeEntry(q, idx);
+    --stats_.queuedNow;
 
-    Bank &b = banks_[e.at.bank];
-    const DramTiming &t = spec_.timing;
+    const std::uint32_t b = e.at.bank;
+    const auto rd = cmdIndex(DramCmd::kRd);
+    const auto wr = cmdIndex(DramCmd::kWr);
     TimePs data_end;
     if (is_write_queue) {
-        data_end = b.write(now, t);
+        data_end = banks_.write(now, b);
         ++stats_.writes;
-        nextWrCasAt_ = std::max(nextWrCasAt_, now + t.ps(t.tCCD));
+        nextWrCasAt_ =
+            std::max(nextWrCasAt_, now + tbl_.channel[wr][wr]);
         nextRdCasAt_ =
-            std::max(nextRdCasAt_, now + t.ps(t.tCWL + t.tBL + t.tWTR));
+            std::max(nextRdCasAt_, now + tbl_.channel[wr][rd]);
     } else {
-        data_end = b.read(now, t);
+        data_end = banks_.read(now, b);
         ++stats_.reads;
-        nextRdCasAt_ = std::max(nextRdCasAt_, now + t.ps(t.tCCD));
-        // Write data may start only after read data ends plus
-        // turnaround: wrCas + tCWL >= rdCas + tCL + tBL + tRTW.
-        const std::uint32_t rd_to_wr =
-            t.tCL + t.tBL + t.tRTW > t.tCWL
-                ? t.tCL + t.tBL + t.tRTW - t.tCWL
-                : 0;
-        nextWrCasAt_ = std::max(nextWrCasAt_, now + t.ps(rd_to_wr));
+        nextRdCasAt_ =
+            std::max(nextRdCasAt_, now + tbl_.channel[rd][rd]);
+        nextWrCasAt_ =
+            std::max(nextWrCasAt_, now + tbl_.channel[rd][wr]);
     }
     busFreeAt_ = std::max(busFreeAt_, data_end);
-    stats_.busBusyPs += t.ps(t.tBL);
+    stats_.busBusyPs += tbl_.burstPs;
 
     if (e.causedAct)
         ++stats_.rowMisses;
@@ -290,7 +478,7 @@ Channel::issueCas(std::vector<Entry> &q, std::size_t idx,
 
     // Closed-page: close the row once nothing queued still wants it.
     if (policy_.closedPage)
-        autoPrePending_[e.at.bank] = true;
+        autoPrePending_[b] = true;
 
     const TimePs finish = data_end + extraLatencyPs_;
 
@@ -314,10 +502,10 @@ Channel::issueCas(std::vector<Entry> &q, std::size_t idx,
         }
     }
 
-    if (completionHook_ || e.cbSlot != kNoSlot) {
+    if (completionHook_ || e.cbSlot != kNil) {
         eq_.schedule(finish, [this, slot = e.cbSlot, finish] {
             CompletionCallback cb;
-            if (slot != kNoSlot) {
+            if (slot != kNil) {
                 cb = std::move(completionSlots_[slot]);
                 // Release before invoking: the callback may enqueue a
                 // new request that reuses (or grows past) this slot.
@@ -329,18 +517,8 @@ Channel::issueCas(std::vector<Entry> &q, std::size_t idx,
                 cb(finish);
         });
     }
-}
 
-bool
-Channel::pendingHitFor(std::uint32_t bank, std::int64_t row) const
-{
-    for (const auto &e : readQ_)
-        if (e.at.bank == bank && e.at.row == row)
-            return true;
-    for (const auto &e : writeQ_)
-        if (e.at.bank == bank && e.at.row == row)
-            return true;
-    return false;
+    freeEntries_.push_back(idx);
 }
 
 TimePs
@@ -349,28 +527,32 @@ Channel::earliestWork() const
     const TimePs now = eq_.now();
     TimePs best = kTimeNever;
 
-    auto consider = [&](const std::vector<Entry> &q, bool is_write) {
+    auto consider = [&](const Queue &q, bool is_write) {
         const TimePs cas_gate = is_write ? nextWrCasAt_ : nextRdCasAt_;
-        for (const auto &e : q) {
-            const Bank &b = banks_[e.at.bank];
-            TimePs ready;
-            if (b.openRow() == e.at.row) {
-                ready = std::max(b.casAllowedAt(), cas_gate);
-                const TimePs cl =
-                    spec_.timing.ps(is_write ? spec_.timing.tCWL
-                                             : spec_.timing.tCL);
-                if (ready + cl < busFreeAt_)
-                    ready = busFreeAt_ - cl;
-            } else if (!b.isOpen()) {
-                const std::uint32_t rank =
-                    e.at.bank / spec_.org.banksPerRank;
-                ready = std::max(b.actAllowedAt(),
-                                 ranks_[rank].actAllowedAt());
+        const DramCmd cas = is_write ? DramCmd::kWr : DramCmd::kRd;
+        const TimePs cl =
+            is_write ? spec_.timing.tCWL : spec_.timing.tCL;
+        forEachWorkBank(q, [&](std::uint32_t b) {
+            const BankList &bl = q.banks[b];
+            if (banks_.isOpen(b)) {
+                if (bl.oldestHit != kNil) {
+                    TimePs ready =
+                        std::max(banks_.readyAt(b, cas), cas_gate);
+                    if (ready + cl < busFreeAt_)
+                        ready = busFreeAt_ - cl;
+                    best = std::min(best, std::max(ready, now));
+                }
+                if (bl.oldestMiss != kNil) {
+                    best = std::min(
+                        best,
+                        std::max(banks_.readyAt(b, DramCmd::kPre),
+                                 now));
+                }
             } else {
-                ready = b.preAllowedAt();
+                best = std::min(
+                    best, std::max(banks_.actReadyAt(b), now));
             }
-            best = std::min(best, std::max(ready, now));
-        }
+        });
     };
     consider(readQ_, false);
     consider(writeQ_, true);
@@ -382,72 +564,17 @@ Channel::earliestWork() const
     return std::max(best, now + spec_.timing.clockPeriodPs);
 }
 
-double
-Channel::rowHitRate() const
+ChannelTelemetry
+Channel::telemetry() const
 {
-    const std::uint64_t total = stats_.rowHits + stats_.rowMisses;
-    return total ? static_cast<double>(stats_.rowHits) / total : 0.0;
-}
-
-double
-Channel::busUtilization() const
-{
-    const TimePs now = eq_.now();
-    return now ? static_cast<double>(stats_.busBusyPs) / now : 0.0;
-}
-
-void
-Channel::registerMetrics(MetricRegistry &reg,
-                         const std::string &prefix) const
-{
-    reg.attachCounter(prefix + ".reads", "read CAS commands issued",
-                      &stats_.reads);
-    reg.attachCounter(prefix + ".writes", "write CAS commands issued",
-                      &stats_.writes);
-    reg.attachCounter(prefix + ".row_hits",
-                      "CAS commands that required no ACT",
-                      &stats_.rowHits);
-    reg.attachCounter(prefix + ".row_misses",
-                      "CAS commands preceded by their own ACT",
-                      &stats_.rowMisses);
-    reg.attachCounter(prefix + ".activates", "ACT commands issued",
-                      &stats_.activates);
-    reg.attachCounter(prefix + ".precharges", "PRE commands issued",
-                      &stats_.precharges);
-    reg.attachCounter(prefix + ".refreshes", "refresh cycles performed",
-                      &stats_.refreshes);
-    reg.attachCounter(prefix + ".bus_busy_ps",
-                      "picoseconds the data bus carried a burst",
-                      &stats_.busBusyPs);
-    reg.attachCounter(prefix + ".demand_queue_wait_ps",
-                      "summed demand wait from enqueue to CAS",
-                      &stats_.demandQueueWaitPs);
-    reg.attachCounter(prefix + ".demand_service_ps",
-                      "summed demand CAS-to-completion time",
-                      &stats_.demandServicePs);
-    reg.addGauge(prefix + ".queue_depth",
-                 "requests queued at the controller right now",
-                 [this] { return static_cast<double>(queued()); });
-    reg.addGauge(prefix + ".max_queue_depth",
-                 "high-water mark of the controller queues", [this] {
-                     return static_cast<double>(stats_.maxQueueDepth);
-                 });
-    reg.addGauge(prefix + ".row_hit_rate",
-                 "fraction of CAS commands hitting the open row",
-                 [this] { return rowHitRate(); });
-    reg.addGauge(prefix + ".bus_utilization",
-                 "fraction of simulated time the data bus was busy",
-                 [this] { return busUtilization(); });
-    for (std::size_t b = 0; b < banks_.size(); ++b) {
-        const std::string bp = prefix + ".bank" + std::to_string(b);
-        const Bank::Stats &bs = banks_[b].stats();
-        reg.attachCounter(bp + ".activates", "per-bank ACT commands",
-                          &bs.activates);
-        reg.attachCounter(bp + ".reads", "per-bank read CAS commands",
-                          &bs.reads);
-        reg.attachCounter(bp + ".writes", "per-bank write CAS commands",
-                          &bs.writes);
-    }
+    ChannelTelemetry t;
+    t.name = name_;
+    t.stats = &stats_;
+    t.bankActivates = banks_.activateCounts();
+    t.bankReads = banks_.readCounts();
+    t.bankWrites = banks_.writeCounts();
+    t.numBanks = banks_.numBanks();
+    return t;
 }
 
 } // namespace mempod

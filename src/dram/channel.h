@@ -9,19 +9,28 @@
  * EventQueue only while it has work, and when blocked purely on timing
  * it sleeps until the earliest constraint expires, so simulated idle
  * memory is free.
+ *
+ * Requests live in per-bank intrusive FIFO lists (plus one global age
+ * list per read/write queue), with cached oldest-hit/oldest-conflict
+ * entries per bank, so FR-FCFS arbitration walks banks-with-work via
+ * a ready-bank bitmask instead of scanning the whole queue three
+ * times per tick. The scheduling policy is unchanged: oldest ready
+ * row hit, then oldest ready activate, then oldest conflicting
+ * precharge, with the same anti-starvation rule.
  */
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/event_queue.h"
-#include "common/metrics.h"
 #include "common/types.h"
 #include "dram/bank.h"
 #include "dram/spec.h"
+#include "dram/telemetry.h"
 #include "mem/request.h"
 
 namespace mempod {
@@ -53,22 +62,7 @@ struct ControllerPolicy
 class Channel
 {
   public:
-    struct Stats
-    {
-        std::uint64_t reads = 0;
-        std::uint64_t writes = 0;
-        std::uint64_t rowHits = 0;   //!< CAS that required no ACT
-        std::uint64_t rowMisses = 0; //!< CAS preceded by own ACT
-        std::uint64_t activates = 0;
-        std::uint64_t precharges = 0;
-        std::uint64_t refreshes = 0;
-        std::uint64_t maxQueueDepth = 0;
-        std::uint64_t busBusyPs = 0; //!< data-bus burst occupancy
-        /** Summed demand wait from enqueue to CAS (attribution). */
-        std::uint64_t demandQueueWaitPs = 0;
-        /** Summed demand CAS-to-completion time (attribution). */
-        std::uint64_t demandServicePs = 0;
-    };
+    using Stats = ChannelStats;
 
     /**
      * @param eq Global event queue.
@@ -100,7 +94,11 @@ class Channel
     }
 
     /** Requests accepted but not yet issued to the device. */
-    std::size_t queued() const { return readQ_.size() + writeQ_.size(); }
+    std::size_t
+    queued() const
+    {
+        return static_cast<std::size_t>(stats_.queuedNow);
+    }
 
     /** True when no request is queued (in-flight data may remain). */
     bool idle() const { return queued() == 0; }
@@ -110,39 +108,66 @@ class Channel
     const std::string &name() const { return name_; }
 
     /** Fraction of CAS commands that were row-buffer hits. */
-    double rowHitRate() const;
+    double rowHitRate() const { return channelRowHitRate(stats_); }
 
     /** Fraction of simulated time the data bus carried a burst. */
-    double busUtilization() const;
+    double
+    busUtilization() const
+    {
+        return channelBusUtilization(stats_, eq_.now());
+    }
 
     /**
-     * Register this channel's instruments (and its banks') under
-     * `prefix` ("mem.fast0" -> "mem.fast0.reads",
-     * "mem.fast0.bank3.activates", ...).
+     * The read-only observer view of this controller: stable pointers
+     * to the aggregate counters and the per-bank SoA counter arrays.
+     * The MemorySystem registers this once; src/common observers
+     * never touch Channel internals.
      */
-    void registerMetrics(MetricRegistry &reg,
-                         const std::string &prefix) const;
+    ChannelTelemetry telemetry() const;
 
   private:
-    /** No parked completion callback for this entry. */
-    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+    /** Sentinel index for intrusive lists and callback slots. */
+    static constexpr std::uint32_t kNil = ~std::uint32_t{0};
 
     /**
      * One queued line transfer. Deliberately NOT the whole Request:
-     * FR-FCFS scans these linearly every tick, so only the fields the
-     * controller reads live here; the completion callback is parked in
-     * the slab under cbSlot. Padded out to exactly one cache line —
-     * measurably faster than the denser 40-byte packing, where entries
-     * straddle line boundaries and the scan pays split loads.
+     * only the fields the arbiter reads live here; the completion
+     * callback is parked in the slab under cbSlot. Entries are slab
+     * slots threaded onto two intrusive lists: the per-queue age list
+     * (prevG/nextG, FIFO by seq) and the per-bank FIFO (prevB/nextB).
+     * Padded to one cache line so neighbouring slots never share one.
      */
     struct alignas(64) Entry
     {
         ChannelAddr at;
         TimePs enqueuedAt = 0;
-        std::uint64_t traceId = 0;      //!< sampled-demand span id
-        std::uint32_t cbSlot = kNoSlot; //!< completionSlots_ index
+        std::uint64_t seq = 0;     //!< global arrival order
+        std::uint64_t traceId = 0; //!< sampled-demand span id
+        std::uint32_t prevG = kNil, nextG = kNil; //!< age list
+        std::uint32_t prevB = kNil, nextB = kNil; //!< bank FIFO
+        std::uint32_t cbSlot = kNil; //!< completionSlots_ index
         Request::Kind kind = Request::Kind::kDemand;
         bool causedAct = false; //!< an ACT was issued on its behalf
+    };
+
+    /** Per-bank FIFO plus cached oldest hit/conflict entries. */
+    struct BankList
+    {
+        std::uint32_t head = kNil, tail = kNil;
+        /** Oldest entry targeting the bank's open row (open only). */
+        std::uint32_t oldestHit = kNil;
+        /** Oldest entry conflicting with the open row (open only). */
+        std::uint32_t oldestMiss = kNil;
+    };
+
+    /** One scheduling queue (reads or writes). */
+    struct Queue
+    {
+        std::uint32_t head = kNil, tail = kNil; //!< global age list
+        std::size_t size = 0;
+        std::vector<BankList> banks;
+        /** Ready-bank index: bit b set iff banks[b] is non-empty. */
+        std::vector<std::uint64_t> workWords;
     };
 
     void tick();
@@ -153,22 +178,51 @@ class Channel
     bool tryIssue();
 
     /** Attempt to issue for queue `q`; CAS/ACT/PRE per FR-FCFS. */
-    bool tryIssueFrom(std::vector<Entry> &q, bool is_write_queue);
+    bool tryIssueFrom(Queue &q, bool is_write_queue);
 
-    /** Complete `e` with a CAS at the current time. */
-    void issueCas(std::vector<Entry> &q, std::size_t idx,
-                  bool is_write_queue);
+    /** Complete entry `idx` of `q` with a CAS at the current time. */
+    void issueCas(Queue &q, std::uint32_t idx, bool is_write_queue);
 
     /** Earliest future time any queued entry could issue a command. */
     TimePs earliestWork() const;
 
-    /** True if some queued entry still targets this bank's open row. */
-    bool pendingHitFor(std::uint32_t bank, std::int64_t row) const;
+    /** True if some queued entry targets bank `b`'s open row. */
+    bool
+    openRowHasPendingHit(std::uint32_t b) const
+    {
+        return readQ_.banks[b].oldestHit != kNil ||
+               writeQ_.banks[b].oldestHit != kNil;
+    }
+
+    /** Append slab entry `idx` to `q`'s age and bank lists. */
+    void pushEntry(Queue &q, std::uint32_t idx);
+
+    /** Unlink slab entry `idx` from `q`, fixing the bank caches. */
+    void removeEntry(Queue &q, std::uint32_t idx);
+
+    /** Recompute one bank's hit/conflict caches after a row change. */
+    void refreshBankCaches(Queue &q, std::uint32_t b);
+
+    /** Invoke `f(bank)` for each bank with queued work, ascending. */
+    template <typename F>
+    void
+    forEachWorkBank(const Queue &q, F &&f) const
+    {
+        for (std::size_t w = 0; w < q.workWords.size(); ++w) {
+            std::uint64_t bits = q.workWords[w];
+            while (bits != 0) {
+                const int bit = std::countr_zero(bits);
+                bits &= bits - 1;
+                f(static_cast<std::uint32_t>(w * 64 + bit));
+            }
+        }
+    }
 
     TimePs alignUp(TimePs t) const;
 
     EventQueue &eq_;
     DramSpec spec_;
+    CommandTimingTable tbl_; //!< precomputed from spec_.timing
     std::string name_;
     TimePs extraLatencyPs_;
     ControllerPolicy policy_;
@@ -177,18 +231,22 @@ class Channel
     /**
      * Parking slab for completion callbacks from enqueue until the
      * data burst completes: queue Entries and the scheduled completion
-     * event carry only a slot index, so FR-FCFS queue shifts and
-     * event-heap sifts never move the callable, and freed slots are
-     * reused so a steady-state run performs no per-request allocation.
+     * event carry only a slot index, so queue relinking and event
+     * scheduling never move the callable, and freed slots are reused
+     * so a steady-state run performs no per-request allocation.
      */
     std::vector<CompletionCallback> completionSlots_;
     std::vector<std::uint32_t> freeCompletionSlots_;
 
-    std::vector<Bank> banks_;
+    /** Entry slab + free list (indices are stable handles). */
+    std::vector<Entry> entries_;
+    std::vector<std::uint32_t> freeEntries_;
+
+    BankStateArray banks_;
     std::vector<bool> autoPrePending_; //!< closed-page policy state
-    std::vector<Rank> ranks_;
-    std::vector<Entry> readQ_;
-    std::vector<Entry> writeQ_;
+    Queue readQ_;
+    Queue writeQ_;
+    std::uint64_t nextSeq_ = 0;
 
     TimePs busFreeAt_ = 0;
     TimePs nextRdCasAt_ = 0;

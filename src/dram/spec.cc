@@ -4,27 +4,97 @@
 
 namespace mempod {
 
+DramTiming
+DramTiming::fromCycles(TimePs clock_ps, const Cycles &c)
+{
+    DramTiming t;
+    t.clockPeriodPs = clock_ps;
+    t.tCL = c.tCL * clock_ps;
+    t.tCWL = c.tCWL * clock_ps;
+    t.tRCD = c.tRCD * clock_ps;
+    t.tRP = c.tRP * clock_ps;
+    t.tRAS = c.tRAS * clock_ps;
+    t.tBL = c.tBL * clock_ps;
+    t.tCCD = c.tCCD * clock_ps;
+    t.tWR = c.tWR * clock_ps;
+    t.tWTR = c.tWTR * clock_ps;
+    t.tRTP = c.tRTP * clock_ps;
+    t.tRTW = c.tRTW * clock_ps;
+    t.tRRD = c.tRRD * clock_ps;
+    t.tFAW = c.tFAW * clock_ps;
+    t.tREFI = c.tREFI * clock_ps;
+    t.tRFC = c.tRFC * clock_ps;
+    return t;
+}
+
+CommandTimingTable
+CommandTimingTable::build(const DramTiming &t)
+{
+    CommandTimingTable tbl;
+    const auto act = cmdIndex(DramCmd::kAct);
+    const auto pre = cmdIndex(DramCmd::kPre);
+    const auto rd = cmdIndex(DramCmd::kRd);
+    const auto wr = cmdIndex(DramCmd::kWr);
+
+    // Same bank: row-cycle and column constraints.
+    tbl.bank[act][rd] = t.tRCD;
+    tbl.bank[act][wr] = t.tRCD;
+    tbl.bank[act][pre] = t.tRAS;
+    tbl.bank[act][act] = t.tRC();
+    tbl.bank[pre][act] = t.tRP;
+    tbl.bank[rd][rd] = t.tCCD;
+    tbl.bank[rd][wr] = t.tCCD;
+    tbl.bank[rd][pre] = t.tRTP;
+    tbl.bank[wr][rd] = t.tCCD;
+    tbl.bank[wr][wr] = t.tCCD;
+    // Write recovery: the row may close only tWR after the write data
+    // finished, i.e. tCWL + tBL + tWR past the CAS itself.
+    tbl.bank[wr][pre] = t.tCWL + t.tBL + t.tWR;
+
+    // Same rank: activation spacing (the four-ACT window rides in
+    // fawPs because it is a rolling constraint, not a pairwise one).
+    tbl.rank[act][act] = t.tRRD;
+
+    // Channel-global: CAS-to-CAS spacing and data-bus turnaround.
+    tbl.channel[rd][rd] = t.tCCD;
+    tbl.channel[wr][wr] = t.tCCD;
+    // Write data may start only after read data ends plus turnaround:
+    // wrCas + tCWL >= rdCas + tCL + tBL + tRTW.
+    tbl.channel[rd][wr] = t.tCL + t.tBL + t.tRTW > t.tCWL
+                              ? t.tCL + t.tBL + t.tRTW - t.tCWL
+                              : 0;
+    tbl.channel[wr][rd] = t.tCWL + t.tBL + t.tWTR;
+
+    tbl.rdDataPs = t.tCL + t.tBL;
+    tbl.wrDataPs = t.tCWL + t.tBL;
+    tbl.burstPs = t.tBL;
+    tbl.fawPs = t.tFAW;
+    return tbl;
+}
+
 DramSpec
 DramSpec::hbm1GHz()
 {
     DramSpec s;
     s.name = "HBM-1GHz";
-    s.timing.clockPeriodPs = 1000; // 1 GHz
-    s.timing.tCL = 7;
-    s.timing.tCWL = 5;
-    s.timing.tRCD = 7;
-    s.timing.tRP = 7;
-    s.timing.tRAS = 17;
-    s.timing.tBL = 2; // 64B over a 128-bit DDR bus
-    s.timing.tCCD = 2;
-    s.timing.tWR = 8;
-    s.timing.tWTR = 4;
-    s.timing.tRTP = 4;
-    s.timing.tRTW = 2;
-    s.timing.tRRD = 4;
-    s.timing.tFAW = 16;
-    s.timing.tREFI = 3900; // 3.9 us
-    s.timing.tRFC = 260;   // 260 ns
+    // 1 GHz clock; tBL = 2 moves 64 B over a 128-bit DDR bus;
+    // tREFI = 3.9 us, tRFC = 260 ns.
+    s.timing = DramTiming::fromCycles(
+        1000, {.tCL = 7,
+               .tCWL = 5,
+               .tRCD = 7,
+               .tRP = 7,
+               .tRAS = 17,
+               .tBL = 2,
+               .tCCD = 2,
+               .tWR = 8,
+               .tWTR = 4,
+               .tRTP = 4,
+               .tRTW = 2,
+               .tRRD = 4,
+               .tFAW = 16,
+               .tREFI = 3900,
+               .tRFC = 260});
     s.org.ranks = 1;
     s.org.banksPerRank = 16;
     s.org.rowBufferBytes = 8192;
@@ -39,9 +109,24 @@ DramSpec::hbm4GHz()
 {
     DramSpec s = hbm1GHz();
     s.name = "HBM-4GHz";
-    s.timing.clockPeriodPs = 250; // same cycle counts, 4x faster clock
-    s.timing.tREFI = 3900 * 4;    // keep refresh cadence in wall time
-    s.timing.tRFC = 260 * 4;
+    // Same cycle counts at a 4x faster clock, except refresh keeps its
+    // wall-clock cadence (tREFI/tRFC cycles scale with the clock).
+    s.timing = DramTiming::fromCycles(
+        250, {.tCL = 7,
+              .tCWL = 5,
+              .tRCD = 7,
+              .tRP = 7,
+              .tRAS = 17,
+              .tBL = 2,
+              .tCCD = 2,
+              .tWR = 8,
+              .tWTR = 4,
+              .tRTP = 4,
+              .tRTW = 2,
+              .tRRD = 4,
+              .tFAW = 16,
+              .tREFI = 3900 * 4,
+              .tRFC = 260 * 4});
     return s;
 }
 
@@ -50,22 +135,24 @@ DramSpec::ddr4_1600()
 {
     DramSpec s;
     s.name = "DDR4-1600";
-    s.timing.clockPeriodPs = 1250; // 800 MHz clock, 1600 MT/s
-    s.timing.tCL = 11;
-    s.timing.tCWL = 9;
-    s.timing.tRCD = 11;
-    s.timing.tRP = 11;
-    s.timing.tRAS = 28;
-    s.timing.tBL = 4; // BL8 on a 64-bit bus
-    s.timing.tCCD = 4;
-    s.timing.tWR = 12;
-    s.timing.tWTR = 6;
-    s.timing.tRTP = 6;
-    s.timing.tRTW = 2;
-    s.timing.tRRD = 5;
-    s.timing.tFAW = 24;
-    s.timing.tREFI = 6240; // 7.8 us
-    s.timing.tRFC = 280;   // 350 ns
+    // 800 MHz clock (1600 MT/s); tBL = 4 is BL8 on a 64-bit bus;
+    // tREFI = 7.8 us, tRFC = 350 ns.
+    s.timing = DramTiming::fromCycles(
+        1250, {.tCL = 11,
+               .tCWL = 9,
+               .tRCD = 11,
+               .tRP = 11,
+               .tRAS = 28,
+               .tBL = 4,
+               .tCCD = 4,
+               .tWR = 12,
+               .tWTR = 6,
+               .tRTP = 6,
+               .tRTW = 2,
+               .tRRD = 5,
+               .tFAW = 24,
+               .tREFI = 6240,
+               .tRFC = 280});
     s.org.ranks = 1;
     s.org.banksPerRank = 16;
     s.org.rowBufferBytes = 8192;
@@ -80,19 +167,23 @@ DramSpec::ddr4_2400()
 {
     DramSpec s = ddr4_1600();
     s.name = "DDR4-2400";
-    s.timing.clockPeriodPs = 833; // 1200 MHz clock, 2400 MT/s
-    s.timing.tCL = 16;
-    s.timing.tCWL = 12;
-    s.timing.tRCD = 16;
-    s.timing.tRP = 16;
-    s.timing.tRAS = 39;
-    s.timing.tWR = 18;
-    s.timing.tWTR = 9;
-    s.timing.tRTP = 9;
-    s.timing.tRRD = 6;
-    s.timing.tFAW = 26;
-    s.timing.tREFI = 9360;
-    s.timing.tRFC = 420;
+    // 1200 MHz clock, 2400 MT/s.
+    s.timing = DramTiming::fromCycles(
+        833, {.tCL = 16,
+              .tCWL = 12,
+              .tRCD = 16,
+              .tRP = 16,
+              .tRAS = 39,
+              .tBL = 4,
+              .tCCD = 4,
+              .tWR = 18,
+              .tWTR = 9,
+              .tRTP = 9,
+              .tRTW = 2,
+              .tRRD = 6,
+              .tFAW = 26,
+              .tREFI = 9360,
+              .tRFC = 420});
     return s;
 }
 
@@ -115,7 +206,7 @@ DramSpec::withChannelBytes(std::uint64_t bytes) const
 TimePs
 DramSpec::idealReadLatencyPs() const
 {
-    return timing.ps(timing.tRCD + timing.tCL + timing.tBL);
+    return timing.tRCD + timing.tCL + timing.tBL;
 }
 
 } // namespace mempod

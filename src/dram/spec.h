@@ -1,8 +1,10 @@
 /**
  * @file
- * DRAM device descriptions: timing parameters, organization geometry
- * and the named presets used by the paper's evaluation (Table 2 and
- * the Figure 10 "future system" experiment).
+ * DRAM device descriptions: timing parameters, organization geometry,
+ * the named presets used by the paper's evaluation (Table 2 and the
+ * Figure 10 "future system" experiment), and the precomputed
+ * command-to-command constraint table the channel controller issues
+ * against.
  *
  * Timing values the paper specifies (tCAS-tRCD-tRP-tRAS: 7-7-7-17 for
  * HBM at 1 GHz, 11-11-11-28 for DDR4-1600) are used verbatim; the
@@ -11,6 +13,7 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -18,32 +21,89 @@
 
 namespace mempod {
 
-/** All timing constraints, expressed in device clock cycles. */
+/** DRAM command classes the controller schedules. */
+enum class DramCmd : std::uint8_t
+{
+    kAct = 0, //!< ACTIVATE (open a row)
+    kPre = 1, //!< PRECHARGE (close the open row)
+    kRd = 2,  //!< read CAS
+    kWr = 3,  //!< write CAS
+};
+
+inline constexpr std::size_t kNumDramCmds = 4;
+
+inline constexpr std::size_t
+cmdIndex(DramCmd c)
+{
+    return static_cast<std::size_t>(c);
+}
+
+/**
+ * All timing constraints, expressed in picoseconds. Datasheets quote
+ * these in device clock cycles; presets convert once via fromCycles()
+ * so the simulator core never multiplies by the clock period again,
+ * and config sweeps (`dram.near.tRCD_ps=...`) can dial any constraint
+ * without knowing the clock.
+ */
 struct DramTiming
 {
-    TimePs clockPeriodPs = 1000; //!< one device clock period
+    TimePs clockPeriodPs = 1000; //!< one device (command-bus) clock
 
-    std::uint32_t tCL = 7;    //!< CAS latency (read command -> data)
-    std::uint32_t tCWL = 5;   //!< CAS write latency
-    std::uint32_t tRCD = 7;   //!< ACT -> CAS
-    std::uint32_t tRP = 7;    //!< PRE -> ACT
-    std::uint32_t tRAS = 17;  //!< ACT -> PRE
-    std::uint32_t tBL = 2;    //!< burst length on the data bus (cycles)
-    std::uint32_t tCCD = 2;   //!< CAS -> CAS, same channel
-    std::uint32_t tWR = 8;    //!< end of write data -> PRE
-    std::uint32_t tWTR = 4;   //!< end of write data -> read CAS
-    std::uint32_t tRTP = 4;   //!< read CAS -> PRE
-    std::uint32_t tRTW = 2;   //!< extra read -> write bus turnaround
-    std::uint32_t tRRD = 4;   //!< ACT -> ACT, same rank
-    std::uint32_t tFAW = 16;  //!< four-ACT window, same rank
-    std::uint32_t tREFI = 3900; //!< refresh interval
-    std::uint32_t tRFC = 260;   //!< refresh cycle time
-
-    /** Convert a cycle count of this domain into picoseconds. */
-    TimePs ps(std::uint64_t cycles) const { return cycles * clockPeriodPs; }
+    TimePs tCL = 7000;   //!< CAS latency (read command -> data)
+    TimePs tCWL = 5000;  //!< CAS write latency
+    TimePs tRCD = 7000;  //!< ACT -> CAS
+    TimePs tRP = 7000;   //!< PRE -> ACT
+    TimePs tRAS = 17000; //!< ACT -> PRE
+    TimePs tBL = 2000;   //!< burst duration on the data bus
+    TimePs tCCD = 2000;  //!< CAS -> CAS, same channel
+    TimePs tWR = 8000;   //!< end of write data -> PRE
+    TimePs tWTR = 4000;  //!< end of write data -> read CAS
+    TimePs tRTP = 4000;  //!< read CAS -> PRE
+    TimePs tRTW = 2000;  //!< extra read -> write bus turnaround
+    TimePs tRRD = 4000;  //!< ACT -> ACT, same rank
+    TimePs tFAW = 16000; //!< four-ACT window, same rank
+    TimePs tREFI = 3'900'000; //!< refresh interval
+    TimePs tRFC = 260'000;    //!< refresh cycle time
 
     /** ACT -> ACT on the same bank (row cycle). */
-    std::uint32_t tRC() const { return tRAS + tRP; }
+    TimePs tRC() const { return tRAS + tRP; }
+
+    /** Express a ps value in this device's clock cycles (printing). */
+    Cycle cycles(TimePs ps) const { return ps / clockPeriodPs; }
+
+    /** Datasheet cycle counts, converted by fromCycles(). */
+    struct Cycles
+    {
+        std::uint32_t tCL, tCWL, tRCD, tRP, tRAS, tBL, tCCD, tWR,
+            tWTR, tRTP, tRTW, tRRD, tFAW, tREFI, tRFC;
+    };
+
+    /** Build ps-valued timing from datasheet cycles at `clock_ps`. */
+    static DramTiming fromCycles(TimePs clock_ps, const Cycles &c);
+};
+
+/**
+ * The controller's issue rules, precomputed from a DramTiming once at
+ * construction (Ramulator-style): entry [prev][next] is the minimum
+ * gap in picoseconds between issuing `prev` and issuing `next` within
+ * the given scope. Unconstrained pairs hold zero, so applying a table
+ * row is branch-free max-folding instead of per-command arithmetic.
+ */
+struct CommandTimingTable
+{
+    /** Same-bank constraints (tRCD/tRAS/tRC/tRP/tCCD/tRTP/tWR). */
+    TimePs bank[kNumDramCmds][kNumDramCmds] = {};
+    /** Same-rank, cross-bank constraints (tRRD; tFAW is separate). */
+    TimePs rank[kNumDramCmds][kNumDramCmds] = {};
+    /** Channel-global constraints (CAS gates, bus turnaround). */
+    TimePs channel[kNumDramCmds][kNumDramCmds] = {};
+
+    TimePs rdDataPs = 0; //!< read CAS -> end of data burst
+    TimePs wrDataPs = 0; //!< write CAS -> end of data burst
+    TimePs burstPs = 0;  //!< data-bus occupancy per CAS (tBL)
+    TimePs fawPs = 0;    //!< rolling four-ACT window (tFAW)
+
+    static CommandTimingTable build(const DramTiming &t);
 };
 
 /** Per-channel organization. */

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Read-only telemetry views over the DRAM layer. Observers (metric
+ * registration, reports, aggregation) consume these plain-data views
+ * instead of reaching into Channel/Bank internals, so src/common and
+ * src/mem code never depends on controller implementation details.
+ *
+ * A view is a bundle of stable pointers: the channel publishes it
+ * once at construction and the counters behind it keep updating, so
+ * registering a view with a MetricRegistry is enough to export live
+ * values for the run's whole lifetime.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace mempod {
+
+/** Aggregate command/occupancy counters of one channel controller. */
+struct ChannelStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;   //!< CAS that required no ACT
+    std::uint64_t rowMisses = 0; //!< CAS preceded by own ACT
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t maxQueueDepth = 0;
+    std::uint64_t queuedNow = 0; //!< live queue depth (gauge source)
+    std::uint64_t busBusyPs = 0; //!< data-bus burst occupancy
+    /** Summed demand wait from enqueue to CAS (attribution). */
+    std::uint64_t demandQueueWaitPs = 0;
+    /** Summed demand CAS-to-completion time (attribution). */
+    std::uint64_t demandServicePs = 0;
+};
+
+/**
+ * Everything an observer may read about one channel: identity, the
+ * aggregate counters and the per-bank SoA counter arrays. All
+ * pointers remain valid and live for the owning channel's lifetime.
+ */
+struct ChannelTelemetry
+{
+    std::string name;             //!< "fast0", "slow2", ...
+    MemTier tier = MemTier::kFast;
+    const ChannelStats *stats = nullptr;
+    const std::uint64_t *bankActivates = nullptr; //!< [numBanks]
+    const std::uint64_t *bankReads = nullptr;     //!< [numBanks]
+    const std::uint64_t *bankWrites = nullptr;    //!< [numBanks]
+    std::uint32_t numBanks = 0;
+};
+
+/** Fraction of CAS commands that were row-buffer hits. */
+inline double
+channelRowHitRate(const ChannelStats &s)
+{
+    const std::uint64_t total = s.rowHits + s.rowMisses;
+    return total ? static_cast<double>(s.rowHits) / total : 0.0;
+}
+
+/** Fraction of simulated time (up to `now`) the data bus was busy. */
+inline double
+channelBusUtilization(const ChannelStats &s, TimePs now)
+{
+    return now ? static_cast<double>(s.busBusyPs) / now : 0.0;
+}
+
+} // namespace mempod

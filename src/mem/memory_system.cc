@@ -37,6 +37,13 @@ MemorySystem::MemorySystem(EventQueue &eq, const SystemGeometry &geom,
     // per-request path: requests carry their own callback unwrapped.
     for (auto &ch : channels_)
         ch->setCompletionHook([this](TimePs) { --inFlight_; });
+
+    views_.reserve(channels_.size());
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        ChannelTelemetry v = channels_[c]->telemetry();
+        v.tier = c < geom.fastChannels ? MemTier::kFast : MemTier::kSlow;
+        views_.push_back(std::move(v));
+    }
 }
 
 void
@@ -83,16 +90,11 @@ MemorySystem::rowHitRate(MemTier tier) const
 {
     std::uint64_t hits = 0;
     std::uint64_t total = 0;
-    const std::uint32_t begin =
-        tier == MemTier::kFast ? 0 : geom().fastChannels;
-    const std::uint32_t end = tier == MemTier::kFast
-                                  ? geom().fastChannels
-                                  : geom().fastChannels +
-                                        geom().slowChannels;
-    for (std::uint32_t c = begin; c < end; ++c) {
-        hits += channels_[c]->stats().rowHits;
-        total += channels_[c]->stats().rowHits +
-                 channels_[c]->stats().rowMisses;
+    for (const ChannelTelemetry &v : views_) {
+        if (v.tier != tier)
+            continue;
+        hits += v.stats->rowHits;
+        total += v.stats->rowHits + v.stats->rowMisses;
     }
     return total ? static_cast<double>(hits) / total : 0.0;
 }
@@ -102,9 +104,9 @@ MemorySystem::rowHitRate() const
 {
     std::uint64_t hits = 0;
     std::uint64_t total = 0;
-    for (const auto &ch : channels_) {
-        hits += ch->stats().rowHits;
-        total += ch->stats().rowHits + ch->stats().rowMisses;
+    for (const ChannelTelemetry &v : views_) {
+        hits += v.stats->rowHits;
+        total += v.stats->rowHits + v.stats->rowMisses;
     }
     return total ? static_cast<double>(hits) / total : 0.0;
 }
@@ -112,30 +114,20 @@ MemorySystem::rowHitRate() const
 std::uint64_t
 MemorySystem::rowHits(MemTier tier) const
 {
-    const std::uint32_t begin =
-        tier == MemTier::kFast ? 0 : geom().fastChannels;
-    const std::uint32_t end =
-        tier == MemTier::kFast
-            ? geom().fastChannels
-            : geom().fastChannels + geom().slowChannels;
     std::uint64_t hits = 0;
-    for (std::uint32_t c = begin; c < end; ++c)
-        hits += channels_[c]->stats().rowHits;
+    for (const ChannelTelemetry &v : views_)
+        if (v.tier == tier)
+            hits += v.stats->rowHits;
     return hits;
 }
 
 std::uint64_t
 MemorySystem::rowMisses(MemTier tier) const
 {
-    const std::uint32_t begin =
-        tier == MemTier::kFast ? 0 : geom().fastChannels;
-    const std::uint32_t end =
-        tier == MemTier::kFast
-            ? geom().fastChannels
-            : geom().fastChannels + geom().slowChannels;
     std::uint64_t misses = 0;
-    for (std::uint32_t c = begin; c < end; ++c)
-        misses += channels_[c]->stats().rowMisses;
+    for (const ChannelTelemetry &v : views_)
+        if (v.tier == tier)
+            misses += v.stats->rowMisses;
     return misses;
 }
 
@@ -188,20 +180,77 @@ MemorySystem::registerMetrics(MetricRegistry &reg) const
                      "summed demand enqueue-to-CAS wait, all channels",
                      [this] {
                          std::uint64_t sum = 0;
-                         for (const auto &ch : channels_)
-                             sum += ch->stats().demandQueueWaitPs;
+                         for (const ChannelTelemetry &v : views_)
+                             sum += v.stats->demandQueueWaitPs;
                          return sum;
                      });
     reg.addCounterFn("mem.demand_service_ps",
                      "summed demand CAS-to-completion time, all channels",
                      [this] {
                          std::uint64_t sum = 0;
-                         for (const auto &ch : channels_)
-                             sum += ch->stats().demandServicePs;
+                         for (const ChannelTelemetry &v : views_)
+                             sum += v.stats->demandServicePs;
                          return sum;
                      });
-    for (const auto &ch : channels_)
-        ch->registerMetrics(reg, "mem." + ch->name());
+    for (const ChannelTelemetry &v : views_)
+        registerChannelMetrics(reg, "mem." + v.name, v);
+}
+
+void
+MemorySystem::registerChannelMetrics(MetricRegistry &reg,
+                                     const std::string &prefix,
+                                     const ChannelTelemetry &v) const
+{
+    const ChannelStats *s = v.stats;
+    reg.attachCounter(prefix + ".reads", "read CAS commands issued",
+                      &s->reads);
+    reg.attachCounter(prefix + ".writes", "write CAS commands issued",
+                      &s->writes);
+    reg.attachCounter(prefix + ".row_hits",
+                      "CAS commands that required no ACT",
+                      &s->rowHits);
+    reg.attachCounter(prefix + ".row_misses",
+                      "CAS commands preceded by their own ACT",
+                      &s->rowMisses);
+    reg.attachCounter(prefix + ".activates", "ACT commands issued",
+                      &s->activates);
+    reg.attachCounter(prefix + ".precharges", "PRE commands issued",
+                      &s->precharges);
+    reg.attachCounter(prefix + ".refreshes", "refresh cycles performed",
+                      &s->refreshes);
+    reg.attachCounter(prefix + ".bus_busy_ps",
+                      "picoseconds the data bus carried a burst",
+                      &s->busBusyPs);
+    reg.attachCounter(prefix + ".demand_queue_wait_ps",
+                      "summed demand wait from enqueue to CAS",
+                      &s->demandQueueWaitPs);
+    reg.attachCounter(prefix + ".demand_service_ps",
+                      "summed demand CAS-to-completion time",
+                      &s->demandServicePs);
+    reg.addGauge(prefix + ".queue_depth",
+                 "requests queued at the controller right now",
+                 [s] { return static_cast<double>(s->queuedNow); });
+    reg.addGauge(prefix + ".max_queue_depth",
+                 "high-water mark of the controller queues", [s] {
+                     return static_cast<double>(s->maxQueueDepth);
+                 });
+    reg.addGauge(prefix + ".row_hit_rate",
+                 "fraction of CAS commands hitting the open row",
+                 [s] { return channelRowHitRate(*s); });
+    reg.addGauge(prefix + ".bus_utilization",
+                 "fraction of simulated time the data bus was busy",
+                 [s, this] {
+                     return channelBusUtilization(*s, eq_.now());
+                 });
+    for (std::uint32_t b = 0; b < v.numBanks; ++b) {
+        const std::string bp = prefix + ".bank" + std::to_string(b);
+        reg.attachCounter(bp + ".activates", "per-bank ACT commands",
+                          &v.bankActivates[b]);
+        reg.attachCounter(bp + ".reads", "per-bank read CAS commands",
+                          &v.bankReads[b]);
+        reg.attachCounter(bp + ".writes", "per-bank write CAS commands",
+                          &v.bankWrites[b]);
+    }
 }
 
 } // namespace mempod

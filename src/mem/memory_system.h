@@ -14,6 +14,7 @@
 #include "common/event_queue.h"
 #include "common/metrics.h"
 #include "dram/channel.h"
+#include "dram/telemetry.h"
 #include "mem/address_map.h"
 #include "mem/request.h"
 
@@ -66,6 +67,17 @@ class MemorySystem
 
     const Stats &stats() const { return stats_; }
 
+    /**
+     * Read-only per-channel telemetry views, one per channel in
+     * channel order. Captured once at construction; the counters
+     * behind the pointers stay live for the system's lifetime.
+     */
+    const std::vector<ChannelTelemetry> &
+    telemetry() const
+    {
+        return views_;
+    }
+
     /** Aggregate row-buffer hit rate over one tier's channels. */
     double rowHitRate(MemTier tier) const;
 
@@ -83,9 +95,15 @@ class MemorySystem
     void registerMetrics(MetricRegistry &reg) const;
 
   private:
+    /** Register one channel's instruments from its telemetry view. */
+    void registerChannelMetrics(MetricRegistry &reg,
+                                const std::string &prefix,
+                                const ChannelTelemetry &v) const;
+
     EventQueue &eq_;
     AddressMap map_;
     std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<ChannelTelemetry> views_;
     std::uint64_t inFlight_ = 0;
     Stats stats_;
 };

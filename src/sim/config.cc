@@ -60,8 +60,8 @@ SimConfig::future(Mechanism m)
 {
     SimConfig c;
     c.mechanism = m;
-    c.fast = DramSpec::hbm4GHz();
-    c.slow = DramSpec::ddr4_2400();
+    c.near = DramSpec::hbm4GHz();
+    c.far = DramSpec::ddr4_2400();
     // The paper reduces HMA's fixed sorting penalty by 40% for the
     // faster future processor.
     c.hma.sortStall = static_cast<TimePs>(c.hma.sortStall * 0.6);
@@ -74,7 +74,7 @@ SimConfig::fastOnly(bool future)
     SimConfig c;
     c.mechanism = Mechanism::kNoMigration;
     c.geom = SystemGeometry::singleTier(9_GiB, 8);
-    c.fast = future ? DramSpec::hbm4GHz() : DramSpec::hbm1GHz();
+    c.near = future ? DramSpec::hbm4GHz() : DramSpec::hbm1GHz();
     return c;
 }
 
@@ -84,7 +84,7 @@ SimConfig::slowOnly(bool future)
     SimConfig c;
     c.mechanism = Mechanism::kNoMigration;
     c.geom = SystemGeometry::singleTier(9_GiB, 4);
-    c.fast = future ? DramSpec::ddr4_2400() : DramSpec::ddr4_1600();
+    c.near = future ? DramSpec::ddr4_2400() : DramSpec::ddr4_1600();
     return c;
 }
 
@@ -106,8 +106,8 @@ SimConfig::describe() const
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "%s on %s(%uch) + %s(%uch), %.1f+%.1f GiB, %u pods",
-                  mechanismName(mechanism), fast.name.c_str(),
-                  geom.fastChannels, slow.name.c_str(), geom.slowChannels,
+                  mechanismName(mechanism), near.name.c_str(),
+                  geom.fastChannels, far.name.c_str(), geom.slowChannels,
                   static_cast<double>(geom.fastBytes) / (1_GiB),
                   static_cast<double>(geom.slowBytes) / (1_GiB),
                   geom.numPods);

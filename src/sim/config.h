@@ -42,8 +42,10 @@ struct SimConfig
 {
     Mechanism mechanism = Mechanism::kNoMigration;
     SystemGeometry geom = SystemGeometry::paper();
-    DramSpec fast = DramSpec::hbm1GHz();
-    DramSpec slow = DramSpec::ddr4_1600();
+    /** Near (fast, on-package) memory device; `dram.near.*` keys. */
+    DramSpec near = DramSpec::hbm1GHz();
+    /** Far (slow, off-chip) memory device; `dram.far.*` keys. */
+    DramSpec far = DramSpec::ddr4_1600();
 
     MemPodParams mempod;
     HmaParams hma;

@@ -128,34 +128,51 @@ struct Field
             }                                                          \
     }
 
-/** The 22 per-device leaves, shared between `fast` and `slow`. */
-#define MEMPOD_CONFIG_DRAM_FIELDS(tier)                                \
-    MEMPOD_CONFIG_FIELD(#tier ".name", tier.name),                     \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.clockPeriodPs",             \
-                            tier.timing.clockPeriodPs),                \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tCL", tier.timing.tCL),     \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tCWL", tier.timing.tCWL),   \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tRCD", tier.timing.tRCD),   \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tRP", tier.timing.tRP),     \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tRAS", tier.timing.tRAS),   \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tBL", tier.timing.tBL),     \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tCCD", tier.timing.tCCD),   \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tWR", tier.timing.tWR),     \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tWTR", tier.timing.tWTR),   \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tRTP", tier.timing.tRTP),   \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tRTW", tier.timing.tRTW),   \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tRRD", tier.timing.tRRD),   \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tFAW", tier.timing.tFAW),   \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tREFI", tier.timing.tREFI), \
-        MEMPOD_CONFIG_FIELD(#tier ".timing.tRFC", tier.timing.tRFC),   \
-        MEMPOD_CONFIG_FIELD(#tier ".org.ranks", tier.org.ranks),       \
-        MEMPOD_CONFIG_FIELD(#tier ".org.banksPerRank",                 \
-                            tier.org.banksPerRank),                    \
-        MEMPOD_CONFIG_FIELD(#tier ".org.rowsPerBank",                  \
-                            tier.org.rowsPerBank),                     \
-        MEMPOD_CONFIG_FIELD(#tier ".org.rowBufferBytes",               \
-                            tier.org.rowBufferBytes),                  \
-        MEMPOD_CONFIG_FIELD(#tier ".org.busBits", tier.org.busBits)
+/**
+ * The 22 per-device leaves, shared between `dram.near` (the fast,
+ * on-package device) and `dram.far` (the slow, off-chip device).
+ * Timing leaves are picoseconds, matching the ps-native DramTiming,
+ * so sweeps can dial any constraint without knowing the device clock.
+ */
+#define MEMPOD_CONFIG_DRAM_FIELDS(tier, member)                        \
+    MEMPOD_CONFIG_FIELD("dram." tier ".name", member.name),            \
+        MEMPOD_CONFIG_FIELD("dram." tier ".clock_ps",                  \
+                            member.timing.clockPeriodPs),              \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tCL_ps", member.timing.tCL),\
+        MEMPOD_CONFIG_FIELD("dram." tier ".tCWL_ps",                   \
+                            member.timing.tCWL),                       \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tRCD_ps",                   \
+                            member.timing.tRCD),                       \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tRP_ps", member.timing.tRP),\
+        MEMPOD_CONFIG_FIELD("dram." tier ".tRAS_ps",                   \
+                            member.timing.tRAS),                       \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tBL_ps", member.timing.tBL),\
+        MEMPOD_CONFIG_FIELD("dram." tier ".tCCD_ps",                   \
+                            member.timing.tCCD),                       \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tWR_ps", member.timing.tWR),\
+        MEMPOD_CONFIG_FIELD("dram." tier ".tWTR_ps",                   \
+                            member.timing.tWTR),                       \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tRTP_ps",                   \
+                            member.timing.tRTP),                       \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tRTW_ps",                   \
+                            member.timing.tRTW),                       \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tRRD_ps",                   \
+                            member.timing.tRRD),                       \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tFAW_ps",                   \
+                            member.timing.tFAW),                       \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tREFI_ps",                  \
+                            member.timing.tREFI),                      \
+        MEMPOD_CONFIG_FIELD("dram." tier ".tRFC_ps",                   \
+                            member.timing.tRFC),                       \
+        MEMPOD_CONFIG_FIELD("dram." tier ".ranks", member.org.ranks),  \
+        MEMPOD_CONFIG_FIELD("dram." tier ".banksPerRank",              \
+                            member.org.banksPerRank),                  \
+        MEMPOD_CONFIG_FIELD("dram." tier ".rowsPerBank",               \
+                            member.org.rowsPerBank),                   \
+        MEMPOD_CONFIG_FIELD("dram." tier ".rowBufferBytes",            \
+                            member.org.rowBufferBytes),                \
+        MEMPOD_CONFIG_FIELD("dram." tier ".busBits",                   \
+                            member.org.busBits)
 
 /**
  * Every serialized knob, in schema order. toJson() emits exactly this
@@ -171,8 +188,8 @@ fieldTable()
         MEMPOD_CONFIG_FIELD("geom.fastChannels", geom.fastChannels),
         MEMPOD_CONFIG_FIELD("geom.slowChannels", geom.slowChannels),
         MEMPOD_CONFIG_FIELD("geom.numPods", geom.numPods),
-        MEMPOD_CONFIG_DRAM_FIELDS(fast),
-        MEMPOD_CONFIG_DRAM_FIELDS(slow),
+        MEMPOD_CONFIG_DRAM_FIELDS("near", near),
+        MEMPOD_CONFIG_DRAM_FIELDS("far", far),
         MEMPOD_CONFIG_FIELD("mempod.interval", mempod.interval),
         MEMPOD_CONFIG_FIELD("mempod.pod.meaEntries",
                             mempod.pod.meaEntries),

@@ -12,8 +12,8 @@ Simulation::Simulation(const SimConfig &config) : config_(config)
         tracer_ = std::make_unique<Tracer>(config_.tracer);
         eq_.setTracer(tracer_.get());
     }
-    mem_ = std::make_unique<MemorySystem>(eq_, config_.geom, config_.fast,
-                                          config_.slow,
+    mem_ = std::make_unique<MemorySystem>(eq_, config_.geom, config_.near,
+                                          config_.far,
                                           config_.extraLatencyPs,
                                           config_.controller);
     placement_ = std::make_unique<LogicalToPhysical>(

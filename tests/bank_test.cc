@@ -1,4 +1,4 @@
-/** @file Unit tests for bank/rank timing state machines. */
+/** @file Unit tests for the SoA bank timing state. */
 #include <gtest/gtest.h>
 
 #include "dram/bank.h"
@@ -12,120 +12,147 @@ timing()
     return DramSpec::hbm1GHz().timing;
 }
 
-TEST(Bank, StartsClosed)
+/** Two ranks of two banks: enough to cross rank boundaries. */
+struct Fixture
 {
-    Bank b;
-    EXPECT_FALSE(b.isOpen());
-    EXPECT_EQ(b.openRow(), Bank::kNoRow);
+    DramTiming t = timing();
+    CommandTimingTable tbl = CommandTimingTable::build(t);
+    BankStateArray banks{tbl, 4, 2};
+};
+
+TEST(BankStateArray, StartsClosed)
+{
+    Fixture f;
+    EXPECT_EQ(f.banks.numBanks(), 4u);
+    for (std::uint32_t b = 0; b < 4; ++b) {
+        EXPECT_FALSE(f.banks.isOpen(b));
+        EXPECT_EQ(f.banks.openRow(b), BankStateArray::kNoRow);
+    }
 }
 
-TEST(Bank, ActivateOpensRowAndSetsWindows)
+TEST(BankStateArray, ActivateOpensRowAndSetsWindows)
 {
-    const DramTiming t = timing();
-    Bank b;
-    b.activate(1000, 42, t);
-    EXPECT_TRUE(b.isOpen());
-    EXPECT_EQ(b.openRow(), 42);
-    EXPECT_EQ(b.casAllowedAt(), 1000 + t.ps(t.tRCD));
-    EXPECT_EQ(b.preAllowedAt(), 1000 + t.ps(t.tRAS));
-    EXPECT_EQ(b.actAllowedAt(), 1000 + t.ps(t.tRC()));
+    Fixture f;
+    f.banks.activate(1000, 0, 42);
+    EXPECT_TRUE(f.banks.isOpen(0));
+    EXPECT_EQ(f.banks.openRow(0), 42);
+    EXPECT_EQ(f.banks.readyAt(0, DramCmd::kRd), 1000 + f.t.tRCD);
+    EXPECT_EQ(f.banks.readyAt(0, DramCmd::kWr), 1000 + f.t.tRCD);
+    EXPECT_EQ(f.banks.readyAt(0, DramCmd::kPre), 1000 + f.t.tRAS);
+    EXPECT_EQ(f.banks.readyAt(0, DramCmd::kAct), 1000 + f.t.tRC());
+    // The sibling bank in the same rank only sees the tRRD spacing.
+    EXPECT_EQ(f.banks.actReadyAt(1), 1000 + f.t.tRRD);
+    // The other rank is unconstrained.
+    EXPECT_EQ(f.banks.actReadyAt(2), 0u);
 }
 
-TEST(Bank, ReadReturnsDataEnd)
+TEST(BankStateArray, ReadReturnsDataEnd)
 {
-    const DramTiming t = timing();
-    Bank b;
-    b.activate(0, 1, t);
-    const TimePs cas_at = b.casAllowedAt();
-    const TimePs data_end = b.read(cas_at, t);
-    EXPECT_EQ(data_end, cas_at + t.ps(t.tCL + t.tBL));
+    Fixture f;
+    f.banks.activate(0, 0, 1);
+    const TimePs cas_at = f.banks.readyAt(0, DramCmd::kRd);
+    const TimePs data_end = f.banks.read(cas_at, 0);
+    EXPECT_EQ(data_end, cas_at + f.t.tCL + f.t.tBL);
+    EXPECT_EQ(f.banks.readCounts()[0], 1u);
 }
 
-TEST(Bank, WriteExtendsPrechargeWindow)
+TEST(BankStateArray, WriteExtendsPrechargeWindow)
 {
-    const DramTiming t = timing();
-    Bank b;
-    b.activate(0, 1, t);
-    const TimePs cas_at = b.casAllowedAt();
-    const TimePs data_end = b.write(cas_at, t);
-    EXPECT_EQ(data_end, cas_at + t.ps(t.tCWL + t.tBL));
-    EXPECT_GE(b.preAllowedAt(), data_end + t.ps(t.tWR));
+    Fixture f;
+    f.banks.activate(0, 0, 1);
+    const TimePs cas_at = f.banks.readyAt(0, DramCmd::kWr);
+    const TimePs data_end = f.banks.write(cas_at, 0);
+    EXPECT_EQ(data_end, cas_at + f.t.tCWL + f.t.tBL);
+    // Write recovery: PRE only tWR past the end of the write data.
+    EXPECT_GE(f.banks.readyAt(0, DramCmd::kPre), data_end + f.t.tWR);
+    EXPECT_EQ(f.banks.writeCounts()[0], 1u);
 }
 
-TEST(Bank, PrechargeClosesAndArmsActivate)
+TEST(BankStateArray, PrechargeClosesAndArmsActivate)
 {
-    const DramTiming t = timing();
-    Bank b;
-    b.activate(0, 1, t);
-    const TimePs pre_at = b.preAllowedAt();
-    b.precharge(pre_at, t);
-    EXPECT_FALSE(b.isOpen());
-    EXPECT_GE(b.actAllowedAt(), pre_at + t.ps(t.tRP));
+    Fixture f;
+    f.banks.activate(0, 0, 1);
+    const TimePs pre_at = f.banks.readyAt(0, DramCmd::kPre);
+    f.banks.precharge(pre_at, 0);
+    EXPECT_FALSE(f.banks.isOpen(0));
+    EXPECT_GE(f.banks.readyAt(0, DramCmd::kAct), pre_at + f.t.tRP);
 }
 
-TEST(Bank, ReadPushesPrechargeByRtp)
+TEST(BankStateArray, ReadPushesPrechargeByRtp)
 {
-    const DramTiming t = timing();
-    Bank b;
-    b.activate(0, 1, t);
+    Fixture f;
+    f.banks.activate(0, 0, 1);
     // Read very late: tRTP now dominates tRAS.
     const TimePs late = 1'000'000;
-    b.read(late, t);
-    EXPECT_GE(b.preAllowedAt(), late + t.ps(t.tRTP));
+    f.banks.read(late, 0);
+    EXPECT_GE(f.banks.readyAt(0, DramCmd::kPre), late + f.t.tRTP);
 }
 
-TEST(Bank, BlockUntilRaisesAllWindows)
+TEST(BankStateArray, BlockUntilRaisesAllWindows)
 {
-    Bank b;
-    b.blockUntil(5000);
-    EXPECT_GE(b.actAllowedAt(), 5000u);
-    EXPECT_GE(b.casAllowedAt(), 5000u);
-    EXPECT_GE(b.preAllowedAt(), 5000u);
+    Fixture f;
+    f.banks.blockUntil(0, 5000);
+    EXPECT_GE(f.banks.readyAt(0, DramCmd::kAct), 5000u);
+    EXPECT_GE(f.banks.readyAt(0, DramCmd::kRd), 5000u);
+    EXPECT_GE(f.banks.readyAt(0, DramCmd::kWr), 5000u);
+    EXPECT_GE(f.banks.readyAt(0, DramCmd::kPre), 5000u);
+    // Other banks are untouched.
+    EXPECT_EQ(f.banks.readyAt(1, DramCmd::kAct), 0u);
 }
 
-TEST(BankDeathTest, ProtocolViolationsPanic)
+TEST(BankStateArray, CountersAreIndependentPerBank)
 {
-    const DramTiming t = timing();
-    Bank closed;
-    EXPECT_DEATH(closed.read(100, t), "closed");
-    EXPECT_DEATH(closed.precharge(100, t), "closed");
-    Bank open;
-    open.activate(0, 1, t);
-    EXPECT_DEATH(open.activate(1'000'000, 2, t), "open");
-    EXPECT_DEATH(open.read(0, t), "early");
+    Fixture f;
+    f.banks.activate(0, 0, 1);
+    f.banks.activate(100'000, 3, 7);
+    EXPECT_EQ(f.banks.activateCounts()[0], 1u);
+    EXPECT_EQ(f.banks.activateCounts()[1], 0u);
+    EXPECT_EQ(f.banks.activateCounts()[3], 1u);
 }
 
-TEST(Rank, RrdSpacesActivates)
+TEST(BankStateArrayDeathTest, ProtocolViolationsPanic)
 {
-    const DramTiming t = timing();
-    Rank r(t);
-    EXPECT_EQ(r.actAllowedAt(), 0u);
-    r.recordAct(1000);
-    EXPECT_EQ(r.actAllowedAt(), 1000 + t.ps(t.tRRD));
+    Fixture f;
+    EXPECT_DEATH(f.banks.read(100, 0), "closed");
+    EXPECT_DEATH(f.banks.precharge(100, 0), "closed");
+    f.banks.activate(0, 0, 1);
+    EXPECT_DEATH(f.banks.activate(1'000'000, 0, 2), "open");
+    EXPECT_DEATH(f.banks.read(0, 0), "early");
 }
 
-TEST(Rank, FawLimitsFourActivates)
+TEST(BankStateArray, RrdSpacesActivatesWithinRank)
 {
-    const DramTiming t = timing();
-    Rank r(t);
+    Fixture f;
+    f.banks.activate(1000, 0, 1);
+    EXPECT_EQ(f.banks.actReadyAt(1), 1000 + f.t.tRRD);
+    // Cross-rank ACTs are not gated by tRRD.
+    EXPECT_LT(f.banks.actReadyAt(2), 1000 + f.t.tRRD);
+}
+
+TEST(BankStateArray, FawLimitsFourActivates)
+{
+    // One rank of eight banks so four ACTs fit without bank reuse.
+    DramTiming t = timing();
+    const CommandTimingTable tbl = CommandTimingTable::build(t);
+    BankStateArray banks(tbl, 8, 8);
     // Four ACTs spaced exactly tRRD apart.
     TimePs at = 0;
-    for (int i = 0; i < 4; ++i) {
-        r.recordAct(at);
-        at += t.ps(t.tRRD);
+    for (std::uint32_t b = 0; b < 4; ++b) {
+        banks.activate(at, b, 1);
+        at += t.tRRD;
     }
     // The fifth must wait for the FAW window from the first ACT.
-    EXPECT_GE(r.actAllowedAt(), t.ps(t.tFAW));
+    EXPECT_GE(banks.actReadyAt(4), t.tFAW);
 }
 
-TEST(Rank, FawWindowSlides)
+TEST(BankStateArray, FawWindowSlides)
 {
-    const DramTiming t = timing();
-    Rank r(t);
-    for (int i = 0; i < 8; ++i)
-        r.recordAct(i * t.ps(t.tFAW)); // well spaced: never limited
-    EXPECT_LE(r.actAllowedAt(),
-              7 * t.ps(t.tFAW) + t.ps(t.tFAW));
+    DramTiming t = timing();
+    const CommandTimingTable tbl = CommandTimingTable::build(t);
+    BankStateArray banks(tbl, 16, 16);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        banks.activate(i * t.tFAW, i, 1); // well spaced: never limited
+    EXPECT_LE(banks.actReadyAt(8), 7 * t.tFAW + t.tFAW);
 }
 
 } // namespace

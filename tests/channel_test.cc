@@ -91,7 +91,7 @@ TEST_F(ChannelFixture, SameBankConflictSerializesViaPrecharge)
     EXPECT_EQ(ch.stats().precharges, 1u);
     // The conflicting access pays at least tRP + tRCD beyond the first.
     EXPECT_GE(f2 - f1,
-              spec.timing.ps(spec.timing.tRP + spec.timing.tRCD));
+              spec.timing.tRP + spec.timing.tRCD);
 }
 
 TEST_F(ChannelFixture, BankParallelismBeatsSerialization)
@@ -123,7 +123,7 @@ TEST_F(ChannelFixture, BankParallelismBeatsSerialization)
 TEST_F(ChannelFixture, RefreshOccursUnderSteadyTraffic)
 {
     // Drive traffic past several tREFI windows.
-    const std::uint64_t refi_ps = spec.timing.ps(spec.timing.tREFI);
+    const std::uint64_t refi_ps = spec.timing.tREFI;
     std::uint64_t issued = 0;
     std::function<void()> feeder = [&] {
         if (eq.now() > 5 * refi_ps)

@@ -31,9 +31,9 @@ TEST(ConfigJson, RoundTripPreservesEveryPreset)
         EXPECT_EQ(back.toJson(), c.toJson());
         EXPECT_EQ(back.mechanism, c.mechanism);
         EXPECT_EQ(back.geom.fastBytes, c.geom.fastBytes);
-        EXPECT_EQ(back.fast.name, c.fast.name);
-        EXPECT_EQ(back.fast.timing.tCL, c.fast.timing.tCL);
-        EXPECT_EQ(back.slow.org.busBits, c.slow.org.busBits);
+        EXPECT_EQ(back.near.name, c.near.name);
+        EXPECT_EQ(back.near.timing.tCL, c.near.timing.tCL);
+        EXPECT_EQ(back.far.org.busBits, c.far.org.busBits);
     }
 }
 
@@ -64,14 +64,44 @@ TEST(ConfigJson, SetParsesEveryValueKind)
     EXPECT_FALSE(c.controller.fcfs);
     c.set("numCores", "4");
     EXPECT_EQ(c.numCores, 4u);
-    c.set("fast.name", "custom");
-    EXPECT_EQ(c.fast.name, "custom");
+    c.set("dram.near.name", "custom");
+    EXPECT_EQ(c.near.name, "custom");
+}
+
+TEST(ConfigJson, DramTimingKeysAreSweepable)
+{
+    SimConfig c;
+    c.set("dram.near.tRCD_ps", "9000");
+    EXPECT_EQ(c.near.timing.tRCD, 9000u);
+    c.set("dram.far.tCL_ps", "20000");
+    EXPECT_EQ(c.far.timing.tCL, 20000u);
+    c.set("dram.near.banksPerRank", "32");
+    EXPECT_EQ(c.near.org.banksPerRank, 32u);
+    c.set("dram.far.clock_ps", "625");
+    EXPECT_EQ(c.far.timing.clockPeriodPs, 625u);
+}
+
+TEST(ConfigJson, DramKeysRoundTripThroughJson)
+{
+    SimConfig c;
+    c.near.timing.tRCD = 9999;
+    c.far.org.rowsPerBank = 4242;
+    const SimConfig back = SimConfig::fromJson(c.toJson());
+    EXPECT_EQ(back.near.timing.tRCD, 9999u);
+    EXPECT_EQ(back.far.org.rowsPerBank, 4242u);
+    EXPECT_EQ(back.toJson(), c.toJson());
+    // The schema is the flat dram.* namespace, not the old member
+    // paths.
+    EXPECT_NE(c.toJson().find("\"dram\""), std::string::npos);
+    EXPECT_NE(c.toJson().find("\"tRCD_ps\""), std::string::npos);
 }
 
 TEST(ConfigJsonDeathTest, UnknownKeyPanics)
 {
     SimConfig c;
     EXPECT_DEATH(c.set("mempod.bogus", "1"), "unknown config key");
+    EXPECT_DEATH(c.set("dram.near.tXYZ_ps", "1"), "unknown config key");
+    EXPECT_DEATH(c.set("fast.timing.tCL", "7"), "unknown config key");
     EXPECT_DEATH(
         (void)SimConfig::fromJson(R"({"nonsense": 1})"),
         "unknown config key");

@@ -10,10 +10,10 @@ TEST(DramSpec, Hbm1GHzMatchesPaperTable2)
 {
     const DramSpec s = DramSpec::hbm1GHz();
     EXPECT_EQ(s.timing.clockPeriodPs, 1000u); // 1 GHz
-    EXPECT_EQ(s.timing.tCL, 7u);
-    EXPECT_EQ(s.timing.tRCD, 7u);
-    EXPECT_EQ(s.timing.tRP, 7u);
-    EXPECT_EQ(s.timing.tRAS, 17u);
+    EXPECT_EQ(s.timing.tCL, 7000u);
+    EXPECT_EQ(s.timing.tRCD, 7000u);
+    EXPECT_EQ(s.timing.tRP, 7000u);
+    EXPECT_EQ(s.timing.tRAS, 17000u);
     EXPECT_EQ(s.org.banksPerRank, 16u);
     EXPECT_EQ(s.org.rowBufferBytes, 8192u);
     EXPECT_EQ(s.org.busBits, 128u);
@@ -25,10 +25,10 @@ TEST(DramSpec, Ddr4MatchesPaperTable2)
 {
     const DramSpec s = DramSpec::ddr4_1600();
     EXPECT_EQ(s.timing.clockPeriodPs, 1250u); // 800 MHz
-    EXPECT_EQ(s.timing.tCL, 11u);
-    EXPECT_EQ(s.timing.tRCD, 11u);
-    EXPECT_EQ(s.timing.tRP, 11u);
-    EXPECT_EQ(s.timing.tRAS, 28u);
+    EXPECT_EQ(s.timing.cycles(s.timing.tCL), 11u);
+    EXPECT_EQ(s.timing.cycles(s.timing.tRCD), 11u);
+    EXPECT_EQ(s.timing.cycles(s.timing.tRP), 11u);
+    EXPECT_EQ(s.timing.cycles(s.timing.tRAS), 28u);
     EXPECT_EQ(s.org.busBits, 64u);
     // 8 GB over 4 channels.
     EXPECT_EQ(s.org.channelBytes(), 2_GiB);
@@ -41,7 +41,8 @@ TEST(DramSpec, BurstMovesOneLine)
          {DramSpec::hbm1GHz(), DramSpec::ddr4_1600(),
           DramSpec::ddr4_2400(), DramSpec::hbm4GHz()}) {
         const std::uint64_t bytes_per_cycle = s.org.busBits / 8 * 2;
-        EXPECT_EQ(s.timing.tBL * bytes_per_cycle, kLineBytes)
+        EXPECT_EQ(s.timing.cycles(s.timing.tBL) * bytes_per_cycle,
+                  kLineBytes)
             << s.name;
     }
 }
@@ -49,7 +50,7 @@ TEST(DramSpec, BurstMovesOneLine)
 TEST(DramSpec, RowCycleIsRasPlusRp)
 {
     const DramSpec s = DramSpec::hbm1GHz();
-    EXPECT_EQ(s.timing.tRC(), 24u);
+    EXPECT_EQ(s.timing.tRC(), 24000u); // 24 cycles at 1 ns
 }
 
 TEST(DramSpec, FutureHbmIsFourTimesFaster)
@@ -79,7 +80,7 @@ TEST(DramSpec, WithChannelBytesResizesRows)
     EXPECT_EQ(s.org.channelBytes(), 2_MiB);
     EXPECT_EQ(s.org.rowsPerBank, 2_MiB / (16 * 8192));
     // Timing is untouched.
-    EXPECT_EQ(s.timing.tCL, 7u);
+    EXPECT_EQ(s.timing.tCL, 7000u);
 }
 
 TEST(DramSpecDeathTest, MisalignedChannelSizePanics)
@@ -98,6 +99,59 @@ TEST(DramSpec, IdealReadLatency)
 TEST(DramSpec, PagesPerRow)
 {
     EXPECT_EQ(DramSpec::hbm1GHz().org.pagesPerRow(), 4u);
+}
+
+TEST(CommandTimingTable, EncodesPairwiseConstraints)
+{
+    const DramTiming t = DramSpec::hbm1GHz().timing;
+    const CommandTimingTable tbl = CommandTimingTable::build(t);
+    const auto act = cmdIndex(DramCmd::kAct);
+    const auto pre = cmdIndex(DramCmd::kPre);
+    const auto rd = cmdIndex(DramCmd::kRd);
+    const auto wr = cmdIndex(DramCmd::kWr);
+
+    EXPECT_EQ(tbl.bank[act][rd], t.tRCD);
+    EXPECT_EQ(tbl.bank[act][wr], t.tRCD);
+    EXPECT_EQ(tbl.bank[act][pre], t.tRAS);
+    EXPECT_EQ(tbl.bank[act][act], t.tRC());
+    EXPECT_EQ(tbl.bank[pre][act], t.tRP);
+    EXPECT_EQ(tbl.bank[rd][pre], t.tRTP);
+    EXPECT_EQ(tbl.bank[wr][pre], t.tCWL + t.tBL + t.tWR);
+    EXPECT_EQ(tbl.rank[act][act], t.tRRD);
+    EXPECT_EQ(tbl.channel[rd][rd], t.tCCD);
+    EXPECT_EQ(tbl.channel[wr][rd], t.tCWL + t.tBL + t.tWTR);
+    EXPECT_EQ(tbl.channel[rd][wr], t.tCL + t.tBL + t.tRTW - t.tCWL);
+    EXPECT_EQ(tbl.rdDataPs, t.tCL + t.tBL);
+    EXPECT_EQ(tbl.wrDataPs, t.tCWL + t.tBL);
+    EXPECT_EQ(tbl.burstPs, t.tBL);
+    EXPECT_EQ(tbl.fawPs, t.tFAW);
+    // Unconstrained pairs hold zero so max-folding them is a no-op.
+    EXPECT_EQ(tbl.bank[rd][act], 0u);
+    EXPECT_EQ(tbl.channel[act][act], 0u);
+}
+
+TEST(DramTiming, FromCyclesMultipliesByClock)
+{
+    const DramTiming t = DramTiming::fromCycles(
+        1250, {.tCL = 11,
+               .tCWL = 9,
+               .tRCD = 11,
+               .tRP = 11,
+               .tRAS = 28,
+               .tBL = 4,
+               .tCCD = 4,
+               .tWR = 12,
+               .tWTR = 6,
+               .tRTP = 6,
+               .tRTW = 2,
+               .tRRD = 5,
+               .tFAW = 24,
+               .tREFI = 6240,
+               .tRFC = 280});
+    EXPECT_EQ(t.clockPeriodPs, 1250u);
+    EXPECT_EQ(t.tCL, 11u * 1250u);
+    EXPECT_EQ(t.tFAW, 24u * 1250u);
+    EXPECT_EQ(t.cycles(t.tREFI), 6240u);
 }
 
 } // namespace

@@ -81,7 +81,7 @@ TEST_P(SpecSweep, ThroughputBoundedByBus)
         ch.enqueue(std::move(r), ChannelAddr{0, 0});
     }
     eq.runAll();
-    EXPECT_GE(last, 64 * s.timing.ps(s.timing.tBL));
+    EXPECT_GE(last, 64 * s.timing.tBL);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSpecs, SpecSweep, ::testing::Range(0, 4));
