@@ -11,6 +11,9 @@
  *   --list-workloads print the suite (incl. Table 3 mixes) and exit
  *   --seed N         generator seed
  *   --jobs N         worker threads (default: hardware concurrency)
+ *   --shards N       intra-simulation PDES shards (sim.shards); 0 =
+ *                    serial kernel. Output is byte-identical at any
+ *                    value — only host parallelism changes.
  *   --stats-out DIR  write per-job JSON (and JSONL) registry exports
  *   --interval-us N  JSONL sampling period in simulated µs (default
  *                    50, the migration epoch; 0 = summary JSON only)
@@ -43,6 +46,7 @@ struct Options
     std::uint64_t requests = 0; //!< 0 = pick by mode
     std::uint64_t seed = 42;
     unsigned jobs = 0; //!< worker threads; 0 = hardware concurrency
+    std::uint32_t shards = 0; //!< sim.shards; 0 = serial kernel
     std::vector<std::string> workloads; //!< empty = pick by mode
     std::string statsOut;        //!< stats directory; empty = no export
     std::uint64_t intervalUs = 50; //!< JSONL period (µs); 0 = off

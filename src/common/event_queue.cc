@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/log.h"
+#include "common/tracer.h"
 
 namespace mempod {
 
@@ -42,15 +43,90 @@ circularFindSet(const std::uint64_t *words, unsigned start)
 
 } // namespace
 
+std::uint64_t
+EventQueue::nextOrd()
+{
+    if (ctxDomain_ >= counters_.size())
+        counters_.resize(ctxDomain_ + 1, 0);
+    const std::uint64_t c = counters_[ctxDomain_]++;
+    return (static_cast<std::uint64_t>(ctxDomain_) << kCounterBits) | c;
+}
+
 void
-EventQueue::schedule(TimePs when, Callback cb)
+EventQueue::scheduleIn(DomainId target, TimePs when, Callback cb)
 {
     MEMPOD_ASSERT(when >= now_,
                   "event scheduled in the past (when=%llu now=%llu)",
                   static_cast<unsigned long long>(when),
                   static_cast<unsigned long long>(now_));
+    TimePs sched_time;
+    std::uint64_t masked;
+    if (haveOverride_) {
+        // A deferred cross-domain hand-off replays the key its serial
+        // counterpart consumed at the original call site.
+        haveOverride_ = false;
+        sched_time = overrideKey_.schedTime;
+        masked = overrideKey_.ord;
+    } else {
+        sched_time = now_;
+        masked = nextOrd();
+    }
+    if (routeCross_ && target != homeDomain_) {
+        // Sharded per-domain queue: the only legal foreign target is
+        // the coordinator (channel completions); the executor merges
+        // the outbox at the next horizon barrier.
+        MEMPOD_ASSERT(target == kCoordinatorDomain,
+                      "cross-domain schedule to domain %u (only the "
+                      "coordinator may be targeted across domains)",
+                      static_cast<unsigned>(target));
+        outbox_.push_back(CrossEvent{
+            target, EventKey{when, sched_time, masked}, std::move(cb)});
+        return;
+    }
     ++size_;
-    place(Event{when, nextSeq_++, std::move(cb)});
+    place(Event{when, sched_time, packOrd(target, masked),
+                std::move(cb)});
+}
+
+void
+EventQueue::admitForeign(DomainId exec, EventKey key, Callback cb)
+{
+    MEMPOD_ASSERT(key.when >= now_,
+                  "foreign event arrives in this domain's past "
+                  "(when=%llu now=%llu)",
+                  static_cast<unsigned long long>(key.when),
+                  static_cast<unsigned long long>(now_));
+    ++size_;
+    place(Event{key.when, key.schedTime, packOrd(exec, key.ord),
+                std::move(cb)});
+}
+
+EventKey
+EventQueue::reserveKey()
+{
+    return EventKey{now_, now_, nextOrd()};
+}
+
+void
+EventQueue::beginApply(TimePs when, EventKey key)
+{
+    MEMPOD_ASSERT(when >= now_, "apply rewinds domain time");
+    MEMPOD_ASSERT(!haveOverride_, "unconsumed apply key");
+    now_ = when;
+    overrideKey_ = key;
+    haveOverride_ = true;
+    ctxDomain_ = static_cast<DomainId>(key.ord >> kCounterBits);
+    if (tracer_)
+        tracer_->setEventKey(EventKey{when, key.schedTime, key.ord});
+}
+
+void
+EventQueue::endApply()
+{
+    // The hand-off may legitimately schedule nothing (e.g. a
+    // controller tick already armed at an earlier time).
+    haveOverride_ = false;
+    ctxDomain_ = homeDomain_;
 }
 
 EventQueue::EventList *
@@ -89,13 +165,15 @@ EventQueue::place(Event ev)
     const std::uint64_t tick = ev.when >> kTickShift;
     if (drain_ != nullptr && tick == drainTick_) {
         // Joins the slot currently executing: splice into the
-        // undrained tail at its (when, seq) position. Its seq is the
-        // largest outstanding, so upper_bound by time alone lands it
-        // after every equal-timestamp event — FIFO preserved.
+        // undrained tail at its canonical key position. The tail is
+        // key-sorted (claimSlot sorted it and insertions keep it so),
+        // so upper_bound by the full key preserves the total order —
+        // a when-only probe would misplace events that tie on `when`
+        // but differ in (schedTime, domain).
         auto pos = std::upper_bound(
             drain_->begin() + static_cast<std::ptrdiff_t>(drainPos_),
-            drain_->end(), ev.when,
-            [](TimePs w, const Event &e) { return w < e.when; });
+            drain_->end(), ev,
+            [](const Event &a, const Event &b) { return earlier(a, b); });
         drain_->insert(pos, std::move(ev));
         return;
     }
@@ -105,8 +183,8 @@ EventQueue::place(Event ev)
         // everything in the wheels, so keep them in a small sorted
         // spill drained before any slot.
         auto pos = std::upper_bound(
-            front_.begin(), front_.end(), ev.when,
-            [](TimePs w, const Event &e) { return w < e.when; });
+            front_.begin(), front_.end(), ev,
+            [](const Event &a, const Event &b) { return earlier(a, b); });
         front_.insert(pos, std::move(ev));
         return;
     }
@@ -284,6 +362,26 @@ EventQueue::peekNextTime()
     return min_when;
 }
 
+bool
+EventQueue::peekNextKey(EventKey &out)
+{
+    const Event *best = nullptr;
+    if (!front_.empty()) {
+        best = &front_.front();
+    } else if (drain_ != nullptr) {
+        best = &(*drain_)[drainPos_];
+    } else {
+        std::uint64_t tick;
+        if (!findNextSlot(tick))
+            return false;
+        for (const Event &ev : *wheels_[0].slots[tick & (kSlots - 1)])
+            if (best == nullptr || earlier(ev, *best))
+                best = &ev;
+    }
+    out = EventKey{best->when, best->schedTime, best->ord & kOrderMask};
+    return true;
+}
+
 TimePs
 EventQueue::nextTime() const
 {
@@ -293,15 +391,26 @@ EventQueue::nextTime() const
     return const_cast<EventQueue *>(this)->peekNextTime();
 }
 
+void
+EventQueue::dispatch(Event &ev)
+{
+    now_ = ev.when;
+    ctxDomain_ =
+        static_cast<DomainId>(ev.ord >> (kCounterBits + kDomainBits));
+    currentKey_ = EventKey{ev.when, ev.schedTime, ev.ord & kOrderMask};
+    ++executed_;
+    if (tracer_)
+        tracer_->setEventKey(currentKey_);
+    ev.cb();
+}
+
 bool
 EventQueue::runOne()
 {
     Event ev;
     if (!popNext(ev))
         return false;
-    now_ = ev.when;
-    ++executed_;
-    ev.cb();
+    dispatch(ev);
     return true;
 }
 
@@ -335,9 +444,7 @@ EventQueue::runUntil(TimePs until)
         }
         Event ev;
         popNext(ev);
-        now_ = ev.when;
-        ++executed_;
-        ev.cb();
+        dispatch(ev);
     }
     if (now_ < until)
         now_ = until;

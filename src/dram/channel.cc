@@ -8,13 +8,15 @@
 namespace mempod {
 
 Channel::Channel(EventQueue &eq, const DramSpec &spec, std::string name,
-                 TimePs extra_latency_ps, ControllerPolicy policy)
+                 TimePs extra_latency_ps, ControllerPolicy policy,
+                 DomainId domain)
     : eq_(eq),
       spec_(spec),
       tbl_(CommandTimingTable::build(spec.timing)),
       name_(std::move(name)),
       extraLatencyPs_(extra_latency_ps),
       policy_(policy),
+      domain_(domain),
       banks_(tbl_, spec_.org.totalBanks(), spec_.org.banksPerRank),
       autoPrePending_(spec_.org.totalBanks(), false)
 {
@@ -198,7 +200,7 @@ Channel::scheduleTick(TimePs when)
     if (scheduledTickAt_ <= when)
         return; // an earlier or equal wakeup is already pending
     scheduledTickAt_ = when;
-    eq_.schedule(when, [this, when] {
+    eq_.scheduleIn(domain_, when, [this, when] {
         if (scheduledTickAt_ == when)
             scheduledTickAt_ = kTimeNever;
         tick();
@@ -503,7 +505,11 @@ Channel::issueCas(Queue &q, std::uint32_t idx, bool is_write_queue)
     }
 
     if (completionHook_ || e.cbSlot != kNil) {
-        eq_.schedule(finish, [this, slot = e.cbSlot, finish] {
+        // Completions cross back to the coordinator domain: their
+        // delta (CAS latency + burst + interconnect) lower-bounds the
+        // executor's lookahead horizon.
+        eq_.scheduleIn(EventQueue::kCoordinatorDomain, finish,
+                       [this, slot = e.cbSlot, finish] {
             CompletionCallback cb;
             if (slot != kNil) {
                 cb = std::move(completionSlots_[slot]);

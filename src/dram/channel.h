@@ -70,10 +70,15 @@ class Channel
      * @param name For diagnostics ("hbm0", "ddr2", ...).
      * @param extra_latency_ps Fixed interconnect latency added to every
      *        completion (LLC-to-MC traversal both ways).
+     * @param domain Execution domain of this controller's tick events.
+     *        Completion callbacks always target the coordinator domain;
+     *        everything else the controller schedules stays local. The
+     *        default keeps standalone (single-queue) use unchanged.
      */
     Channel(EventQueue &eq, const DramSpec &spec, std::string name,
             TimePs extra_latency_ps = 5000,
-            ControllerPolicy policy = {});
+            ControllerPolicy policy = {},
+            DomainId domain = EventQueue::kCoordinatorDomain);
 
     Channel(const Channel &) = delete;
     Channel &operator=(const Channel &) = delete;
@@ -226,6 +231,7 @@ class Channel
     std::string name_;
     TimePs extraLatencyPs_;
     ControllerPolicy policy_;
+    DomainId domain_;
     std::function<void(TimePs)> completionHook_;
 
     /**

@@ -7,30 +7,39 @@ namespace mempod {
 MemorySystem::MemorySystem(EventQueue &eq, const SystemGeometry &geom,
                            const DramSpec &fast, const DramSpec &slow,
                            TimePs extra_latency_ps,
-                           ControllerPolicy policy)
+                           ControllerPolicy policy, const ShardPlan *plan)
     : eq_(eq),
       map_(geom,
            fast.withChannelBytes(geom.fastBytes / geom.fastChannels).org,
            geom.slowChannels
                ? slow.withChannelBytes(geom.slowBytes / geom.slowChannels)
                      .org
-               : slow.org)
+               : slow.org),
+      dispatch_(plan ? plan->dispatch : nullptr)
 {
+    // Channel i always owns execution domain 1 + i — also in the
+    // serial single-queue run, so the canonical event order (and thus
+    // every output byte) is identical at any shard count.
+    const auto queue_for = [&](std::size_t i) -> EventQueue & {
+        return plan ? *plan->channelQueues[i] : eq_;
+    };
     const DramSpec fast_sized =
         fast.withChannelBytes(geom.fastBytes / geom.fastChannels);
     channels_.reserve(geom.fastChannels + geom.slowChannels);
     for (std::uint32_t c = 0; c < geom.fastChannels; ++c) {
         channels_.push_back(std::make_unique<Channel>(
-            eq_, fast_sized, "fast" + std::to_string(c),
-            extra_latency_ps, policy));
+            queue_for(channels_.size()), fast_sized,
+            "fast" + std::to_string(c), extra_latency_ps, policy,
+            static_cast<DomainId>(1 + channels_.size())));
     }
     if (geom.slowChannels > 0) {
         const DramSpec slow_sized =
             slow.withChannelBytes(geom.slowBytes / geom.slowChannels);
         for (std::uint32_t c = 0; c < geom.slowChannels; ++c) {
             channels_.push_back(std::make_unique<Channel>(
-                eq_, slow_sized, "slow" + std::to_string(c),
-                extra_latency_ps, policy));
+                queue_for(channels_.size()), slow_sized,
+                "slow" + std::to_string(c), extra_latency_ps, policy,
+                static_cast<DomainId>(1 + channels_.size())));
         }
     }
     // One shared hook per channel keeps in-flight tracking off the
@@ -65,6 +74,12 @@ MemorySystem::access(Request req)
     }
 
     ++inFlight_;
+    if (dispatch_) {
+        // Sharded run: the executor applies the enqueue on the owning
+        // channel's queue at this call's canonical key position.
+        dispatch_(d.channel, std::move(req), ChannelAddr{d.bank, d.row});
+        return;
+    }
     channels_[d.channel]->enqueue(std::move(req),
                                   ChannelAddr{d.bank, d.row});
 }

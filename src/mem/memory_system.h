@@ -20,6 +20,21 @@
 
 namespace mempod {
 
+/**
+ * Sharded-run wiring for the memory system. `channelQueues[i]` hosts
+ * channel i's controller events (its own timing wheel under the PDES
+ * executor) and `dispatch` replaces the synchronous enqueue in
+ * access() with a deferred hand-off the executor applies in canonical
+ * event order. Both referents must outlive the MemorySystem. The
+ * serial simulation passes no plan and behaves exactly as before.
+ */
+struct ShardPlan
+{
+    std::vector<EventQueue *> channelQueues;
+    std::function<void(std::size_t ch, Request req, ChannelAddr where)>
+        dispatch;
+};
+
 /** All channels of the two-level memory plus shared statistics. */
 class MemorySystem
 {
@@ -50,7 +65,8 @@ class MemorySystem
     MemorySystem(EventQueue &eq, const SystemGeometry &geom,
                  const DramSpec &fast, const DramSpec &slow,
                  TimePs extra_latency_ps = 5000,
-                 ControllerPolicy policy = {});
+                 ControllerPolicy policy = {},
+                 const ShardPlan *plan = nullptr);
 
     /** Dispatch one line transfer at a physical address. */
     void access(Request req);
@@ -102,6 +118,7 @@ class MemorySystem
 
     EventQueue &eq_;
     AddressMap map_;
+    std::function<void(std::size_t, Request, ChannelAddr)> dispatch_;
     std::vector<std::unique_ptr<Channel>> channels_;
     std::vector<ChannelTelemetry> views_;
     std::uint64_t inFlight_ = 0;

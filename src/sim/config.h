@@ -67,6 +67,17 @@ struct SimConfig
     TimePs statsIntervalPs = 0;
 
     /**
+     * Conservative-PDES sharding (`sim.shards` dotted key): 0 runs the
+     * legacy single-threaded kernel; N >= 1 gives every DRAM channel
+     * its own timing wheel and spreads the wheels over N worker
+     * threads synchronized at a lookahead horizon (see
+     * sim/parallel.h). Output is byte-identical at every value —
+     * domains, not shards, define the canonical event order — so this
+     * is purely a host-parallelism knob. Clamped to the channel count.
+     */
+    std::uint32_t shards = 0;
+
+    /**
      * Causal event tracing (Chrome trace-event JSON). Disabled by
      * default; when disabled the only cost is one pointer test per
      * trace point (no events are added or removed from the queue, so

@@ -238,6 +238,7 @@ fieldTable()
                             controller.closedPage),
         MEMPOD_CONFIG_FIELD("controller.fcfs", controller.fcfs),
         MEMPOD_CONFIG_FIELD("statsIntervalPs", statsIntervalPs),
+        MEMPOD_CONFIG_FIELD("sim.shards", shards),
         MEMPOD_CONFIG_FIELD("tracer.enabled", tracer.enabled),
         MEMPOD_CONFIG_FIELD("tracer.sampleEvery", tracer.sampleEvery),
         MEMPOD_CONFIG_FIELD("tracer.seed", tracer.seed),

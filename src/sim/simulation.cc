@@ -1,21 +1,60 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "mem/manager_factory.h"
 
 namespace mempod {
 
+TimePs
+Simulation::lookaheadPs(const SimConfig &config)
+{
+    const auto tier_min = [](const DramSpec &s) {
+        return std::min(s.timing.tCL, s.timing.tCWL) + s.timing.tBL;
+    };
+    TimePs l = tier_min(config.near);
+    if (config.geom.slowChannels > 0)
+        l = std::min(l, tier_min(config.far));
+    return l + config.extraLatencyPs;
+}
+
 Simulation::Simulation(const SimConfig &config) : config_(config)
 {
     config_.geom.validate();
+    if (config_.shards > 0) {
+        const std::size_t channels =
+            config_.geom.fastChannels + config_.geom.slowChannels;
+        exec_ = std::make_unique<ParallelExecutor>(
+            eq_, channels, config_.shards, lookaheadPs(config_),
+            config_.statsIntervalPs);
+    }
     if (config_.tracer.enabled) {
         tracer_ = std::make_unique<Tracer>(config_.tracer);
-        eq_.setTracer(tracer_.get());
+        if (exec_) {
+            // Sharded: records stage per domain, stamped with their
+            // event's canonical key; absorbed into the master after the
+            // run in serial emission order (byte-identical JSON).
+            exec_->enableTracing(config_.tracer);
+        } else {
+            eq_.setTracer(tracer_.get());
+        }
+    }
+    ShardPlan plan;
+    if (exec_) {
+        plan.channelQueues = exec_->channelQueues();
+        plan.dispatch = [ex = exec_.get()](std::size_t ch, Request req,
+                                           ChannelAddr where) {
+            ex->dispatch(ch, std::move(req), where);
+        };
     }
     mem_ = std::make_unique<MemorySystem>(eq_, config_.geom, config_.near,
                                           config_.far,
                                           config_.extraLatencyPs,
-                                          config_.controller);
+                                          config_.controller,
+                                          exec_ ? &plan : nullptr);
+    if (exec_)
+        exec_->bindChannels(*mem_);
     placement_ = std::make_unique<LogicalToPhysical>(
         config_.geom.totalPages(), config_.numCores,
         config_.placementSeed);
@@ -38,7 +77,10 @@ Simulation::registerAllMetrics()
 {
     registry_.addCounterFn("sim.events_executed",
                            "events executed by the queue",
-                           [this] { return eq_.executed(); });
+                           [this] {
+                               return exec_ ? exec_->totalExecuted()
+                                            : eq_.executed();
+                           });
     mem_->registerMetrics(registry_);
     manager_->registerMetrics(registry_);
     frontend_->registerMetrics(registry_, config_.numCores);
@@ -68,16 +110,7 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
     // second without any forward progress is a bug.
     std::uint64_t last_progress = 0;
     TimePs progress_at = 0;
-    while (!drained()) {
-        if (!eq_.runOne()) {
-            MEMPOD_PANIC(
-                "simulation deadlock: frontend done=%d inflight=%llu "
-                "managerPending=%llu",
-                frontend_->done() ? 1 : 0,
-                static_cast<unsigned long long>(mem_->inFlight()),
-                static_cast<unsigned long long>(
-                    manager_->pendingWork()));
-        }
+    const auto check_progress = [&] {
         // Timer self-rescheduling executes events without advancing
         // the workload; only demand completions count as progress.
         const std::uint64_t progress = frontend_->completed();
@@ -89,6 +122,33 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
                          "simulated time (pending=%llu)",
                          static_cast<unsigned long long>(
                              manager_->pendingWork()));
+        }
+    };
+    const auto panic_deadlock = [&] {
+        MEMPOD_PANIC(
+            "simulation deadlock: frontend done=%d inflight=%llu "
+            "managerPending=%llu",
+            frontend_->done() ? 1 : 0,
+            static_cast<unsigned long long>(mem_->inFlight()),
+            static_cast<unsigned long long>(manager_->pendingWork()));
+    };
+    if (exec_) {
+        exec_->setDrained(drained);
+        for (;;) {
+            const ParallelExecutor::Step step = exec_->runWindow();
+            if (step == ParallelExecutor::Step::kFinished)
+                break;
+            if (step == ParallelExecutor::Step::kIdle)
+                panic_deadlock();
+            check_progress();
+        }
+        if (tracer_)
+            exec_->absorbTraces(*tracer_);
+    } else {
+        while (!drained()) {
+            if (!eq_.runOne())
+                panic_deadlock();
+            check_progress();
         }
     }
 

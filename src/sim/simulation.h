@@ -17,6 +17,7 @@
 #include "mem/manager.h"
 #include "mem/memory_system.h"
 #include "sim/config.h"
+#include "sim/parallel.h"
 #include "sim/report.h"
 #include "trace/record.h"
 
@@ -54,12 +55,27 @@ class Simulation
     /** Event tracer, or nullptr when config.tracer.enabled is false. */
     const Tracer *tracer() const { return tracer_.get(); }
 
+    /** PDES executor, or nullptr when config.shards == 0 (serial). */
+    const ParallelExecutor *executor() const { return exec_.get(); }
+
+    /**
+     * The static lookahead a sharded run of `config` synchronizes at:
+     * the minimum channel->coordinator completion delay, min over the
+     * present tiers of (min(tCL, tCWL) + tBL) plus the interconnect
+     * latency. Exposed so tests can pin the derivation.
+     */
+    static TimePs lookaheadPs(const SimConfig &config);
+
   private:
     void registerAllMetrics();
 
     SimConfig config_;
     EventQueue eq_;
     std::unique_ptr<Tracer> tracer_;
+    // Declared before mem_: the channels hold references to the
+    // executor's per-lane queues, so the executor must be destroyed
+    // after the memory system (members destroy in reverse order).
+    std::unique_ptr<ParallelExecutor> exec_;
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<LogicalToPhysical> placement_;
     std::unique_ptr<MemoryManager> manager_;

@@ -264,5 +264,149 @@ TEST(EventQueueWheel, StressMatchesStableSortReference)
         EXPECT_EQ(ran[i], expected[i].second) << "at position " << i;
 }
 
+// ---------------------------------------------------------------------
+// Canonical cross-domain ordering (the sharded-executor surface):
+// events carried between per-domain wheels must land in the one total
+// order (when, schedTime, schedDomain, schedCounter) regardless of
+// which wheel they came from or when they were merged.
+// ---------------------------------------------------------------------
+
+TEST(EventQueueDomains, CrossDomainScheduleStagesInOutbox)
+{
+    EventQueue lane;
+    lane.setHomeDomain(3);
+    lane.routeCrossDomain(true);
+    std::size_t ran = 0;
+    lane.schedule(100, [&] {
+        ++ran; // home-domain events stay local even when routed
+        lane.scheduleIn(EventQueue::kCoordinatorDomain, 500, [&] { ++ran; });
+    });
+    lane.runAll();
+    EXPECT_EQ(ran, 1u);
+    ASSERT_EQ(lane.outbox().size(), 1u);
+    EXPECT_EQ(lane.outbox()[0].target, EventQueue::kCoordinatorDomain);
+    EXPECT_EQ(lane.outbox()[0].key.when, 500u);
+    EXPECT_EQ(lane.outbox()[0].key.schedTime, 100u);
+    EXPECT_TRUE(lane.empty());
+}
+
+TEST(EventQueueDomains, EqualWhenMergeOrdersByDomainThenCounter)
+{
+    // Three domains schedule for the same instant at the same simulated
+    // time; merge the foreign ones in *reverse* domain order — the
+    // canonical comparator, not insertion order, must decide.
+    EventQueue coord; // home domain 0
+    EventQueue lane1;
+    lane1.setHomeDomain(1);
+    lane1.routeCrossDomain(true);
+    EventQueue lane2;
+    lane2.setHomeDomain(2);
+    lane2.routeCrossDomain(true);
+
+    std::vector<int> order;
+    const TimePs when = 700; // same tick for everyone
+    coord.schedule(when, [&] { order.push_back(1); });
+    coord.schedule(when, [&] { order.push_back(2); });
+    lane1.scheduleIn(0, when, [&] { order.push_back(11); });
+    lane1.scheduleIn(0, when, [&] { order.push_back(12); });
+    lane2.scheduleIn(0, when, [&] { order.push_back(21); });
+    lane2.scheduleIn(0, when, [&] { order.push_back(22); });
+
+    for (EventQueue *src : {&lane2, &lane1}) { // deliberately reversed
+        for (EventQueue::CrossEvent &e : src->outbox())
+            coord.admitForeign(0, e.key, std::move(e.cb));
+        src->outbox().clear();
+    }
+    coord.runAll();
+    // Domain rank breaks the (when, schedTime) tie; the per-domain
+    // counter (the pinned seq tiebreak) orders within each domain.
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 11, 12, 21, 22}));
+}
+
+TEST(EventQueueDomains, SchedTimePrecedesDomainRank)
+{
+    // A *later* scheduling call always runs after an earlier one at
+    // the same `when`, even when made by a lower-ranked domain — the
+    // legacy global-FIFO order, reproduced without any global counter.
+    EventQueue coord;
+    EventQueue lane2;
+    lane2.setHomeDomain(2);
+    lane2.routeCrossDomain(true);
+
+    std::vector<int> order;
+    const TimePs when = 4000;
+    lane2.schedule(10, [&] {
+        lane2.scheduleIn(0, when, [&] { order.push_back(2); });
+    });
+    lane2.runAll(); // schedTime 10
+    coord.schedule(20, [&] {
+        coord.schedule(when, [&] { order.push_back(0); });
+    });
+    coord.runAll(1); // run only the scheduler event (schedTime 20)
+    for (EventQueue::CrossEvent &e : lane2.outbox())
+        coord.admitForeign(0, e.key, std::move(e.cb));
+    lane2.outbox().clear();
+    coord.runAll();
+    EXPECT_EQ(order, (std::vector<int>{2, 0}));
+}
+
+TEST(EventQueueDomains, EqualWhenMergeAcrossWheelLevels)
+{
+    // Same-`when` events from two domains placed while the cursor sits
+    // far behind, so both land in a higher wheel and cascade down
+    // before executing: the canonical key must survive the cascade.
+    EventQueue coord;
+    EventQueue lane1;
+    lane1.setHomeDomain(1);
+    lane1.routeCrossDomain(true);
+
+    std::vector<int> order;
+    const TimePs far_when =
+        EventQueue::kTickPs * EventQueue::kSlots * 3 + 128;
+    lane1.scheduleIn(0, far_when, [&] { order.push_back(10); });
+    coord.schedule(far_when, [&] { order.push_back(0); });
+    coord.schedule(far_when, [&] { order.push_back(1); });
+    // Admit the foreign event *first*: it still runs last-of-none —
+    // domain 0's calls precede domain 1's at the same (when, schedTime).
+    for (EventQueue::CrossEvent &e : lane1.outbox())
+        coord.admitForeign(0, e.key, std::move(e.cb));
+    lane1.outbox().clear();
+    coord.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 10}));
+}
+
+TEST(EventQueueDomains, ReservedKeyReplaysAtApplyTime)
+{
+    // The executor's deferred-enqueue bracket: a key reserved on the
+    // coordinator is consumed by the first schedule call inside
+    // beginApply/endApply, so the applied event sorts exactly where
+    // the serial run's inline call would have put it.
+    EventQueue coord;
+    EventQueue lane;
+    lane.setHomeDomain(1);
+
+    const EventKey reserved = coord.reserveKey(); // domain 0, counter 0
+    std::vector<int> order;
+    const TimePs when = 300;
+    lane.schedule(when, [&] { order.push_back(1); }); // domain 1 call
+    lane.beginApply(0, reserved);
+    lane.schedule(when, [&] { order.push_back(0); }); // replays domain 0
+    lane.endApply();
+    lane.runAll();
+    // Scheduled second, but the reserved coordinator key outranks the
+    // lane's own at the tied (when, schedTime).
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(lane.executed(), 2u);
+}
+
+TEST(EventQueueDomainsDeathTest, ForeignEventInThePastPanics)
+{
+    EventQueue coord;
+    coord.schedule(100, [] {});
+    coord.runAll();
+    EXPECT_DEATH(coord.admitForeign(0, EventKey{50, 10, 0}, [] {}),
+                 "foreign event arrives in this domain's past");
+}
+
 } // namespace
 } // namespace mempod

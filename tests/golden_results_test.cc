@@ -49,8 +49,8 @@ constexpr GoldenRow kGolden[] = {
      543406u, 63.132227899999997},
     {"THM", Mechanism::kThm, 17342u, 32658u, 811u, 3321856u, 501132500u,
      622361u, 61.994082900000002},
-    {"CAMEO", Mechanism::kCameo, 8841u, 41159u, 36422u, 4662016u,
-     501186250u, 989409u, 61.9704379},
+    {"CAMEO", Mechanism::kCameo, 8846u, 41154u, 36484u, 4669952u,
+     501186250u, 989558u, 61.847012900000003},
     {"MemPod", Mechanism::kMemPod, 11901u, 38099u, 456u, 1867776u,
      505947500u, 482753u, 59.017767899999996},
 };
@@ -123,7 +123,8 @@ TEST(GoldenTrace, GeneratorIsPinned)
               kTraceGolden.duration);
 }
 
-TEST(GoldenResults, EveryMechanismIsPinned)
+std::vector<JobResult>
+runAllMechanisms(std::uint32_t shards)
 {
     // Run through the BatchRunner so the tier-1 suite exercises the
     // parallel path; determinism makes the worker count irrelevant.
@@ -131,13 +132,19 @@ TEST(GoldenResults, EveryMechanismIsPinned)
     for (const GoldenRow &g : kGolden) {
         BatchJob job;
         job.config = goldenConfig(g.mechanism);
+        job.config.shards = shards;
         job.workload = kWorkload;
         job.gen.totalRequests = kRequests;
         job.gen.seed = kSeed;
         job.label = g.label;
         runner.add(std::move(job));
     }
-    const std::vector<JobResult> results = runner.runAll();
+    return runner.runAll();
+}
+
+TEST(GoldenResults, EveryMechanismIsPinned)
+{
+    const std::vector<JobResult> results = runAllMechanisms(0);
     ASSERT_EQ(results.size(), std::size(kGolden));
 
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -175,6 +182,34 @@ TEST(GoldenResults, EveryMechanismIsPinned)
         // Deterministic, but allow for FP library variation across
         // toolchains; the integer pins above carry the regression
         // burden.
+        EXPECT_NEAR(r.ammatNs, g.ammatNs, g.ammatNs * 1e-9) << g.label;
+    }
+}
+
+TEST(GoldenResults, EveryMechanismIsPinnedAtTwoShards)
+{
+    // The sharded PDES kernel must hit the *same* checked-in goldens
+    // as the serial kernel — down to the executed-event count — for
+    // all five mechanisms. Any drift here means the canonical event
+    // order leaked a partition dependence.
+    if (printGolden())
+        GTEST_SKIP() << "goldens are regenerated from the serial run";
+    const std::vector<JobResult> results = runAllMechanisms(2);
+    ASSERT_EQ(results.size(), std::size(kGolden));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const GoldenRow &g = kGolden[i];
+        ASSERT_TRUE(results[i].ok) << g.label << ": "
+                                   << results[i].error;
+        const RunResult &r = results[i].result;
+        EXPECT_EQ(r.completed, kRequests) << g.label;
+        EXPECT_EQ(r.memStats.demandFast, g.demandFast) << g.label;
+        EXPECT_EQ(r.memStats.demandSlow, g.demandSlow) << g.label;
+        EXPECT_EQ(r.migration.migrations, g.migrations) << g.label;
+        EXPECT_EQ(r.migration.bytesMoved, g.bytesMoved) << g.label;
+        EXPECT_EQ(static_cast<std::uint64_t>(r.simulatedPs),
+                  g.simulatedPs)
+            << g.label;
+        EXPECT_EQ(r.eventsExecuted, g.eventsExecuted) << g.label;
         EXPECT_NEAR(r.ammatNs, g.ammatNs, g.ammatNs * 1e-9) << g.label;
     }
 }
