@@ -92,5 +92,6 @@ main(int argc, char **argv)
     std::printf("--- (b) migration cap per Pod per interval ---\n");
     printSweep("cap", caps);
 
+    finishBench("ablation_candidate_filter", opt, results);
     return 0;
 }

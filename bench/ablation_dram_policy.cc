@@ -82,5 +82,6 @@ main(int argc, char **argv)
     std::printf("\nExpect: open-page + FR-FCFS (the paper's setup) has "
                 "the best absolute AMMAT; closed-page erases most of "
                 "the row-hit benefit of co-locating hot pages.\n");
+    finishBench("ablation_dram_policy", opt, results);
     return 0;
 }

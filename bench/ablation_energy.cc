@@ -90,5 +90,6 @@ main(int argc, char **argv)
     table.print();
     std::printf("\n");
     table.printCsv();
+    finishBench("ablation_energy", opt, results);
     return 0;
 }

@@ -74,5 +74,6 @@ main(int argc, char **argv)
         "behind one driver (higher blocked counts); four Pods split\n"
         "migration traffic ~4x per driver and migrate in parallel,\n"
         "at a small flexibility cost (no inter-pod migration).\n");
+    finishBench("ablation_pods", opt, results);
     return 0;
 }

@@ -7,12 +7,31 @@
 #include <filesystem>
 #include <system_error>
 
+#include <algorithm>
+
 #include "common/log.h"
+#include "sim/stats_writer.h"
 #include "trace/generator.h"
 
 namespace mempod::bench {
 
 namespace {
+
+/** Harness start, stamped in parseOptions; total-wall reference. */
+std::uint64_t g_harnessStartNs = 0;
+
+/** Value below which fraction `q` of `sorted` falls (linear interp). */
+double
+quantile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
 
 std::vector<std::string>
 splitCommas(const std::string &s)
@@ -69,6 +88,8 @@ parseUint(const char *what, const char *flag, const char *text)
 Options
 parseOptions(int argc, char **argv, const char *what)
 {
+    if (g_harnessStartNs == 0)
+        g_harnessStartNs = perfNowNs();
     Options opt;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -137,6 +158,25 @@ parseOptions(int argc, char **argv, const char *what)
                              what);
                 std::exit(2);
             }
+        } else if (arg == "--perf") {
+            opt.perf = true;
+        } else if (arg == "--perf-out") {
+            opt.perfOut = next();
+            if (opt.perfOut.empty()) {
+                std::fprintf(stderr,
+                             "%s: --perf-out needs a directory\n",
+                             what);
+                std::exit(2);
+            }
+            opt.perf = true; // a sidecar dir implies profiling
+        } else if (arg == "--bench-out") {
+            opt.benchOut = next();
+            if (opt.benchOut.empty()) {
+                std::fprintf(stderr,
+                             "%s: --bench-out needs a directory\n",
+                             what);
+                std::exit(2);
+            }
         } else if (arg == "--list-workloads") {
             listWorkloads();
             std::exit(0);
@@ -145,7 +185,8 @@ parseOptions(int argc, char **argv, const char *what)
                 "%s\noptions: --full | --requests N | --seed N |"
                 " --jobs N | --shards N | --workloads a,b,c |"
                 " --stats-out DIR | --interval-us N | --trace-out DIR |"
-                " --trace-sample N | --list-workloads\n",
+                " --trace-sample N | --perf | --perf-out DIR |"
+                " --bench-out DIR | --list-workloads\n",
                 what);
             std::exit(0);
         } else {
@@ -160,6 +201,10 @@ parseOptions(int argc, char **argv, const char *what)
         ensureWritableDir(opt.statsOut, "--stats-out", what);
     if (!opt.traceOut.empty())
         ensureWritableDir(opt.traceOut, "--trace-out", what);
+    if (!opt.perfOut.empty())
+        ensureWritableDir(opt.perfOut, "--perf-out", what);
+    if (opt.benchOut != ".")
+        ensureWritableDir(opt.benchOut, "--bench-out", what);
     return opt;
 }
 
@@ -246,6 +291,7 @@ runnerOptions(const Options &opt)
     ro.cache = &traceCache();
     ro.statsDir = opt.statsOut;
     ro.traceDir = opt.traceOut;
+    ro.perfDir = opt.perfOut;
     return ro;
 }
 
@@ -261,6 +307,7 @@ timingJob(const SimConfig &config, const std::string &workload,
     job.config.tracer.enabled = !opt.traceOut.empty();
     job.config.tracer.sampleEvery = opt.traceSample;
     job.config.tracer.seed = opt.seed;
+    job.config.perfEnabled = opt.perf;
     job.workload = workload;
     job.gen.totalRequests = opt.timingRequests();
     job.gen.seed = opt.seed;
@@ -316,6 +363,133 @@ banner(const char *figure, const char *caption, const Options &opt)
     std::printf("=== %s — %s ===\n", figure, caption);
     std::printf("mode: %s (use --full for the paper-scale sweep)\n\n",
                 opt.full ? "FULL" : "reduced");
+}
+
+BenchReport::BenchReport(std::string name, std::string out_dir)
+    : name_(std::move(name)), dir_(std::move(out_dir))
+{
+}
+
+void
+BenchReport::addResults(const std::vector<JobResult> &results)
+{
+    for (const JobResult &r : results) {
+        if (!r.ok)
+            continue;
+        jobWallSeconds_.push_back(r.wallSeconds);
+        events_ += r.result.eventsExecuted;
+        const std::string entry =
+            r.label.empty() ? r.workload : r.label + "/" + r.workload;
+        entries_.emplace_back(entry, r.wallSeconds * 1e3);
+        if (r.hasPerf) {
+            mergedPerf_.merge(r.perf);
+            havePerf_ = true;
+        }
+    }
+}
+
+void
+BenchReport::addEntry(const std::string &name, double wall_ms)
+{
+    jobWallSeconds_.push_back(wall_ms / 1e3);
+    entries_.emplace_back(name, wall_ms);
+}
+
+std::string
+BenchReport::write()
+{
+    const PerfHostInfo host = perfHostInfo();
+    std::vector<double> sorted = jobWallSeconds_;
+    std::sort(sorted.begin(), sorted.end());
+    double total_wall = 0.0;
+    for (const double w : jobWallSeconds_)
+        total_wall += w;
+    const double harness_wall =
+        g_harnessStartNs
+            ? static_cast<double>(perfNowNs() - g_harnessStartNs) / 1e9
+            : total_wall;
+
+    std::string out;
+    out.reserve(4 * 1024);
+    const auto key_str = [&out](const char *k, const std::string &v) {
+        out += '"';
+        out += k;
+        out += "\":\"";
+        out += StatsWriter::jsonEscape(v);
+        out += '"';
+    };
+    const auto key_num = [&out](const char *k, double v) {
+        out += '"';
+        out += k;
+        out += "\":";
+        out += StatsWriter::formatDouble(v);
+    };
+    out += "{\n  ";
+    key_str("schema", "mempod-bench-v1");
+    out += ",\n  ";
+    key_str("name", name_);
+    out += ",\n  \"host\": {";
+    key_str("sysname", host.sysname);
+    out += ',';
+    key_str("machine", host.machine);
+    out += ',';
+    key_num("cpus", host.cpus);
+    out += "},\n  ";
+    key_num("jobs", static_cast<double>(jobWallSeconds_.size()));
+    out += ",\n  \"wall_seconds\": {";
+    key_num("total", harness_wall);
+    out += ',';
+    key_num("sum", total_wall);
+    out += ',';
+    key_num("median", quantile(sorted, 0.50));
+    out += ',';
+    key_num("p10", quantile(sorted, 0.10));
+    out += ',';
+    key_num("p90", quantile(sorted, 0.90));
+    out += "},\n  ";
+    key_num("events_executed", static_cast<double>(events_));
+    out += ",\n  ";
+    key_num("events_per_second",
+            total_wall > 0 ? static_cast<double>(events_) / total_wall
+                           : 0.0);
+    out += ",\n  \"phases_ns\": {";
+    bool first = true;
+    for (const auto &[phase, ns] : mergedPerf_.phasesNs) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += StatsWriter::jsonEscape(phase);
+        out += "\":";
+        out += StatsWriter::formatDouble(static_cast<double>(ns));
+    }
+    out += "},\n  \"benchmarks\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (i)
+            out += ',';
+        out += "\n    {";
+        key_str("name", entries_[i].first);
+        out += ',';
+        key_num("wall_ms", entries_[i].second);
+        out += '}';
+    }
+    out += entries_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+    const std::string path = dir_ + "/BENCH_" + name_ + ".json";
+    StatsWriter::writeFile(path, out);
+    return path;
+}
+
+void
+finishBench(const char *name, const Options &opt,
+            const std::vector<JobResult> &results)
+{
+    BenchReport report(name, opt.benchOut);
+    report.addResults(results);
+    const std::string path = report.write();
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    if (opt.perf && report.havePerf())
+        report.mergedPerf().printTable(stderr, name);
 }
 
 } // namespace mempod::bench

@@ -30,8 +30,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/perf.h"
 #include "sim/report.h"
 #include "sim/runner.h"
 #include "trace/record.h"
@@ -52,6 +54,9 @@ struct Options
     std::uint64_t intervalUs = 50; //!< JSONL period (µs); 0 = off
     std::string traceOut;        //!< trace directory; empty = no tracing
     std::uint64_t traceSample = 64; //!< trace 1 in N demand requests
+    bool perf = false;      //!< host profiling + one-page table (stderr)
+    std::string perfOut;    //!< perf.json sidecar dir; implies perf
+    std::string benchOut = "."; //!< where BENCH_<name>.json lands
 
     /**
      * Sampling period in picoseconds for timing jobs: 0 unless
@@ -137,5 +142,47 @@ double mean(const std::vector<double> &v);
 /** Print the standard harness banner. */
 void banner(const char *figure, const char *caption,
             const Options &opt);
+
+/**
+ * Accumulator behind BENCH_<name>.json ("mempod-bench-v1"): per-job
+ * (or per-benchmark) wall times, summed event counts and merged host
+ * profiles, rendered with median/p10/p90 wall statistics and host
+ * info so the repo accumulates a comparable perf trajectory run over
+ * run (tools/perf_tool.cc diffs two of these).
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string name, std::string out_dir);
+
+    /** Fold a harness batch in: wall, events, perf (when enabled). */
+    void addResults(const std::vector<JobResult> &results);
+
+    /** One named timing entry (microbenchmark medians etc.). */
+    void addEntry(const std::string &name, double wall_ms);
+
+    /** Render + atomically write BENCH_<name>.json; returns the path. */
+    std::string write();
+
+    const PerfReport &mergedPerf() const { return mergedPerf_; }
+    bool havePerf() const { return havePerf_; }
+
+  private:
+    std::string name_;
+    std::string dir_;
+    std::vector<double> jobWallSeconds_;
+    std::vector<std::pair<std::string, double>> entries_;
+    std::uint64_t events_ = 0;
+    PerfReport mergedPerf_;
+    bool havePerf_ = false;
+};
+
+/**
+ * Standard harness epilogue: write BENCH_<name>.json (always) and,
+ * under --perf, print the merged one-page host-profile table to
+ * stderr (stdout stays byte-identical to a perf-disabled run).
+ */
+void finishBench(const char *name, const Options &opt,
+                 const std::vector<JobResult> &results);
 
 } // namespace mempod::bench

@@ -51,7 +51,7 @@ shardScalingReport(const mempod::bench::Options &opt)
 
     TablePrinter table({"shards", "wall ms", "speedup", "events",
                         "channel ev", "per-shard min", "per-shard max",
-                        "windows"});
+                        "windows", "busy %", "stall %"});
 
     double serial_ammat = 0.0;
     std::uint64_t serial_events = 0;
@@ -61,9 +61,11 @@ shardScalingReport(const mempod::bench::Options &opt)
         RunResult r;
         std::uint64_t per_min = 0, per_max = 0, windows = 0,
                       channel_events = 0;
+        std::string busy_col = "-", stall_col = "-";
         for (int rep = 0; rep < 3; ++rep) {
             SimConfig c = cfg;
             c.shards = shards;
+            c.perfEnabled = true; // per-shard busy/stall columns
             Simulation sim(c);
             const auto t0 = Clock::now();
             r = sim.run(*trace, "scaling");
@@ -81,6 +83,28 @@ shardScalingReport(const mempod::bench::Options &opt)
                 per_max = std::max(per_max, n);
             }
             windows = ex->windows();
+            // Host utilization across shards, min..max, from the run's
+            // PerfMonitor (PDES load imbalance at a glance).
+            if (const PerfReport *pr = sim.perfReport()) {
+                double bmin = 100.0, bmax = 0.0;
+                for (const PerfReport::Shard &sh : pr->shards) {
+                    const double denom =
+                        static_cast<double>(sh.busyNs + sh.stallNs);
+                    const double b =
+                        denom > 0 ? 100.0 *
+                                        static_cast<double>(sh.busyNs) /
+                                        denom
+                                  : 0.0;
+                    bmin = std::min(bmin, b);
+                    bmax = std::max(bmax, b);
+                }
+                if (!pr->shards.empty()) {
+                    busy_col = TablePrinter::num(bmin, 1) + ".." +
+                               TablePrinter::num(bmax, 1);
+                    stall_col = TablePrinter::num(100.0 - bmax, 1) +
+                                ".." + TablePrinter::num(100.0 - bmin, 1);
+                }
+            }
         }
         std::sort(wall, wall + 3);
         const double ms = wall[1];
@@ -110,7 +134,7 @@ shardScalingReport(const mempod::bench::Options &opt)
                       std::to_string(r.eventsExecuted),
                       std::to_string(channel_events),
                       std::to_string(per_min), std::to_string(per_max),
-                      std::to_string(windows)});
+                      std::to_string(windows), busy_col, stall_col});
     }
     table.print();
     std::printf("all shard counts reproduce the serial kernel "
@@ -203,5 +227,6 @@ main(int argc, char **argv)
                 "best as the tier latency ratio widens.\n");
 
     shardScalingReport(opt);
+    finishBench("fig10_scalability", opt, results);
     return 0;
 }

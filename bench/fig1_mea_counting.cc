@@ -73,5 +73,6 @@ main(int argc, char **argv)
     std::printf("\npaper: MEA counting accuracy averages below 55%% on "
                 "the top tiers — accurate counting is NOT what MEA is "
                 "good at.\n");
+    finishBench("fig1_mea_counting", opt, results);
     return 0;
 }

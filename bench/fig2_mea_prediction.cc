@@ -86,5 +86,6 @@ main(int argc, char **argv)
     table.printCsv();
     std::printf("\npaper: MEA achieves more future hits than FC by 16%%, "
                 "81%% and 68%% on the three tiers.\n");
+    finishBench("fig2_mea_prediction", opt, results);
     return 0;
 }

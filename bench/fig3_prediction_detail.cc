@@ -55,5 +55,6 @@ main(int argc, char **argv)
         "\npaper: cactus is FC's only win; bwaves/libquantum show MEA "
         "low-but-nonzero while FC scores ~0; lbm shows MEA hitting "
         "outside tier 1 where FC fails entirely.\n");
+    finishBench("fig3_prediction_detail", opt, results);
     return 0;
 }

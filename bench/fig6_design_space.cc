@@ -93,5 +93,6 @@ main(int argc, char **argv)
                 "counters; minima lie on the constant-migration-rate "
                 "diagonal.\n",
                 static_cast<double>(best_epoch) / 1_us, best_k, best);
+    finishBench("fig6_design_space", opt, results);
     return 0;
 }

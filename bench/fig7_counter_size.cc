@@ -114,5 +114,6 @@ main(int argc, char **argv)
     std::printf("paper: at (50 us, 64) 2-bit counters are best (small "
                 "margins, recency matters most); at (100 us, 128) the "
                 "optimum grows toward 4 bits.\n");
+    finishBench("fig7_counter_size", opt, results);
     return 0;
 }

@@ -142,5 +142,6 @@ main(int argc, char **argv)
                 "TLM (normalized 0.81), beats HMA/THM by 9%% on average "
                 "and up to 29%%; CAMEO degrades by 41%% (normalized "
                 "1.41) at this 1:8 capacity ratio.\n");
+    finishBench("fig8_comparison", opt, results);
     return 0;
 }

@@ -121,5 +121,6 @@ main(int argc, char **argv)
     std::printf("\npaper: with 16/32/64 kB MemPod improves 4/7/9%% over "
                 "TLM (cache costs it 16/14/12%% vs cache-free) and "
                 "stays ahead of THM and HMA.\n");
+    finishBench("fig9_cache_sensitivity", opt, results);
     return 0;
 }

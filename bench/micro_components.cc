@@ -8,6 +8,11 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/event_queue.h"
 #include "common/rng.h"
 #include "core/remap_table.h"
@@ -269,6 +274,25 @@ BM_EndToEndMemPod(benchmark::State &state)
 BENCHMARK(BM_EndToEndMemPod);
 
 void
+BM_EndToEndMemPodPerf(benchmark::State &state)
+{
+    // A/B twin of BM_EndToEndMemPod with the host profiler attached:
+    // run both (interleaved, same filter) and compare medians to bound
+    // the enabled-profiler overhead. The budget is <= 2%; disabled,
+    // the instrumentation is a single branch on a null pointer.
+    GeneratorConfig gc;
+    gc.totalRequests = 50000;
+    const Trace trace = buildWorkloadTrace(findWorkload("xalanc"), gc);
+    SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
+    cfg.perfEnabled = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runSimulation(cfg, trace));
+    }
+    state.SetItemsProcessed(state.iterations() * gc.totalRequests);
+}
+BENCHMARK(BM_EndToEndMemPodPerf);
+
+void
 BM_BatchRunnerFanOut(benchmark::State &state)
 {
     // The harness hot path: a workload x mechanism cross product on
@@ -297,4 +321,67 @@ BENCHMARK(BM_BatchRunnerFanOut)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Reporter shim: passes everything through to the normal console
+ * reporter while recording each benchmark's per-iteration wall time,
+ * so the run also lands in BENCH_micro_components.json and the repo's
+ * perf trajectory covers the building blocks, not just the figures.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    bool
+    ReportContext(const Context &context) override
+    {
+        return benchmark::ConsoleReporter::ReportContext(context);
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred)
+                continue;
+            const double iters =
+                run.iterations > 0
+                    ? static_cast<double>(run.iterations)
+                    : 1.0;
+            entries.emplace_back(run.benchmark_name(),
+                                 run.real_accumulated_time / iters *
+                                     1e3);
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<std::pair<std::string, double>> entries;
+};
+
+int
+main(int argc, char **argv)
+{
+    // Pull out our own flag before google-benchmark sees the argv
+    // (it rejects flags it doesn't know).
+    std::string bench_out = ".";
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--bench-out" && i + 1 < argc) {
+            bench_out = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    mempod::bench::BenchReport report("micro_components", bench_out);
+    for (const auto &[name, wall_ms] : reporter.entries)
+        report.addEntry(name, wall_ms);
+    const std::string path = report.write();
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    return 0;
+}

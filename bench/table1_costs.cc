@@ -110,5 +110,6 @@ main(int argc, char **argv)
                 g.fastChannels,
                 static_cast<double>(g.slowBytes) / (1_GiB),
                 g.slowChannels, g.numPods);
+    finishBench("table1_costs", opt, {});
     return 0;
 }

@@ -84,6 +84,8 @@ EventQueue::scheduleIn(DomainId target, TimePs when, Callback cb)
         return;
     }
     ++size_;
+    if (size_ > host_.peakPending)
+        host_.peakPending = size_;
     place(Event{when, sched_time, packOrd(target, masked),
                 std::move(cb)});
 }
@@ -97,6 +99,8 @@ EventQueue::admitForeign(DomainId exec, EventKey key, Callback cb)
                   static_cast<unsigned long long>(key.when),
                   static_cast<unsigned long long>(now_));
     ++size_;
+    if (size_ > host_.peakPending)
+        host_.peakPending = size_;
     place(Event{key.when, key.schedTime, packOrd(exec, key.ord),
                 std::move(cb)});
 }
@@ -133,9 +137,11 @@ EventQueue::EventList *
 EventQueue::acquireList()
 {
     if (freeLists_.empty()) {
+        ++host_.listAllocs;
         pool_.push_back(std::make_unique<EventList>());
         return pool_.back().get();
     }
+    ++host_.listReuses;
     EventList *list = freeLists_.back();
     freeLists_.pop_back();
     return list;
@@ -175,6 +181,7 @@ EventQueue::place(Event ev)
             drain_->end(), ev,
             [](const Event &a, const Event &b) { return earlier(a, b); });
         drain_->insert(pos, std::move(ev));
+        ++host_.drainInserts;
         return;
     }
     if (tick < cursorTick_) {
@@ -186,6 +193,7 @@ EventQueue::place(Event ev)
             front_.begin(), front_.end(), ev,
             [](const Event &a, const Event &b) { return earlier(a, b); });
         front_.insert(pos, std::move(ev));
+        ++host_.frontSpills;
         return;
     }
     for (unsigned level = 0; level < kWheels; ++level) {
@@ -193,6 +201,7 @@ EventQueue::place(Event ev)
         // Compare in level units, not raw ticks: a raw-delta check
         // would lap slots when the cursor sits mid-region.
         if ((tick >> shift) - (cursorTick_ >> shift) < kSlots) {
+            ++host_.placedAtLevel[level];
             appendToSlot(level, (tick >> shift) & (kSlots - 1),
                          std::move(ev));
             return;

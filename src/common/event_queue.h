@@ -184,6 +184,29 @@ class EventQueue
     std::uint64_t ladderDeferred() const { return ladderDeferred_; }
 
     /**
+     * Wheel-mechanics counters for the host profiler. Like cascades()
+     * these are unconditional and *deterministic* — pure functions of
+     * the simulated schedule, never of wall time — so tests pin them
+     * for known schedules and enabling perf cannot change them.
+     */
+    struct HostStats
+    {
+        /** place() landings per wheel level (incl. cascade re-places). */
+        std::uint64_t placedAtLevel[kWheels] = {};
+        /** Events spilled to the sorted front list (cursor overshoot). */
+        std::uint64_t frontSpills = 0;
+        /** Events spliced into the slot currently being drained. */
+        std::uint64_t drainInserts = 0;
+        /** Slot vectors newly heap-allocated vs recycled from the pool. */
+        std::uint64_t listAllocs = 0;
+        std::uint64_t listReuses = 0;
+        /** High-water mark of pending events. */
+        std::uint64_t peakPending = 0;
+    };
+
+    const HostStats &hostStats() const { return host_; }
+
+    /**
      * The simulation-wide event tracer, or nullptr when tracing is
      * off. Components reach it through the queue they already hold, so
      * the disabled hot-path cost is this one pointer test.
@@ -337,6 +360,7 @@ class EventQueue
     std::size_t size_ = 0;
     std::uint64_t cascades_ = 0;
     std::uint64_t ladderDeferred_ = 0;
+    HostStats host_;
 };
 
 /**

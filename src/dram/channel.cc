@@ -294,6 +294,9 @@ Channel::tick()
     }
 
     const bool issued = tryIssue();
+    ++hostStats_.ticks;
+    if (issued)
+        ++hostStats_.issued;
 
     // Reschedule: after issuing, try again next cycle; otherwise sleep
     // until the earliest timing constraint expires.
@@ -328,6 +331,11 @@ Channel::tryIssueFrom(Queue &q, bool is_write_queue)
 {
     if (q.size == 0)
         return false;
+
+    ++hostStats_.arbPasses;
+    for (const std::uint64_t w : q.workWords)
+        hostStats_.workBanks +=
+            static_cast<std::uint64_t>(std::popcount(w));
 
     const TimePs now = eq_.now();
     const TimePs cas_gate = is_write_queue ? nextWrCasAt_ : nextRdCasAt_;

@@ -130,6 +130,24 @@ class Channel
      */
     ChannelTelemetry telemetry() const;
 
+    /**
+     * FR-FCFS arbiter mechanics for the host profiler. Deterministic
+     * (functions of the simulated request stream only) and always
+     * counted — same cheap-increment policy as ChannelStats.
+     */
+    struct HostStats
+    {
+        std::uint64_t ticks = 0;     //!< controller tick() invocations
+        std::uint64_t arbPasses = 0; //!< per-queue arbitration passes
+        std::uint64_t issued = 0;    //!< ticks that issued a command
+        /** Sum over arbitration passes of banks-with-work (density =
+         *  workBanks / arbPasses: how much of the ready-bank bitmask
+         *  each FR-FCFS pass actually walks). */
+        std::uint64_t workBanks = 0;
+    };
+
+    const HostStats &hostStats() const { return hostStats_; }
+
   private:
     /** Sentinel index for intrusive lists and callback slots. */
     static constexpr std::uint32_t kNil = ~std::uint32_t{0};
@@ -268,6 +286,7 @@ class Channel
     static constexpr TimePs kStarvationAgePs = 2'000'000; // 2 us
 
     Stats stats_;
+    HostStats hostStats_;
 };
 
 } // namespace mempod

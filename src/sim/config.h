@@ -85,6 +85,16 @@ struct SimConfig
      */
     TracerConfig tracer;
 
+    /**
+     * Host-side self-profiling (`perf.enabled` dotted key): wall-clock
+     * phase scopes, PDES shard busy/stall accounting and a perf.json
+     * sidecar (common/perf.h). Host time is only ever *read* — it
+     * never feeds back into event scheduling — so enabling this
+     * cannot change any simulation output byte; when disabled the
+     * instrumented sites cost one branch on a null pointer.
+     */
+    bool perfEnabled = false;
+
     /** Paper Table 2: 1 GB HBM-1GHz + 8 GB DDR4-1600, 4 Pods. */
     static SimConfig paper(Mechanism m);
 

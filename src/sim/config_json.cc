@@ -242,6 +242,7 @@ fieldTable()
         MEMPOD_CONFIG_FIELD("tracer.enabled", tracer.enabled),
         MEMPOD_CONFIG_FIELD("tracer.sampleEvery", tracer.sampleEvery),
         MEMPOD_CONFIG_FIELD("tracer.seed", tracer.seed),
+        MEMPOD_CONFIG_FIELD("perf.enabled", perfEnabled),
     };
     return table;
 }

@@ -149,19 +149,35 @@ ParallelExecutor::workerLoop(unsigned shard)
     // Generation-counted barrier: every hand-off of lane state between
     // the coordinator and this worker goes through mu_, so phase
     // transitions are happens-before edges and the lanes themselves
-    // need no synchronization.
+    // need no synchronization. The same applies to the perf lanes:
+    // pm_ is read and this shard's accumulators are written only with
+    // mu_ held, so host profiling adds no new synchronization — and
+    // the stall/busy clock reads happen only when a monitor is
+    // attached (`pm` snapshot below), so a disabled run pays one
+    // pointer test per window.
     std::unique_lock<std::mutex> lk(mu_);
     std::uint64_t seen = 0;
     for (;;) {
+        // Snapshot pm_ so the stall start and end reads agree even if
+        // setPerf lands mid-wait (that first park is setup time, not a
+        // window barrier, and is deliberately not counted).
+        PerfMonitor *const pm = pm_;
+        const std::uint64_t stall0 = pm ? perfNowNs() : 0;
         cvWork_.wait(lk, [&] { return shutdown_ || gen_ != seen; });
+        if (pm)
+            pm->shard(shard).stallNs += perfNowNs() - stall0;
         if (shutdown_)
             return;
         seen = gen_;
         const EventKey bound = bound_;
         lk.unlock();
+        const std::uint64_t busy0 = pm ? perfNowNs() : 0;
         for (std::size_t i = shard; i < lanes_.size(); i += shards_)
             runLane(*lanes_[i], bound);
+        const std::uint64_t busy_ns = pm ? perfNowNs() - busy0 : 0;
         lk.lock();
+        if (pm)
+            pm->shard(shard).busyNs += busy_ns;
         if (--pending_ == 0)
             cvDone_.notify_one();
     }
@@ -201,6 +217,14 @@ ParallelExecutor::mergeOutboxes(TimePs window_end)
                 static_cast<unsigned long long>(e.key.when),
                 static_cast<unsigned long long>(window_end),
                 static_cast<unsigned long long>(lookahead_));
+            if (pm_) {
+                // How close the completion came to piercing the
+                // horizon; min over the run is the near-miss gauge.
+                const std::uint64_t slack = e.key.when - window_end;
+                slackHist_->sample(slack);
+                if (slack < minSlack_)
+                    minSlack_ = slack;
+            }
             coord_.admitForeign(EventQueue::kCoordinatorDomain, e.key,
                                 std::move(e.cb));
         }
@@ -369,6 +393,20 @@ ParallelExecutor::perDomainExecuted() const
     for (const auto &lane : lanes_)
         out.push_back(lane->q.executed());
     return out;
+}
+
+void
+ParallelExecutor::setPerf(PerfMonitor *pm)
+{
+    // Under mu_ so parked workers observe the pointer (and the sized
+    // shard lanes) at their next wakeup, never mid-window.
+    std::lock_guard<std::mutex> lk(mu_);
+    pm_ = pm;
+    slackHist_ = nullptr;
+    if (pm_ != nullptr) {
+        pm_->resizeShards(shards_);
+        slackHist_ = &pm_->histogram("exec.lookahead_slack_ps");
+    }
 }
 
 std::uint64_t

@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/perf.h"
 #include "common/tracer.h"
 #include "dram/channel.h"
 #include "mem/request.h"
@@ -146,6 +147,19 @@ class ParallelExecutor
     /** Events executed by worker shard `s` (its lanes summed). */
     std::uint64_t perShardExecuted(unsigned s) const;
 
+    /**
+     * Attach a host profiler. Host time flows one way — out — so the
+     * monitor cannot perturb event order; with none attached every
+     * instrumented site is one branch on a null pointer. Workers write
+     * only their own shard lane and every hand-off goes through mu_,
+     * so no extra synchronization is needed. Call before runWindow().
+     */
+    void setPerf(PerfMonitor *pm);
+
+    /** Smallest completion slack over the horizon seen so far, ps
+     *  (~0ull before the first merge). Perf-only near-miss gauge. */
+    std::uint64_t minHorizonSlackPs() const { return minSlack_; }
+
   private:
     /** One deferred coordinator -> channel enqueue. */
     struct Delivery
@@ -184,6 +198,10 @@ class ParallelExecutor
     TimePs samplePeriod_;
     std::function<bool()> drained_;
     std::unique_ptr<Tracer> coordStaging_;
+
+    PerfMonitor *pm_ = nullptr;
+    Log2Histogram *slackHist_ = nullptr; //!< resolved once in setPerf
+    std::uint64_t minSlack_ = ~std::uint64_t{0};
 
     bool finished_ = false;
     std::uint64_t windows_ = 0;

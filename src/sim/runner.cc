@@ -117,6 +117,14 @@ BatchRunner::execute(const BatchJob &job, std::size_t index)
                 StatsWriter::writeFile(opt_.traceDir + "/" + stem +
                                            ".trace.json",
                                        sim.tracer()->toJson());
+            if (const PerfReport *pr = sim.perfReport()) {
+                out.perf = *pr;
+                out.hasPerf = true;
+                if (!opt_.perfDir.empty())
+                    StatsWriter::writeFile(
+                        opt_.perfDir + "/" + stem + ".perf.json",
+                        StatsWriter::perfToJson(*pr));
+            }
             break;
           }
           case JobKind::kIntervalStudy:
@@ -152,6 +160,8 @@ BatchRunner::runAll()
         std::filesystem::create_directories(opt_.statsDir);
     if (!opt_.traceDir.empty())
         std::filesystem::create_directories(opt_.traceDir);
+    if (!opt_.perfDir.empty())
+        std::filesystem::create_directories(opt_.perfDir);
 
     // Stats files are numbered by overall submission order so repeated
     // runAll() batches on one runner never overwrite each other.
@@ -214,12 +224,17 @@ BatchRunner::runAll()
                                    ? r.workload
                                    : r.label + "/" + r.workload;
             if (r.ok) {
+                // Sim-time-per-wall-second: the rate the ROADMAP's
+                // raw-speed goal is steered by.
+                const double sim_ms =
+                    static_cast<double>(r.result.simulatedPs) / 1e9;
                 std::fprintf(
                     stream,
                     "[%3zu/%zu] %-28s wall %6.2fs  sim %8.3fms  "
-                    "ETA %4.0fs\n",
+                    "(%6.2f ms/s)  ETA %4.0fs\n",
                     done, jobs.size(), what.c_str(), r.wallSeconds,
-                    static_cast<double>(r.result.simulatedPs) / 1e9,
+                    sim_ms,
+                    r.wallSeconds > 0 ? sim_ms / r.wallSeconds : 0.0,
                     eta);
             } else {
                 std::fprintf(stream, "[%3zu/%zu] %-28s FAILED: %s\n",

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "analysis/interval_study.h"
+#include "common/perf.h"
 #include "sim/config.h"
 #include "sim/report.h"
 #include "trace/generator.h"
@@ -109,6 +110,10 @@ struct JobResult
     IntervalStudyResult study; //!< kIntervalStudy payload
 
     double wallSeconds = 0.0;
+
+    /** Host profile of the run; set when the job's config enabled it. */
+    bool hasPerf = false;
+    PerfReport perf;
 };
 
 /** Worker-pool knobs. */
@@ -142,6 +147,15 @@ struct RunnerOptions
      * the trace bytes identical at any worker count.
      */
     std::string traceDir;
+
+    /**
+     * When non-empty, every timing job whose config enabled the host
+     * profiler writes "<perfDir>/<same stem>.perf.json". Deliberately
+     * a separate directory from statsDir: perf sidecars carry wall
+     * times and are *not* byte-deterministic, and the CI determinism
+     * checks `diff -r` the stats/trace directories whole.
+     */
+    std::string perfDir;
 };
 
 /**

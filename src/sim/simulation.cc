@@ -21,6 +21,10 @@ Simulation::lookaheadPs(const SimConfig &config)
 
 Simulation::Simulation(const SimConfig &config) : config_(config)
 {
+    if (config_.perfEnabled)
+        perf_ = std::make_unique<PerfMonitor>();
+    PerfScope setup_scope(perf_.get(), "setup");
+
     config_.geom.validate();
     if (config_.shards > 0) {
         const std::size_t channels =
@@ -70,6 +74,9 @@ Simulation::Simulation(const SimConfig &config) : config_(config)
         [this](TimePs duration) { frontend_->suspendCores(duration); });
 
     registerAllMetrics();
+
+    if (exec_)
+        exec_->setPerf(perf_.get());
 }
 
 void
@@ -95,6 +102,7 @@ Simulation::~Simulation() = default;
 RunResult
 Simulation::run(const Trace &trace, const std::string &workload_name)
 {
+    PerfScope run_scope(perf_.get(), "run");
     frontend_->setTrace(trace);
     manager_->start();
     frontend_->start();
@@ -104,6 +112,41 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
     auto drained = [&] {
         return frontend_->done() && mem_->inFlight() == 0 &&
                manager_->pendingWork() == 0;
+    };
+    // Heartbeat progress lines (stderr; stdout stays byte-identical):
+    // a cheap countdown amortizes the wall-clock reads, then the
+    // monitor rate-limits actual printing to one line per 5 s.
+    constexpr std::uint64_t kHeartbeatStride = 4096;
+    std::uint64_t hb_countdown = kHeartbeatStride;
+    const auto heartbeat = [&] {
+        if (!perf_) // disabled: one branch per progress check
+            return;
+        if (--hb_countdown != 0)
+            return;
+        hb_countdown = kHeartbeatStride;
+        if (!perf_->heartbeatDue(5'000'000'000ull))
+            return;
+        const double wall =
+            static_cast<double>(perfNowNs() - perf_->startNs()) / 1e9;
+        const std::uint64_t events =
+            exec_ ? exec_->totalExecuted() : eq_.executed();
+        const std::uint64_t done_n = frontend_->completed();
+        const double frac =
+            trace.size() ? static_cast<double>(done_n) /
+                               static_cast<double>(trace.size())
+                         : 0.0;
+        const double sim_ms = static_cast<double>(eq_.now()) / 1e9;
+        std::fprintf(
+            stderr,
+            "[perf]%s%s sim %.3f ms | %llu/%zu demands | %.2f M ev/s | "
+            "%.2f ms sim/s | ETA %.0f s\n",
+            workload_name.empty() ? "" : " ",
+            workload_name.c_str(), sim_ms,
+            static_cast<unsigned long long>(done_n), trace.size(),
+            wall > 0 ? static_cast<double>(events) / wall / 1e6 : 0.0,
+            wall > 0 ? sim_ms / wall : 0.0,
+            frac > 0.0 ? wall * (1.0 - frac) / frac : 0.0);
+        std::fflush(stderr);
     };
     // Watchdog: recurring timers keep the queue non-empty forever, so
     // a stuck drain would otherwise spin silently. One simulated
@@ -123,6 +166,7 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
                          static_cast<unsigned long long>(
                              manager_->pendingWork()));
         }
+        heartbeat();
     };
     const auto panic_deadlock = [&] {
         MEMPOD_PANIC(
@@ -155,6 +199,9 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
     if (sampler_)
         sampler_->finalize(eq_.now());
     finalSnapshot_ = registry_.snapshot(eq_.now());
+    // "run" ends when the queue drains; derivation below is "report".
+    run_scope.close();
+    PerfScope report_scope(perf_.get(), "report");
 
     // The RunResult is *derived from the snapshot* so the registry
     // export and the printed tables can never disagree. Every gauge
@@ -243,7 +290,88 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
         }
         r.perCoreLatency.push_back(lp);
     }
+
+    report_scope.close();
+    collectPerf(r);
     return r;
+}
+
+void
+Simulation::collectPerf(const RunResult &r)
+{
+    if (!perf_)
+        return;
+    PerfMonitor &pm = *perf_;
+
+    // Timing-wheel mechanics, summed over the coordinator and (when
+    // sharded) every lane wheel. All deterministic sim-side counts.
+    const auto add_eq = [&pm](const EventQueue &q) {
+        const EventQueue::HostStats &h = q.hostStats();
+        for (unsigned l = 0; l < EventQueue::kWheels; ++l)
+            pm.counterAdd("eq.placed_level" + std::to_string(l),
+                          h.placedAtLevel[l]);
+        pm.counterAdd("eq.front_spills", h.frontSpills);
+        pm.counterAdd("eq.drain_inserts", h.drainInserts);
+        pm.counterAdd("eq.list_allocs", h.listAllocs);
+        pm.counterAdd("eq.list_reuses", h.listReuses);
+        pm.counterMax("eq.peak_pending", h.peakPending);
+        pm.counterAdd("eq.cascades", q.cascades());
+        pm.counterAdd("eq.ladder_deferred", q.ladderDeferred());
+    };
+    add_eq(eq_);
+    if (exec_) {
+        for (std::size_t i = 0; i < exec_->numLanes(); ++i)
+            add_eq(exec_->channelQueue(i));
+        const std::vector<std::uint64_t> dom = exec_->perDomainExecuted();
+        for (std::size_t d = 0; d < dom.size(); ++d)
+            pm.counterAdd("eq.domain" + std::to_string(d) + ".executed",
+                          dom[d]);
+    } else {
+        pm.counterAdd("eq.domain0.executed", eq_.executed());
+    }
+    // FR-FCFS arbiter density across every channel controller.
+    std::uint64_t ticks = 0, arb = 0, issued = 0, work_banks = 0;
+    for (std::size_t ch = 0; ch < mem_->numChannels(); ++ch) {
+        const Channel::HostStats &h = mem_->channel(ch).hostStats();
+        ticks += h.ticks;
+        arb += h.arbPasses;
+        issued += h.issued;
+        work_banks += h.workBanks;
+    }
+    pm.counterAdd("channel.ticks", ticks);
+    pm.counterAdd("channel.arb_passes", arb);
+    pm.counterAdd("channel.issued", issued);
+    pm.gaugeSet("channel.work_bank_density",
+                arb ? static_cast<double>(work_banks) /
+                          static_cast<double>(arb)
+                    : 0.0);
+
+    // Executor health: shard event ledger, horizon near-miss, and the
+    // work-imbalance ratio (busiest shard / mean).
+    if (exec_) {
+        std::uint64_t max_ev = 0, sum_ev = 0;
+        for (unsigned s = 0; s < exec_->shards(); ++s) {
+            const std::uint64_t ev = exec_->perShardExecuted(s);
+            pm.shard(s).events = ev;
+            max_ev = std::max(max_ev, ev);
+            sum_ev += ev;
+        }
+        const double mean =
+            static_cast<double>(sum_ev) /
+            static_cast<double>(std::max(1u, exec_->shards()));
+        pm.gaugeSet("exec.work_imbalance",
+                    mean > 0 ? static_cast<double>(max_ev) / mean : 0.0);
+        const std::uint64_t slack = exec_->minHorizonSlackPs();
+        pm.gaugeSet("exec.horizon_min_slack_ps",
+                    slack == ~std::uint64_t{0}
+                        ? 0.0
+                        : static_cast<double>(slack));
+        pm.counterAdd("exec.sampler_syncs", exec_->samplerSyncs());
+    }
+
+    perfReport_ = pm.report(r.simulatedPs, r.eventsExecuted);
+    perfReport_.windows = exec_ ? exec_->windows() : 0;
+    havePerfReport_ = true;
 }
 
 RunResult

@@ -12,6 +12,7 @@
 
 #include "common/event_queue.h"
 #include "common/metrics.h"
+#include "common/perf.h"
 #include "common/tracer.h"
 #include "mem/frontend.h"
 #include "mem/manager.h"
@@ -58,6 +59,21 @@ class Simulation
     /** PDES executor, or nullptr when config.shards == 0 (serial). */
     const ParallelExecutor *executor() const { return exec_.get(); }
 
+    /** Host profiler, or nullptr when config.perfEnabled is false. */
+    PerfMonitor *perf() { return perf_.get(); }
+
+    /**
+     * Host profile of the last run(), or nullptr before the first run
+     * or when profiling is disabled. Wall times/RSS here are host
+     * facts — everything simulation-visible stays byte-identical
+     * whether or not this exists.
+     */
+    const PerfReport *
+    perfReport() const
+    {
+        return havePerfReport_ ? &perfReport_ : nullptr;
+    }
+
     /**
      * The static lookahead a sharded run of `config` synchronizes at:
      * the minimum channel->coordinator completion delay, min over the
@@ -68,9 +84,12 @@ class Simulation
 
   private:
     void registerAllMetrics();
+    /** Fold every layer's host counters into perfReport_ after run(). */
+    void collectPerf(const RunResult &r);
 
     SimConfig config_;
     EventQueue eq_;
+    std::unique_ptr<PerfMonitor> perf_;
     std::unique_ptr<Tracer> tracer_;
     // Declared before mem_: the channels hold references to the
     // executor's per-lane queues, so the executor must be destroyed
@@ -83,6 +102,8 @@ class Simulation
     MetricRegistry registry_;
     std::unique_ptr<IntervalSampler> sampler_;
     MetricSnapshot finalSnapshot_;
+    PerfReport perfReport_;
+    bool havePerfReport_ = false;
 };
 
 /** Convenience: build + run in one call. */

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include <unistd.h>
+
 namespace mempod {
 
 namespace {
@@ -329,18 +331,118 @@ StatsWriter::jobFileStem(std::size_t index, const std::string &label,
     return stem;
 }
 
+std::string
+StatsWriter::perfToJson(const PerfReport &r)
+{
+    const PerfHostInfo host = perfHostInfo();
+    std::string out;
+    out.reserve(4 * 1024);
+    out += "{\n  ";
+    appendKeyString(out, "schema", "mempod-perf-v1");
+    out += ",\n  \"host\": {";
+    appendKeyString(out, "sysname", host.sysname);
+    out += ',';
+    appendKeyString(out, "machine", host.machine);
+    out += ',';
+    appendKeyU64(out, "cpus", host.cpus);
+    out += "},\n  ";
+    appendKeyDouble(out, "wall_seconds", r.wallSeconds);
+    out += ",\n  ";
+    appendKeyU64(out, "max_rss_kib", r.maxRssKib);
+    out += ",\n  ";
+    appendKeyU64(out, "sim_time_ps", r.simTimePs);
+    out += ",\n  ";
+    appendKeyU64(out, "events_executed", r.eventsExecuted);
+    out += ",\n  ";
+    appendKeyDouble(out, "events_per_second", r.eventsPerSecond);
+    out += ",\n  ";
+    appendKeyU64(out, "windows", r.windows);
+    out += ",\n  \"phases_ns\": {";
+    bool first = true;
+    for (const auto &[name, ns] : r.phasesNs) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += jsonEscape(name);
+        out += "\":";
+        appendU64(out, ns);
+    }
+    out += "},\n  \"counters\": {";
+    first = true;
+    for (const auto &[name, v] : r.counters) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += jsonEscape(name);
+        out += "\":";
+        appendU64(out, v);
+    }
+    out += "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, v] : r.gauges) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += jsonEscape(name);
+        out += "\":";
+        out += formatDouble(v);
+    }
+    out += "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, buckets] : r.histograms) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += jsonEscape(name);
+        out += "\":";
+        appendBuckets(out, buckets);
+    }
+    out += "},\n  \"shards\": [";
+    for (std::size_t s = 0; s < r.shards.size(); ++s) {
+        if (s)
+            out += ',';
+        out += '{';
+        appendKeyU64(out, "busy_ns", r.shards[s].busyNs);
+        out += ',';
+        appendKeyU64(out, "stall_ns", r.shards[s].stallNs);
+        out += ',';
+        appendKeyU64(out, "events", r.shards[s].events);
+        out += '}';
+    }
+    out += "]\n}\n";
+    return out;
+}
+
 void
 StatsWriter::writeFile(const std::string &path,
                        const std::string &content)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
+    // Temp-then-rename in the same directory: rename(2) is atomic on
+    // POSIX when source and target share a filesystem, so a crash at
+    // any point leaves either the previous file or the complete new
+    // one. The pid keeps concurrent writers of *different* paths in
+    // one directory from colliding on the temp name.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
-        throw std::runtime_error("cannot open stats file: " + path);
+        throw std::runtime_error("cannot open stats file: " + tmp);
     const std::size_t n =
         std::fwrite(content.data(), 1, content.size(), f);
     const bool write_ok = n == content.size();
-    if (std::fclose(f) != 0 || !write_ok)
-        throw std::runtime_error("short write on stats file: " + path);
+    if (std::fclose(f) != 0 || !write_ok) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("short write on stats file: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot rename stats file into place: " +
+                                 path);
+    }
 }
 
 } // namespace mempod

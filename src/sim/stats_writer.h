@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/perf.h"
 #include "sim/report.h"
 
 namespace mempod {
@@ -59,7 +60,22 @@ class StatsWriter
                                    const std::string &label,
                                    const std::string &workload);
 
-    /** Write `content` to `path`; throws std::runtime_error on error. */
+    /**
+     * Host-profile sidecar document ("mempod-perf-v1"): wall/RSS/rate
+     * header, phase wall times, host counters/gauges/histograms and
+     * the per-shard busy/stall ledger. Host facts only — this file is
+     * intentionally *not* deterministic, which is why it lives beside
+     * (never inside) the stats directory CI byte-compares.
+     */
+    static std::string perfToJson(const PerfReport &r);
+
+    /**
+     * Write `content` to `path`; throws std::runtime_error on error.
+     * Crash-safe: the bytes go to a temp file in the target directory
+     * which is atomically renamed over `path`, so a killed run leaves
+     * either the old file or the complete new one — never a truncated
+     * JSON document.
+     */
     static void writeFile(const std::string &path,
                           const std::string &content);
 };

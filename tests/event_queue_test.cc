@@ -264,6 +264,85 @@ TEST(EventQueueWheel, StressMatchesStableSortReference)
         EXPECT_EQ(ran[i], expected[i].second) << "at position " << i;
 }
 
+// ---- host-profiler counters: deterministic, pinned per schedule ----
+
+TEST(EventQueueHostStats, PlacementLevelsPinned)
+{
+    // With the cursor at tick 0, each delta selects a known level:
+    //   1'000 ps, 50'000 ps         -> wheel 0   (tick < 256)
+    //   100'000 ps                  -> wheel 1
+    //   1 << 25 ps                  -> wheel 2
+    //   1 << 33 ps                  -> wheel 3
+    //   1 << 41 ps                  -> overflow ladder
+    // The counters are pure functions of this schedule — perf on or
+    // off, serial or sharded — so exact pins are safe.
+    EventQueue eq;
+    for (const TimePs when :
+         {TimePs{1'000}, TimePs{50'000}, TimePs{100'000},
+          TimePs{1} << 25, TimePs{1} << 33, TimePs{1} << 41})
+        eq.schedule(when, [] {});
+    const EventQueue::HostStats &hs = eq.hostStats();
+    EXPECT_EQ(hs.placedAtLevel[0], 2u);
+    EXPECT_EQ(hs.placedAtLevel[1], 1u);
+    EXPECT_EQ(hs.placedAtLevel[2], 1u);
+    EXPECT_EQ(hs.placedAtLevel[3], 1u);
+    EXPECT_EQ(eq.ladderDeferred(), 1u);
+    EXPECT_EQ(hs.peakPending, 6u);
+    EXPECT_EQ(hs.frontSpills, 0u);
+    EXPECT_EQ(hs.drainInserts, 0u);
+    eq.runAll();
+    EXPECT_EQ(eq.executed(), 6u);
+    EXPECT_EQ(eq.hostStats().peakPending, 6u); // high-water, not size
+}
+
+TEST(EventQueueHostStats, DrainInsertCounted)
+{
+    // Two events share wheel-0 slot tick 3 (1000 and 1010 ps); the
+    // first schedules a third at its own timestamp while the slot is
+    // mid-drain, which must splice into the draining slot.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(1'000, [&] {
+        order.push_back(1);
+        eq.schedule(eq.now(), [&] { order.push_back(2); });
+    });
+    eq.schedule(1'010, [&] { order.push_back(3); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.hostStats().drainInserts, 1u);
+    EXPECT_EQ(eq.hostStats().frontSpills, 0u);
+}
+
+TEST(EventQueueHostStats, FrontSpillCounted)
+{
+    // nextTime() on a wheel-1-only queue cascades the cursor forward;
+    // a subsequent schedule behind the cursor must spill to the sorted
+    // front list (and still execute first).
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100'000, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.nextTime(), 100'000u);
+    eq.schedule(2'000, [&] { order.push_back(1); });
+    EXPECT_EQ(eq.hostStats().frontSpills, 1u);
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueHostStats, SlotListsRecycled)
+{
+    // The first slot ever opened allocates; after it drains, the next
+    // slot reuses the pooled vector instead of allocating again.
+    EventQueue eq;
+    eq.schedule(1'000, [] {});
+    eq.runAll();
+    EXPECT_EQ(eq.hostStats().listAllocs, 1u);
+    eq.schedule(100'000, [] {}); // fresh wheel-1 slot
+    EXPECT_EQ(eq.hostStats().listAllocs, 1u);
+    EXPECT_EQ(eq.hostStats().listReuses, 1u);
+    eq.runAll();
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
 // ---------------------------------------------------------------------
 // Canonical cross-domain ordering (the sharded-executor surface):
 // events carried between per-domain wheels must land in the one total

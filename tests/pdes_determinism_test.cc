@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/runner.h"
 #include "sim/simulation.h"
 #include "trace/workloads.h"
 
@@ -174,6 +175,44 @@ TEST(PdesDeterminism, TraceBytesIdentical)
         const RunCapture sharded = runAt(cfg, trace, shards);
         EXPECT_EQ(serial.traceJson, sharded.traceJson)
             << "trace bytes diverge at shards=" << shards;
+    }
+}
+
+TEST(PdesDeterminism, PerfMonitorDoesNotPerturbOutput)
+{
+    // The host profiler reads wall clocks, but its numbers must never
+    // flow back into simulated state: with tracing and the sampler
+    // both on, a perf-enabled run must reproduce a perf-disabled run
+    // byte for byte — serialized result, every snapshot metric, the
+    // rendered trace JSON and every sampler interval — at any shard
+    // count.
+    SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
+    cfg.tracer.enabled = true;
+    cfg.tracer.sampleEvery = 4;
+    cfg.tracer.seed = 7;
+    cfg.statsIntervalPs = 25'000'000;
+    const Trace trace = makeTrace("mix5", 7);
+    for (unsigned shards : {0u, 4u}) {
+        const RunCapture off = runAt(cfg, trace, shards);
+        SimConfig on_cfg = cfg;
+        on_cfg.perfEnabled = true;
+        const RunCapture on = runAt(on_cfg, trace, shards);
+        const std::string label =
+            "perf on/off shards=" + std::to_string(shards);
+        EXPECT_EQ(serializeRunResult(off.result),
+                  serializeRunResult(on.result))
+            << label;
+        expectSnapshotsEqual(off.snapshot, on.snapshot, label);
+        EXPECT_EQ(off.traceJson, on.traceJson) << label;
+        ASSERT_EQ(off.intervals.size(), on.intervals.size()) << label;
+        for (std::size_t i = 0; i < off.intervals.size(); ++i) {
+            EXPECT_EQ(off.intervals[i].startPs, on.intervals[i].startPs);
+            EXPECT_EQ(off.intervals[i].endPs, on.intervals[i].endPs);
+            expectSnapshotsEqual(off.intervals[i].delta,
+                                 on.intervals[i].delta,
+                                 label + " interval " +
+                                     std::to_string(i));
+        }
     }
 }
 

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Host-profile utility for the perf sidecars this repo emits
+ * (perf.json per job, BENCH_<name>.json per harness run):
+ *
+ *   perf_tool summary FILE...
+ *       Flatten every numeric leaf to a dotted path and print an
+ *       aligned table — a quick way to eyeball one run, or several
+ *       side by side.
+ *
+ *   perf_tool diff BASE CURRENT [--threshold-pct P] [--warn-only]
+ *       Compare two sidecars and flag regressions on the tracked
+ *       metrics: any `events_per_second` leaf dropping, or any
+ *       wall-time leaf (wall_seconds*, wall_ms) rising, by more than
+ *       the threshold (default 25%). Exits 1 on regression unless
+ *       --warn-only (the CI perf-smoke job runs warn-only: shared
+ *       runners are too noisy for a hard gate, but the deltas still
+ *       land in the log).
+ *
+ * The parser below is a minimal recursive-descent JSON reader that
+ * keeps only numeric leaves. It handles exactly the JSON this repo
+ * writes (objects, arrays, numbers, strings, bools, null) — no
+ * surrogate-pair escapes, no arbitrary-precision numbers.
+ */
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/** Numeric leaves of one JSON document, keyed by dotted path. */
+using FlatDoc = std::map<std::string, double>;
+
+/**
+ * Recursive-descent reader over `s` starting at `at`. Object members
+ * extend the path with ".key", array elements with "[i]"; numeric
+ * leaves land in `out`, everything else is parsed and dropped.
+ */
+class FlatParser
+{
+  public:
+    FlatParser(const std::string &s, FlatDoc &out) : s_(s), out_(out) {}
+
+    bool
+    parse()
+    {
+        skipWs();
+        if (!value(""))
+            return false;
+        skipWs();
+        return at_ == s_.size();
+    }
+
+    std::size_t errorAt() const { return at_; }
+
+  private:
+    void
+    skipWs()
+    {
+        while (at_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[at_])))
+            ++at_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s_.compare(at_, n, word) != 0)
+            return false;
+        at_ += n;
+        return true;
+    }
+
+    /** Parse a string token; returns false on malformed input. */
+    bool
+    stringToken(std::string &out)
+    {
+        if (at_ >= s_.size() || s_[at_] != '"')
+            return false;
+        ++at_;
+        out.clear();
+        while (at_ < s_.size() && s_[at_] != '"') {
+            char c = s_[at_++];
+            if (c == '\\' && at_ < s_.size()) {
+                const char esc = s_[at_++];
+                switch (esc) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'u':
+                    // Skip the 4 hex digits; keep a placeholder. The
+                    // sidecars never escape anything but quotes and
+                    // backslashes, so fidelity here doesn't matter.
+                    at_ = std::min(at_ + 4, s_.size());
+                    c = '?';
+                    break;
+                default: c = esc; break;
+                }
+            }
+            out.push_back(c);
+        }
+        if (at_ >= s_.size())
+            return false;
+        ++at_; // closing quote
+        return true;
+    }
+
+    bool
+    value(const std::string &path)
+    {
+        skipWs();
+        if (at_ >= s_.size())
+            return false;
+        const char c = s_[at_];
+        if (c == '{')
+            return object(path);
+        if (c == '[')
+            return array(path);
+        if (c == '"') {
+            std::string ignored;
+            return stringToken(ignored);
+        }
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        // Number.
+        char *end = nullptr;
+        const double v = std::strtod(s_.c_str() + at_, &end);
+        if (end == s_.c_str() + at_)
+            return false;
+        at_ = static_cast<std::size_t>(end - s_.c_str());
+        if (!path.empty())
+            out_[path] = v;
+        return true;
+    }
+
+    bool
+    object(const std::string &path)
+    {
+        ++at_; // '{'
+        skipWs();
+        if (at_ < s_.size() && s_[at_] == '}') {
+            ++at_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!stringToken(key))
+                return false;
+            skipWs();
+            if (at_ >= s_.size() || s_[at_] != ':')
+                return false;
+            ++at_;
+            if (!value(path.empty() ? key : path + "." + key))
+                return false;
+            skipWs();
+            if (at_ < s_.size() && s_[at_] == ',') {
+                ++at_;
+                continue;
+            }
+            if (at_ < s_.size() && s_[at_] == '}') {
+                ++at_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array(const std::string &path)
+    {
+        ++at_; // '['
+        skipWs();
+        if (at_ < s_.size() && s_[at_] == ']') {
+            ++at_;
+            return true;
+        }
+        std::size_t i = 0;
+        while (true) {
+            if (!value(path + "[" + std::to_string(i++) + "]"))
+                return false;
+            skipWs();
+            if (at_ < s_.size() && s_[at_] == ',') {
+                ++at_;
+                continue;
+            }
+            if (at_ < s_.size() && s_[at_] == ']') {
+                ++at_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    FlatDoc &out_;
+    std::size_t at_ = 0;
+};
+
+/** Load and flatten one sidecar; exits(2) with context on failure. */
+FlatDoc
+loadFlat(const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "perf_tool: cannot open '%s'\n", path);
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    FlatDoc doc;
+    FlatParser p(text, doc);
+    if (!p.parse()) {
+        std::fprintf(stderr,
+                     "perf_tool: '%s' is not valid JSON (error near "
+                     "byte %zu)\n",
+                     path, p.errorAt());
+        std::exit(2);
+    }
+    return doc;
+}
+
+/** Compact numeric rendering: integers plain, else 6 significant. */
+std::string
+num(double v)
+{
+    char buf[64];
+    if (std::fabs(v) < 1e15 && v == std::floor(v))
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    else
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+int
+cmdSummary(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: perf_tool summary FILE...\n");
+        return 2;
+    }
+    // Union of keys across all files, one column per file.
+    std::vector<FlatDoc> docs;
+    std::map<std::string, bool> keys;
+    for (int i = 2; i < argc; ++i) {
+        docs.push_back(loadFlat(argv[i]));
+        for (const auto &[k, v] : docs.back())
+            keys[k] = true;
+    }
+
+    std::size_t keyw = std::strlen("metric");
+    for (const auto &[k, unused] : keys)
+        keyw = std::max(keyw, k.size());
+
+    std::printf("%-*s", static_cast<int>(keyw), "metric");
+    for (int i = 2; i < argc; ++i)
+        std::printf("  %18s", argv[i]);
+    std::printf("\n");
+    for (const auto &[k, unused] : keys) {
+        std::printf("%-*s", static_cast<int>(keyw), k.c_str());
+        for (const FlatDoc &d : docs) {
+            const auto it = d.find(k);
+            std::printf("  %18s",
+                        it == d.end() ? "-" : num(it->second).c_str());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+/**
+ * Regression direction for a tracked metric: +1 when higher is worse
+ * (wall time), -1 when lower is worse (throughput), 0 = not tracked.
+ */
+int
+trackedDirection(const std::string &key)
+{
+    // Leaf name = last dotted component, minus any [i] suffix.
+    std::size_t end = key.size();
+    if (end && key[end - 1] == ']') {
+        const std::size_t open = key.rfind('[');
+        if (open != std::string::npos)
+            end = open;
+    }
+    const std::size_t dot = key.rfind('.', end ? end - 1 : 0);
+    const std::string leaf =
+        key.substr(dot == std::string::npos ? 0 : dot + 1,
+                   end - (dot == std::string::npos ? 0 : dot + 1));
+    if (leaf == "events_per_second")
+        return -1;
+    if (leaf == "wall_seconds" || leaf == "wall_ms" || leaf == "median" ||
+        leaf == "p90") {
+        // median/p90 only count when they hang off a wall_seconds
+        // object (BENCH schema); bare p10 is noise-dominated.
+        if (leaf == "median" || leaf == "p90")
+            return key.find("wall_seconds") != std::string::npos ? +1
+                                                                 : 0;
+        return +1;
+    }
+    return 0;
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    double threshold_pct = 25.0;
+    bool warn_only = false;
+    std::vector<const char *> files;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--threshold-pct") && i + 1 < argc) {
+            threshold_pct = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(argv[i], "--warn-only")) {
+            warn_only = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "perf_tool diff: unknown flag '%s'\n",
+                         argv[i]);
+            return 2;
+        } else {
+            files.push_back(argv[i]);
+        }
+    }
+    if (files.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: perf_tool diff BASE CURRENT "
+                     "[--threshold-pct P] [--warn-only]\n");
+        return 2;
+    }
+    const FlatDoc base = loadFlat(files[0]);
+    const FlatDoc cur = loadFlat(files[1]);
+
+    int regressions = 0, improvements = 0, compared = 0;
+    std::printf("%-44s %16s %16s %9s\n", "tracked metric", "base",
+                "current", "delta");
+    for (const auto &[key, bval] : base) {
+        const int dir = trackedDirection(key);
+        if (dir == 0)
+            continue;
+        const auto it = cur.find(key);
+        if (it == cur.end())
+            continue;
+        const double cval = it->second;
+        if (bval == 0.0)
+            continue; // no baseline signal
+        ++compared;
+        const double pct = 100.0 * (cval - bval) / bval;
+        // Positive `worse` = regression in this metric's direction.
+        const double worse = pct * dir;
+        const char *mark = "";
+        if (worse > threshold_pct) {
+            mark = "  REGRESSION";
+            ++regressions;
+        } else if (worse < -threshold_pct) {
+            mark = "  improved";
+            ++improvements;
+        }
+        std::printf("%-44s %16s %16s %+8.1f%%%s\n", key.c_str(),
+                    num(bval).c_str(), num(cval).c_str(), pct, mark);
+    }
+    std::printf("\n%d tracked metrics compared: %d regression(s), %d "
+                "improvement(s) beyond %.1f%%\n",
+                compared, regressions, improvements, threshold_pct);
+    if (regressions && warn_only)
+        std::printf("warn-only: not failing the run.\n");
+    return (regressions && !warn_only) ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: perf_tool summary FILE... | perf_tool diff "
+                     "BASE CURRENT [--threshold-pct P] [--warn-only]\n");
+        return 2;
+    }
+    if (!std::strcmp(argv[1], "summary"))
+        return cmdSummary(argc, argv);
+    if (!std::strcmp(argv[1], "diff"))
+        return cmdDiff(argc, argv);
+    std::fprintf(stderr, "perf_tool: unknown subcommand '%s'\n",
+                 argv[1]);
+    return 2;
+}

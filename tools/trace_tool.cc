@@ -7,7 +7,11 @@
  * Usage:
  *   trace_tool gen     <workload> <file.bin> [requests] [seed]
  *   trace_tool info    <file.bin>
- *   trace_tool summary <file.trace.json> [topk]
+ *   trace_tool summary <file.trace.json> [topk] [--json]
+ *
+ * `summary --json` replaces the human tables with one machine-readable
+ * JSON object (event counts, span totals, top-k longest spans) so
+ * scripts and CI can digest a trace without scraping table output.
  */
 #include <algorithm>
 #include <cstdio>
@@ -126,16 +130,24 @@ jsonNumber(const std::string &line, const char *key)
 int
 cmdSummary(int argc, char **argv)
 {
-    if (argc < 3) {
+    bool as_json = false;
+    std::vector<const char *> pos;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json"))
+            as_json = true;
+        else
+            pos.push_back(argv[i]);
+    }
+    if (pos.empty()) {
         std::fprintf(stderr, "usage: trace_tool summary "
-                             "<file.trace.json> [topk]\n");
+                             "<file.trace.json> [topk] [--json]\n");
         return 2;
     }
     const std::size_t topk =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
-    std::ifstream in(argv[2]);
+        pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : 10;
+    std::ifstream in(pos[0]);
     if (!in) {
-        std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
+        std::fprintf(stderr, "cannot open '%s'\n", pos[0]);
         return 2;
     }
 
@@ -185,6 +197,66 @@ cmdSummary(int argc, char **argv)
             else if (name == "blocked")
                 blocked.push_back(s);
         }
+    }
+
+    if (as_json) {
+        auto byDur = [](const Span &a, const Span &b) {
+            return a.durUs() > b.durUs();
+        };
+        std::sort(demands.begin(), demands.end(), byDur);
+        std::sort(migrations.begin(), migrations.end(), byDur);
+        auto totalUs = [](const std::vector<Span> &v) {
+            double t = 0;
+            for (const Span &s : v)
+                t += s.durUs();
+            return t;
+        };
+        auto spanArray = [topk](const std::vector<Span> &v) {
+            std::string out = "[";
+            for (std::size_t i = 0; i < std::min(topk, v.size()); ++i) {
+                char buf[160];
+                std::snprintf(buf, sizeof buf,
+                              "%s{\"id\":\"%s\",\"begin_us\":%.3f,"
+                              "\"dur_us\":%.3f}",
+                              i ? "," : "", v[i].id.c_str(),
+                              v[i].beginUs, v[i].durUs());
+                out += buf;
+            }
+            return out + "]";
+        };
+        std::printf("{\"schema\":\"mempod-trace-summary-v1\",");
+        std::printf("\"events\":%llu,\"unmatched_ends\":%llu,"
+                    "\"open_spans\":%zu,",
+                    static_cast<unsigned long long>(events),
+                    static_cast<unsigned long long>(unmatched),
+                    open.size());
+        std::printf("\"counts\":{");
+        bool first = true;
+        for (const auto &[k, n] : counts) {
+            std::printf("%s\"%s\":%llu", first ? "" : ",", k.c_str(),
+                        static_cast<unsigned long long>(n));
+            first = false;
+        }
+        std::printf("},\"markers\":{");
+        first = true;
+        for (const auto &[k, n] : instants) {
+            std::printf("%s\"%s\":%llu", first ? "" : ",", k.c_str(),
+                        static_cast<unsigned long long>(n));
+            first = false;
+        }
+        std::printf("},");
+        std::printf("\"demands\":{\"complete\":%zu,\"total_us\":%.3f,"
+                    "\"top\":%s},",
+                    demands.size(), totalUs(demands),
+                    spanArray(demands).c_str());
+        std::printf("\"migrations\":{\"complete\":%zu,"
+                    "\"total_us\":%.3f,\"top\":%s},",
+                    migrations.size(), totalUs(migrations),
+                    spanArray(migrations).c_str());
+        std::printf("\"blocked\":{\"complete\":%zu,\"total_us\":%.3f}",
+                    blocked.size(), totalUs(blocked));
+        std::printf("}\n");
+        return 0;
     }
 
     std::printf("events: %llu  (unmatched async ends: %llu, "
