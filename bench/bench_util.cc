@@ -169,6 +169,16 @@ parseOptions(int argc, char **argv, const char *what)
                 std::exit(2);
             }
             opt.perf = true; // a sidecar dir implies profiling
+        } else if (arg == "--decisions-out") {
+            opt.decisionsOut = next();
+            if (opt.decisionsOut.empty()) {
+                std::fprintf(stderr,
+                             "%s: --decisions-out needs a directory\n",
+                             what);
+                std::exit(2);
+            }
+        } else if (arg == "--paranoid") {
+            opt.paranoid = true;
         } else if (arg == "--bench-out") {
             opt.benchOut = next();
             if (opt.benchOut.empty()) {
@@ -186,6 +196,7 @@ parseOptions(int argc, char **argv, const char *what)
                 " --jobs N | --shards N | --workloads a,b,c |"
                 " --stats-out DIR | --interval-us N | --trace-out DIR |"
                 " --trace-sample N | --perf | --perf-out DIR |"
+                " --decisions-out DIR | --paranoid |"
                 " --bench-out DIR | --list-workloads\n",
                 what);
             std::exit(0);
@@ -203,6 +214,8 @@ parseOptions(int argc, char **argv, const char *what)
         ensureWritableDir(opt.traceOut, "--trace-out", what);
     if (!opt.perfOut.empty())
         ensureWritableDir(opt.perfOut, "--perf-out", what);
+    if (!opt.decisionsOut.empty())
+        ensureWritableDir(opt.decisionsOut, "--decisions-out", what);
     if (opt.benchOut != ".")
         ensureWritableDir(opt.benchOut, "--bench-out", what);
     return opt;
@@ -292,6 +305,7 @@ runnerOptions(const Options &opt)
     ro.statsDir = opt.statsOut;
     ro.traceDir = opt.traceOut;
     ro.perfDir = opt.perfOut;
+    ro.decisionsDir = opt.decisionsOut;
     return ro;
 }
 
@@ -308,6 +322,7 @@ timingJob(const SimConfig &config, const std::string &workload,
     job.config.tracer.sampleEvery = opt.traceSample;
     job.config.tracer.seed = opt.seed;
     job.config.perfEnabled = opt.perf;
+    job.config.validateParanoid = opt.paranoid;
     job.workload = workload;
     job.gen.totalRequests = opt.timingRequests();
     job.gen.seed = opt.seed;

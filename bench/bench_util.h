@@ -19,6 +19,11 @@
  *                    50, the migration epoch; 0 = summary JSON only)
  *   --trace-out DIR  write per-job Chrome trace-event JSON (Perfetto)
  *   --trace-sample N trace 1 in N demand requests (default 64)
+ *   --decisions-out DIR  write per-job migration decision ledgers
+ *                    ("mempod-decisions-v1" JSONL); deterministic at
+ *                    any --jobs/--shards, safe to diff -r
+ *   --paranoid       deep invariant scans every epoch (O(pages) remap
+ *                    walks); for CI smokes, not perf runs
  *
  * Results are identical at any --jobs value (same seed => same
  * numbers); only wall-clock time changes. Both output directories are
@@ -56,6 +61,8 @@ struct Options
     std::uint64_t traceSample = 64; //!< trace 1 in N demand requests
     bool perf = false;      //!< host profiling + one-page table (stderr)
     std::string perfOut;    //!< perf.json sidecar dir; implies perf
+    std::string decisionsOut; //!< decision-ledger dir; empty = no export
+    bool paranoid = false;  //!< deep invariant scans every epoch
     std::string benchOut = "."; //!< where BENCH_<name>.json lands
 
     /**

@@ -101,6 +101,9 @@ CameoManager::proceed(Demand d)
 
     std::uint64_t &st = groupState(group);
     const std::uint32_t slot = unpackSlot(st, member);
+    if (decisions_)
+        decisions_->noteAccess(DecisionLog::kNoPod, line, slot == 0,
+                               eq_.now());
 
     Request req;
     req.addr =
@@ -142,6 +145,14 @@ CameoManager::scheduleSwap(std::uint64_t group, std::uint32_t member)
     }
     MEMPOD_ASSERT(occupant != member, "swap of fast-resident line");
     busyGroups_.insert(group);
+    // CAMEO is event-triggered: a single slow access is the whole
+    // activity evidence, so the tracked count is 1.
+    const std::uint64_t decision =
+        decisions_ ? decisions_->record(DecisionLog::kNoPod,
+                                        lineAt(group, member),
+                                        lineAt(group, occupant),
+                                        /*trackerCount=*/1, eq_.now())
+                   : DecisionLog::kNoId;
 
     std::uint64_t flow = 0;
     if (Tracer *tr = eq_.tracer()) {
@@ -175,7 +186,8 @@ CameoManager::scheduleSwap(std::uint64_t group, std::uint32_t member)
             proceed(std::move(d));
         }
     };
-    op.onCommit = [this, group, member, occupant, release, flow] {
+    op.onCommit = [this, group, member, occupant, release, flow,
+                   decision] {
         std::uint64_t &s = groupState(group);
         if ((s & kMigratedFlag) && !(s & kUsedFlag))
             ++mstats_.wastedMigrations; // evicted before ever touched
@@ -187,6 +199,8 @@ CameoManager::scheduleSwap(std::uint64_t group, std::uint32_t member)
         s &= ~kUsedFlag;
         ++mstats_.migrations;
         mstats_.bytesMoved += 2 * kLineBytes;
+        if (decision != DecisionLog::kNoId)
+            decisions_->commit(decision, eq_.now());
         if (flow != 0) {
             if (Tracer *tr = eq_.tracer()) {
                 const std::uint32_t tid = tr->track("cameo");
@@ -197,7 +211,9 @@ CameoManager::scheduleSwap(std::uint64_t group, std::uint32_t member)
         }
         release();
     };
-    op.onAbort = [this, release, flow] {
+    op.onAbort = [this, release, flow, decision] {
+        if (decision != DecisionLog::kNoId)
+            decisions_->abort(decision, eq_.now());
         if (flow != 0) {
             if (Tracer *tr = eq_.tracer()) {
                 const std::uint32_t tid = tr->track("cameo");
@@ -209,6 +225,33 @@ CameoManager::scheduleSwap(std::uint64_t group, std::uint32_t member)
         release();
     };
     engine_.submit(std::move(op));
+}
+
+void
+CameoManager::validateInvariants(bool paranoid) const
+{
+    if (mstats_.migrations != engine_.stats().opsCommitted)
+        MEMPOD_PANIC(
+            "invariant violated [cameo_migration_conservation]: "
+            "counted %llu migrations but the engine committed %llu",
+            static_cast<unsigned long long>(mstats_.migrations),
+            static_cast<unsigned long long>(
+                engine_.stats().opsCommitted));
+    if (!paranoid)
+        return;
+    for (const auto &[group, st] : groups_) {
+        std::uint32_t seen = 0; // ratio_ <= 14, so a bitmask suffices
+        for (std::uint32_t m = 0; m <= ratio_; ++m) {
+            const std::uint32_t slot = unpackSlot(st, m);
+            if (slot > ratio_ || (seen & (1u << slot)))
+                MEMPOD_PANIC(
+                    "invariant violated [cameo_slot_permutation]: "
+                    "group %llu member %u maps to slot %u "
+                    "(duplicate or out of range)",
+                    static_cast<unsigned long long>(group), m, slot);
+            seen |= 1u << slot;
+        }
+    }
 }
 
 std::uint64_t

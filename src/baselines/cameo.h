@@ -36,6 +36,13 @@ class CameoManager : public MemoryManager
 
     std::uint64_t pendingWork() const override;
 
+    /**
+     * Committed swaps must match the engine's commit count; with
+     * `paranoid`, additionally verify every group's packed slot state
+     * is still a permutation. Panics on violation.
+     */
+    void validateInvariants(bool paranoid) const override;
+
     void
     registerMetrics(MetricRegistry &reg) override
     {

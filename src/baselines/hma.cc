@@ -57,6 +57,9 @@ HmaManager::proceed(Demand d)
 {
     const PageId page = AddressMap::pageOf(d.homeAddr);
     counters_.touch(page);
+    if (decisions_)
+        decisions_->noteAccess(DecisionLog::kNoPod, page,
+                               placement_.inFast(page), eq_.now());
     if (locks_.isLocked(page)) {
         ++mstats_.blockedRequests;
         d.parkedAt = eq_.now();
@@ -148,6 +151,10 @@ HmaManager::onInterval()
         const std::uint64_t resident = placement_.residentOf(victim);
         busy_.insert(page);
         busy_.insert(resident);
+        const std::uint64_t decision =
+            decisions_ ? decisions_->record(DecisionLog::kNoPod, page,
+                                            resident, e.count, eq_.now())
+                       : DecisionLog::kNoId;
 
         std::uint64_t flow = 0;
         if (Tracer *tr = eq_.tracer()) {
@@ -184,10 +191,12 @@ HmaManager::onInterval()
             locks_.lock(page);
             locks_.lock(resident);
         };
-        op.onCommit = [this, page, resident, release, flow] {
+        op.onCommit = [this, page, resident, release, flow, decision] {
             placement_.swap(page, resident);
             ++mstats_.migrations;
             mstats_.bytesMoved += 2 * kPageBytes;
+            if (decision != DecisionLog::kNoId)
+                decisions_->commit(decision, eq_.now());
             if (flow != 0) {
                 if (Tracer *tr = eq_.tracer()) {
                     const std::uint32_t tid = tr->track("hma");
@@ -200,7 +209,9 @@ HmaManager::onInterval()
             release(page);
             release(resident);
         };
-        op.onAbort = [this, page, resident, release, flow] {
+        op.onAbort = [this, page, resident, release, flow, decision] {
+            if (decision != DecisionLog::kNoId)
+                decisions_->abort(decision, eq_.now());
             if (flow != 0) {
                 if (Tracer *tr = eq_.tracer()) {
                     const std::uint32_t tid = tr->track("hma");
@@ -217,6 +228,20 @@ HmaManager::onInterval()
     }
 
     counters_.reset();
+}
+
+void
+HmaManager::validateInvariants(bool paranoid) const
+{
+    if (mstats_.migrations != engine_.stats().opsCommitted)
+        MEMPOD_PANIC(
+            "invariant violated [hma_migration_conservation]: counted "
+            "%llu migrations but the engine committed %llu",
+            static_cast<unsigned long long>(mstats_.migrations),
+            static_cast<unsigned long long>(
+                engine_.stats().opsCommitted));
+    if (paranoid)
+        placement_.checkConsistency();
 }
 
 std::uint64_t

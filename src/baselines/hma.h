@@ -47,6 +47,13 @@ class HmaManager : public MemoryManager
 
     std::uint64_t pendingWork() const override;
 
+    /**
+     * Committed swaps must match the engine's commit count; with
+     * `paranoid`, additionally verify the OS placement view is still
+     * a permutation. Panics on violation.
+     */
+    void validateInvariants(bool paranoid) const override;
+
     void
     registerMetrics(MetricRegistry &reg) override
     {

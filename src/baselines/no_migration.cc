@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/log.h"
 #include "mem/manager_factory.h"
 
 namespace mempod {
@@ -18,6 +19,18 @@ NoMigrationManager::handleDemand(Demand d)
     req.traceId = d.traceId;
     req.onComplete = std::move(d.done);
     mem_.access(std::move(req));
+}
+
+void
+NoMigrationManager::validateInvariants(bool paranoid) const
+{
+    (void)paranoid;
+    if (mstats_.migrations != 0 || mstats_.bytesMoved != 0)
+        MEMPOD_PANIC(
+            "invariant violated [static_placement]: NoMigration "
+            "reports %llu migrations / %llu bytes moved",
+            static_cast<unsigned long long>(mstats_.migrations),
+            static_cast<unsigned long long>(mstats_.bytesMoved));
 }
 
 MEMPOD_REGISTER_MANAGER(

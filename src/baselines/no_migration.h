@@ -22,6 +22,9 @@ class NoMigrationManager : public MemoryManager
 
     std::string name() const override { return "NoMigration"; }
 
+    /** Static placement never migrates; panic if counters say so. */
+    void validateInvariants(bool paranoid) const override;
+
   private:
     MemorySystem &mem_;
 };

@@ -123,6 +123,10 @@ ThmManager::proceed(Demand d)
 
     SegState &st = segState(seg);
     const std::uint32_t slot = st.slotOf[member];
+    if (decisions_)
+        decisions_->noteAccess(DecisionLog::kNoPod,
+                               AddressMap::pageOf(d.homeAddr),
+                               slot == 0, eq_.now());
 
     // Service the access from the page's current location first.
     issueAt(seg, slot, std::move(d));
@@ -163,6 +167,15 @@ ThmManager::scheduleSwap(std::uint64_t seg, std::uint32_t member)
     if (busySegs_.contains(seg))
         return; // a swap for this segment is already scheduled
     busySegs_.insert(seg);
+    // The competing counter clears on trigger, so the decision-time
+    // count is the threshold it just reached.
+    const std::uint64_t decision =
+        decisions_
+            ? decisions_->record(DecisionLog::kNoPod,
+                                 pageAt(seg, member),
+                                 pageAt(seg, occupant),
+                                 params_.threshold, eq_.now())
+            : DecisionLog::kNoId;
 
     std::uint64_t flow = 0;
     if (Tracer *tr = eq_.tracer()) {
@@ -196,11 +209,14 @@ ThmManager::scheduleSwap(std::uint64_t seg, std::uint32_t member)
             proceed(std::move(d));
         }
     };
-    op.onCommit = [this, seg, member, occupant, release, flow] {
+    op.onCommit = [this, seg, member, occupant, release, flow,
+                   decision] {
         SegState &s = segState(seg);
         std::swap(s.slotOf[member], s.slotOf[occupant]);
         ++mstats_.migrations;
         mstats_.bytesMoved += 2 * kPageBytes;
+        if (decision != DecisionLog::kNoId)
+            decisions_->commit(decision, eq_.now());
         if (flow != 0) {
             if (Tracer *tr = eq_.tracer()) {
                 const std::uint32_t tid = tr->track("thm");
@@ -211,7 +227,9 @@ ThmManager::scheduleSwap(std::uint64_t seg, std::uint32_t member)
         }
         release();
     };
-    op.onAbort = [this, release, flow] {
+    op.onAbort = [this, release, flow, decision] {
+        if (decision != DecisionLog::kNoId)
+            decisions_->abort(decision, eq_.now());
         if (flow != 0) {
             if (Tracer *tr = eq_.tracer()) {
                 const std::uint32_t tid = tr->track("thm");
@@ -223,6 +241,33 @@ ThmManager::scheduleSwap(std::uint64_t seg, std::uint32_t member)
         release();
     };
     engine_.submit(std::move(op));
+}
+
+void
+ThmManager::validateInvariants(bool paranoid) const
+{
+    if (mstats_.migrations != engine_.stats().opsCommitted)
+        MEMPOD_PANIC(
+            "invariant violated [thm_migration_conservation]: counted "
+            "%llu migrations but the engine committed %llu",
+            static_cast<unsigned long long>(mstats_.migrations),
+            static_cast<unsigned long long>(
+                engine_.stats().opsCommitted));
+    if (!paranoid)
+        return;
+    for (const auto &[seg, st] : segs_) {
+        std::vector<bool> seen(ratio_ + 2, false);
+        for (std::uint32_t m = 0; m <= ratio_; ++m) {
+            const std::uint8_t slot = st.slotOf[m];
+            if (slot > ratio_ || seen[slot])
+                MEMPOD_PANIC(
+                    "invariant violated [thm_slot_permutation]: "
+                    "segment %llu member %u maps to slot %u "
+                    "(duplicate or out of range)",
+                    static_cast<unsigned long long>(seg), m, slot);
+            seen[slot] = true;
+        }
+    }
 }
 
 std::uint64_t

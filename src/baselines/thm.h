@@ -39,6 +39,13 @@ class ThmManager : public MemoryManager
 
     std::uint64_t pendingWork() const override;
 
+    /**
+     * Committed swaps must match the engine's commit count; with
+     * `paranoid`, additionally verify every segment's member->slot
+     * table is still a permutation. Panics on violation.
+     */
+    void validateInvariants(bool paranoid) const override;
+
     void
     registerMetrics(MetricRegistry &reg) override
     {

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * DecisionLog implementation: append-only record list plus two small
+ * hash maps — the open realized-hits watch windows and the
+ * migrated-in index used for ping-pong detection.
+ */
+#include "common/decision_log.h"
+
+#include "common/log.h"
+
+namespace mempod {
+
+DecisionLog::DecisionLog(TimePs epochPs, double benefitPerTouchNs)
+    : epochPs_(epochPs), benefitPerTouchNs_(benefitPerTouchNs)
+{
+    MEMPOD_ASSERT(epochPs_ > 0,
+                  "DecisionLog epoch length must be positive");
+}
+
+std::uint64_t
+DecisionLog::record(std::uint32_t pod, std::uint64_t page,
+                    std::uint64_t victim, std::uint32_t trackerCount,
+                    TimePs now)
+{
+    Record r;
+    r.seq = records_.size();
+    r.timePs = now;
+    r.epoch = now / epochPs_;
+    r.pod = pod;
+    r.page = page;
+    r.victim = victim;
+    r.trackerCount = trackerCount;
+    r.predictedBenefitNs = trackerCount * benefitPerTouchNs_;
+    records_.push_back(r);
+    return r.seq;
+}
+
+void
+DecisionLog::commit(std::uint64_t id, TimePs now)
+{
+    MEMPOD_ASSERT(id < records_.size(),
+                  "DecisionLog::commit: bad id %llu",
+                  static_cast<unsigned long long>(id));
+    Record &r = records_[id];
+    r.outcome = Outcome::kCompleted;
+    r.commitPs = now;
+    ++committed_;
+
+    // Ping-pong: the page we just evicted was itself migrated in
+    // recently. Mark the *earlier* decision — its benefit window was
+    // cut short — and retire its migrated-in entry.
+    const Key victimKey{r.pod, r.victim};
+    if (const auto it = migratedIn_.find(victimKey);
+        it != migratedIn_.end()) {
+        Record &earlier = records_[it->second];
+        if (now - earlier.commitPs <= 2 * epochPs_ && !earlier.pingPong) {
+            earlier.pingPong = true;
+            ++pingPongs_;
+        }
+        migratedIn_.erase(it);
+    }
+
+    const Key key{r.pod, r.page};
+    migratedIn_[key] = r.seq;
+    watch_[key] = Watch{r.seq, now + epochPs_};
+}
+
+void
+DecisionLog::abort(std::uint64_t id, TimePs now)
+{
+    MEMPOD_ASSERT(id < records_.size(),
+                  "DecisionLog::abort: bad id %llu",
+                  static_cast<unsigned long long>(id));
+    (void)now;
+    Record &r = records_[id];
+    r.outcome = Outcome::kAborted;
+    ++aborted_;
+}
+
+void
+DecisionLog::noteAccess(std::uint32_t pod, std::uint64_t page,
+                        bool nearTier, TimePs now)
+{
+    const auto it = watch_.find(Key{pod, page});
+    if (it == watch_.end())
+        return;
+    if (now >= it->second.deadline) {
+        watch_.erase(it); // lazy expiry: window closed
+        return;
+    }
+    if (nearTier)
+        ++records_[it->second.seq].realizedNearHits;
+}
+
+const char *
+DecisionLog::outcomeName(Outcome o)
+{
+    switch (o) {
+    case Outcome::kPending:
+        return "pending";
+    case Outcome::kCompleted:
+        return "completed";
+    case Outcome::kAborted:
+        return "aborted";
+    }
+    return "unknown";
+}
+
+} // namespace mempod

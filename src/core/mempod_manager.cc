@@ -38,6 +38,21 @@ MemPodManager::start()
     intervalTimer_.start();
 }
 
+void
+MemPodManager::setDecisionLog(DecisionLog *log)
+{
+    MemoryManager::setDecisionLog(log);
+    for (auto &pod : pods_)
+        pod->setDecisionLog(log);
+}
+
+void
+MemPodManager::validateInvariants(bool paranoid) const
+{
+    for (const auto &pod : pods_)
+        pod->validateInvariants(paranoid);
+}
+
 const MigrationStats &
 MemPodManager::migrationStats() const
 {

@@ -35,6 +35,12 @@ class MemPodManager : public MemoryManager
 
     std::uint64_t pendingWork() const override;
 
+    /** Forward the ledger to every Pod (each records under its id). */
+    void setDecisionLog(DecisionLog *log) override;
+
+    /** Run every Pod's conservation checks. */
+    void validateInvariants(bool paranoid) const override;
+
     /** Aggregate migration.* plus per-Pod pod<i>.* instruments. */
     void registerMetrics(MetricRegistry &reg) override;
 

@@ -72,6 +72,9 @@ Pod::handleDemand(PageId home_page, std::uint64_t offset_in_page,
 {
     const std::uint64_t local = mem_.map().podLocalOfPage(home_page);
     mea_.touch(local);
+    if (decisions_)
+        decisions_->noteAccess(id_, local, remap_.inFast(local),
+                               eq_.now());
     BlockedReq r{offset_in_page, d.type,    d.arrival,
                  d.core,         d.traceId, /*parkedAt=*/0,
                  std::move(d.done)};
@@ -152,10 +155,15 @@ Pod::podTrack(Tracer &tr) const
 }
 
 void
-Pod::scheduleSwap(std::uint64_t hot_local, std::uint64_t victim_resident)
+Pod::scheduleSwap(std::uint64_t hot_local, std::uint64_t victim_resident,
+                  std::uint32_t tracker_count)
 {
     migrating_.insert(hot_local);
     migrating_.insert(victim_resident);
+    const std::uint64_t decision =
+        decisions_ ? decisions_->record(id_, hot_local, victim_resident,
+                                        tracker_count, eq_.now())
+                   : DecisionLog::kNoId;
 
     // Migration lifecycle: the MEA victory selects the candidate here;
     // the flow continues through the engine's swap and ends at the
@@ -181,10 +189,12 @@ Pod::scheduleSwap(std::uint64_t hot_local, std::uint64_t victim_resident)
         locked_.insert(hot_local);
         locked_.insert(victim_resident);
     };
-    op.onCommit = [this, hot_local, victim_resident, flow] {
+    op.onCommit = [this, hot_local, victim_resident, flow, decision] {
         remap_.swap(hot_local, victim_resident);
         ++stats_.migrations;
         stats_.bytesMoved += 2 * kPageBytes;
+        if (decision != DecisionLog::kNoId)
+            decisions_->commit(decision, eq_.now());
         if (flow != 0) {
             if (Tracer *tr = eq_.tracer()) {
                 const std::uint32_t tid = podTrack(*tr);
@@ -196,7 +206,9 @@ Pod::scheduleSwap(std::uint64_t hot_local, std::uint64_t victim_resident)
         unlockAndDrain(hot_local);
         unlockAndDrain(victim_resident);
     };
-    op.onAbort = [this, hot_local, victim_resident, flow] {
+    op.onAbort = [this, hot_local, victim_resident, flow, decision] {
+        if (decision != DecisionLog::kNoId)
+            decisions_->abort(decision, eq_.now());
         if (flow != 0) {
             if (Tracer *tr = eq_.tracer()) {
                 const std::uint32_t tid = podTrack(*tr);
@@ -269,10 +281,24 @@ Pod::onInterval()
         const std::uint64_t victim = findVictimSlot(hot_set);
         if (victim == kNoSlot)
             break; // every fast slot is hot or busy
-        scheduleSwap(h, remap_.residentOf(victim));
+        scheduleSwap(h, remap_.residentOf(victim), e.count);
         ++scheduled;
     }
     mea_.reset();
+}
+
+void
+Pod::validateInvariants(bool paranoid) const
+{
+    if (stats_.migrations != engine_.stats().opsCommitted)
+        MEMPOD_PANIC(
+            "invariant violated [pod_migration_conservation]: pod %u "
+            "counted %llu migrations but its engine committed %llu",
+            id_, static_cast<unsigned long long>(stats_.migrations),
+            static_cast<unsigned long long>(
+                engine_.stats().opsCommitted));
+    if (paranoid)
+        remap_.checkConsistency();
 }
 
 std::uint64_t

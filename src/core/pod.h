@@ -44,6 +44,16 @@ class Pod
     /** Interval boundary: pick hot pages and schedule migrations. */
     void onInterval();
 
+    /** Attach the shared migration decision ledger (may stay null). */
+    void setDecisionLog(DecisionLog *log) { decisions_ = log; }
+
+    /**
+     * Pod-level conservation laws: committed swaps must match the
+     * engine's commit count; with `paranoid`, additionally verify the
+     * remap table is still a permutation. Panics on violation.
+     */
+    void validateInvariants(bool paranoid) const;
+
     std::uint32_t id() const { return id_; }
     MeaTracker &mea() { return mea_; }
     const RemapTable &remap() const { return remap_; }
@@ -98,7 +108,8 @@ class Pod
         const std::unordered_set<std::uint64_t> &hot_set);
 
     void scheduleSwap(std::uint64_t hot_local,
-                      std::uint64_t victim_resident);
+                      std::uint64_t victim_resident,
+                      std::uint32_t tracker_count);
 
     void unlockAndDrain(std::uint64_t local);
 
@@ -123,6 +134,8 @@ class Pod
     std::unordered_set<std::uint64_t> locked_;
     std::unordered_map<std::uint64_t, std::vector<BlockedReq>> blocked_;
     std::uint64_t blockedCount_ = 0;
+
+    DecisionLog *decisions_ = nullptr; //!< shared ledger (may be null)
 
     MigrationStats stats_;
 };

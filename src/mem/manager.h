@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 
+#include "common/decision_log.h"
 #include "common/metrics.h"
 #include "common/types.h"
 #include "mem/request.h"
@@ -65,6 +66,26 @@ class MemoryManager
 
     /** Mechanism name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Attach the shared migration decision ledger. Mechanisms record
+     * every candidate selection, its tracker state and outcome, plus
+     * per-demand near-tier touches for realized-benefit accounting.
+     * Called before start(); never called when the ledger is disabled,
+     * so `decisions_` doubles as the enable flag on the hot path.
+     */
+    virtual void setDecisionLog(DecisionLog *log) { decisions_ = log; }
+
+    /**
+     * Mechanism-level conservation laws, called by the invariant
+     * checker: cheap count cross-checks every epoch, plus full remap /
+     * location-table bijection scans when `paranoid`. Implementations
+     * panic with a structured diagnostic on violation.
+     */
+    virtual void validateInvariants(bool paranoid) const
+    {
+        (void)paranoid;
+    }
 
     virtual const MigrationStats &migrationStats() const { return mstats_; }
 
@@ -125,6 +146,7 @@ class MemoryManager
 
   protected:
     MigrationStats mstats_;
+    DecisionLog *decisions_ = nullptr; //!< shared ledger (may be null)
 };
 
 } // namespace mempod

@@ -95,6 +95,33 @@ struct SimConfig
      */
     bool perfEnabled = false;
 
+    /**
+     * Migration decision ledger (`decisions.enabled` dotted key): the
+     * manager records every candidate selection and its outcome in a
+     * DecisionLog (common/decision_log.h). Recording happens inside
+     * existing manager callbacks — no events are added to the queue —
+     * so golden executed-event counts and all timing outputs are
+     * unchanged; the JSONL sidecar is only written when the runner is
+     * given a decisions directory.
+     */
+    bool decisionsEnabled = true;
+
+    /**
+     * Always-on invariant checker (`validate.enabled` dotted key):
+     * per-epoch conservation laws plus an end-of-run audit
+     * (sim/validate.h). Checks piggyback on the existing progress
+     * probe and only read state, so they cannot perturb any output.
+     */
+    bool validateEnabled = true;
+
+    /**
+     * Deep-scan mode (`validate.paranoid` dotted key): additionally
+     * walk every remap/location table each epoch to verify the
+     * permutation invariant. O(pages) per epoch — for CI smokes and
+     * debugging, not the default.
+     */
+    bool validateParanoid = false;
+
     /** Paper Table 2: 1 GB HBM-1GHz + 8 GB DDR4-1600, 4 Pods. */
     static SimConfig paper(Mechanism m);
 

@@ -243,6 +243,9 @@ fieldTable()
         MEMPOD_CONFIG_FIELD("tracer.sampleEvery", tracer.sampleEvery),
         MEMPOD_CONFIG_FIELD("tracer.seed", tracer.seed),
         MEMPOD_CONFIG_FIELD("perf.enabled", perfEnabled),
+        MEMPOD_CONFIG_FIELD("decisions.enabled", decisionsEnabled),
+        MEMPOD_CONFIG_FIELD("validate.enabled", validateEnabled),
+        MEMPOD_CONFIG_FIELD("validate.paranoid", validateParanoid),
     };
     return table;
 }

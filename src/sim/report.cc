@@ -1,5 +1,7 @@
 #include "sim/report.h"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 
 #include "common/log.h"
@@ -23,9 +25,16 @@ TablePrinter::addRow(std::vector<std::string> cells)
 std::string
 TablePrinter::num(double v, int prec)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
-    return buf;
+    // to_chars, not printf: fixed-notation rendering must not pick up
+    // an LC_NUMERIC decimal comma, or byte-compared goldens break on
+    // localized hosts.
+    if (!std::isfinite(v))
+        return v != v ? "nan" : (v > 0 ? "inf" : "-inf");
+    char buf[512]; // fixed notation of huge doubles needs the room
+    const auto [end, ec] = std::to_chars(
+        buf, buf + sizeof(buf), v, std::chars_format::fixed, prec);
+    MEMPOD_ASSERT(ec == std::errc(), "table number overflows buffer");
+    return std::string(buf, end);
 }
 
 void

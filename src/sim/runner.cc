@@ -113,6 +113,12 @@ BatchRunner::execute(const BatchJob &job, std::size_t index)
                         StatsWriter::toJsonl(
                             sim.sampler()->records()));
             }
+            if (!opt_.decisionsDir.empty() && sim.decisionLog())
+                StatsWriter::writeFile(
+                    opt_.decisionsDir + "/" + stem + ".decisions.jsonl",
+                    StatsWriter::decisionsToJsonl(*sim.decisionLog(),
+                                                  job.workload,
+                                                  out.result.mechanism));
             if (!opt_.traceDir.empty() && sim.tracer())
                 StatsWriter::writeFile(opt_.traceDir + "/" + stem +
                                            ".trace.json",
@@ -162,6 +168,8 @@ BatchRunner::runAll()
         std::filesystem::create_directories(opt_.traceDir);
     if (!opt_.perfDir.empty())
         std::filesystem::create_directories(opt_.perfDir);
+    if (!opt_.decisionsDir.empty())
+        std::filesystem::create_directories(opt_.decisionsDir);
 
     // Stats files are numbered by overall submission order so repeated
     // runAll() batches on one runner never overwrite each other.

@@ -156,6 +156,16 @@ struct RunnerOptions
      * checks `diff -r` the stats/trace directories whole.
      */
     std::string perfDir;
+
+    /**
+     * When non-empty, every timing job whose config enabled the
+     * decision ledger writes "<decisionsDir>/<same stem>
+     * .decisions.jsonl" ("mempod-decisions-v1"). The ledger is
+     * populated entirely in the coordinator domain, so — unlike perf
+     * sidecars — these bytes are deterministic and the directory CAN
+     * be `diff -r`'d across jobs/shards settings.
+     */
+    std::string decisionsDir;
 };
 
 /**

@@ -19,6 +19,16 @@ Simulation::lookaheadPs(const SimConfig &config)
     return l + config.extraLatencyPs;
 }
 
+double
+Simulation::benefitPerTouchNs(const SimConfig &config)
+{
+    const auto access_ps = [](const DramSpec &s) {
+        return static_cast<double>(s.timing.tRCD + s.timing.tCL +
+                                   s.timing.tBL);
+    };
+    return (access_ps(config.far) - access_ps(config.near)) / 1000.0;
+}
+
 Simulation::Simulation(const SimConfig &config) : config_(config)
 {
     if (config_.perfEnabled)
@@ -72,6 +82,20 @@ Simulation::Simulation(const SimConfig &config) : config_(config)
     // override the hook; for everyone else this is a no-op.
     manager_->setCoreStallHook(
         [this](TimePs duration) { frontend_->suspendCores(duration); });
+
+    // Decision epochs use the MemPod interval uniformly, so ledgers
+    // from different mechanisms line up when compared.
+    const TimePs epoch_ps = std::max<TimePs>(config_.mempod.interval, 1);
+    if (config_.decisionsEnabled) {
+        decisions_ = std::make_unique<DecisionLog>(
+            epoch_ps, benefitPerTouchNs(config_));
+        manager_->setDecisionLog(decisions_.get());
+    }
+    if (config_.validateEnabled) {
+        validator_ = std::make_unique<InvariantChecker>(
+            config_, *frontend_, *mem_, *manager_, decisions_.get(),
+            epoch_ps);
+    }
 
     registerAllMetrics();
 
@@ -166,6 +190,12 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
                          static_cast<unsigned long long>(
                              manager_->pendingWork()));
         }
+        // Read-only conservation checks, self-rate-limited to one pass
+        // per epoch of *simulated* time — the serial and sharded loops
+        // call at different real cadences, but a read-and-panic probe
+        // cannot perturb any output either way.
+        if (validator_)
+            validator_->periodicCheck(eq_.now());
         heartbeat();
     };
     const auto panic_deadlock = [&] {
@@ -290,6 +320,11 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
         }
         r.perCoreLatency.push_back(lp);
     }
+
+    // End-of-run audit over the fully assembled result (includes the
+    // paranoid-depth mechanism scan; the run is over, so it is free).
+    if (validator_)
+        validator_->finalCheck(r);
 
     report_scope.close();
     collectPerf(r);

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "common/decision_log.h"
 #include "common/event_queue.h"
 #include "common/metrics.h"
 #include "common/perf.h"
@@ -20,6 +21,7 @@
 #include "sim/config.h"
 #include "sim/parallel.h"
 #include "sim/report.h"
+#include "sim/validate.h"
 #include "trace/record.h"
 
 namespace mempod {
@@ -63,6 +65,24 @@ class Simulation
     PerfMonitor *perf() { return perf_.get(); }
 
     /**
+     * Migration decision ledger, or nullptr when
+     * config.decisionsEnabled is false. Populated entirely from
+     * coordinator-domain manager callbacks, so its contents are
+     * byte-identical at any jobs/shards setting.
+     */
+    const DecisionLog *decisionLog() const { return decisions_.get(); }
+
+    /** Invariant checker, or nullptr when validation is disabled. */
+    const InvariantChecker *validator() const { return validator_.get(); }
+
+    /**
+     * The per-touch fast-vs-slow latency gap (ns) used to price
+     * predicted migration benefit: the difference in tRCD+tCL+tBL
+     * between the far and near device specs. Exposed for tests.
+     */
+    static double benefitPerTouchNs(const SimConfig &config);
+
+    /**
      * Host profile of the last run(), or nullptr before the first run
      * or when profiling is disabled. Wall times/RSS here are host
      * facts — everything simulation-visible stays byte-identical
@@ -99,6 +119,8 @@ class Simulation
     std::unique_ptr<LogicalToPhysical> placement_;
     std::unique_ptr<MemoryManager> manager_;
     std::unique_ptr<TraceFrontend> frontend_;
+    std::unique_ptr<DecisionLog> decisions_;
+    std::unique_ptr<InvariantChecker> validator_;
     MetricRegistry registry_;
     std::unique_ptr<IntervalSampler> sampler_;
     MetricSnapshot finalSnapshot_;

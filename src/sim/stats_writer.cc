@@ -1,5 +1,6 @@
 #include "sim/stats_writer.h"
 
+#include <charconv>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -151,10 +152,12 @@ StatsWriter::formatDouble(double v)
     if (!std::isfinite(v))
         return "null";
     char buf[64];
-    // %.17g round-trips every finite double; JSON readers parse it
-    // back to the identical bit pattern.
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
+    // to_chars emits the shortest representation that round-trips to
+    // the identical bit pattern, and — unlike printf's %g — never
+    // consults LC_NUMERIC, so goldens hold on any host locale.
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    (void)ec; // 64 bytes always fit a double
+    return std::string(buf, end);
 }
 
 std::string
@@ -301,6 +304,68 @@ StatsWriter::toJsonl(const std::vector<IntervalRecord> &records)
             out += formatDouble(v.real);
         }
         out += "}}\n";
+    }
+    return out;
+}
+
+std::string
+StatsWriter::decisionsToJsonl(const DecisionLog &log,
+                              const std::string &workload,
+                              const std::string &mechanism)
+{
+    std::string out;
+    out.reserve(128 + 160 * log.size());
+    out += '{';
+    appendKeyString(out, "schema", "mempod-decisions-v1");
+    out += ',';
+    appendKeyString(out, "workload", workload);
+    out += ',';
+    appendKeyString(out, "mechanism", mechanism);
+    out += ',';
+    appendKeyU64(out, "epoch_ps", log.epochPs());
+    out += ',';
+    appendKeyDouble(out, "benefit_per_touch_ns",
+                    log.benefitPerTouchNs());
+    out += ',';
+    appendKeyU64(out, "decisions", log.size());
+    out += ',';
+    appendKeyU64(out, "committed", log.committedCount());
+    out += ',';
+    appendKeyU64(out, "aborted", log.abortedCount());
+    out += ',';
+    appendKeyU64(out, "ping_pongs", log.pingPongCount());
+    out += "}\n";
+    for (const DecisionLog::Record &d : log.records()) {
+        out += '{';
+        appendKeyU64(out, "seq", d.seq);
+        out += ',';
+        appendKeyU64(out, "time_ps", d.timePs);
+        out += ',';
+        appendKeyU64(out, "epoch", d.epoch);
+        out += ",\"pod\":";
+        if (d.pod == DecisionLog::kNoPod)
+            out += "null"; // centralized mechanism, no Pod identity
+        else
+            appendU64(out, d.pod);
+        out += ',';
+        appendKeyU64(out, "page", d.page);
+        out += ',';
+        appendKeyU64(out, "victim", d.victim);
+        out += ',';
+        appendKeyU64(out, "tracker_count", d.trackerCount);
+        out += ',';
+        appendKeyDouble(out, "predicted_benefit_ns",
+                        d.predictedBenefitNs);
+        out += ',';
+        appendKeyString(out, "outcome",
+                        DecisionLog::outcomeName(d.outcome));
+        out += ',';
+        appendKeyU64(out, "commit_ps", d.commitPs);
+        out += ",\"ping_pong\":";
+        out += d.pingPong ? "true" : "false";
+        out += ',';
+        appendKeyU64(out, "realized_near_hits", d.realizedNearHits);
+        out += "}\n";
     }
     return out;
 }

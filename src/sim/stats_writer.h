@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/decision_log.h"
 #include "common/metrics.h"
 #include "common/perf.h"
 #include "sim/report.h"
@@ -29,7 +30,8 @@ class StatsWriter
 
     /**
      * Shortest round-trip decimal rendering of `v`; non-finite values
-     * become `null` (JSON has no NaN/Inf).
+     * become `null` (JSON has no NaN/Inf). Uses std::to_chars, so the
+     * bytes are identical under any host LC_NUMERIC locale.
      */
     static std::string formatDouble(double v);
 
@@ -49,6 +51,18 @@ class StatsWriter
      */
     static std::string
     toJsonl(const std::vector<IntervalRecord> &records);
+
+    /**
+     * Migration decision ledger as a "mempod-decisions-v1" JSONL
+     * sidecar: a header line with run identity and ledger totals,
+     * then one line per decision in the order the policy made them.
+     * The ledger is populated entirely in the coordinator domain, so
+     * these bytes are identical at any jobs/shards setting. The
+     * schema is documented in EXPERIMENTS.md.
+     */
+    static std::string decisionsToJsonl(const DecisionLog &log,
+                                        const std::string &workload,
+                                        const std::string &mechanism);
 
     /**
      * Deterministic per-job file stem "job<NNN>[_<label>]_<workload>"

@@ -52,6 +52,14 @@ class MeaTracker : public ActivityTracker
         return map_.find(id) != map_.end();
     }
 
+    /** Current counter value for `id` (0 when untracked) — the
+     *  decision-time snapshot the migration ledger records. */
+    std::uint32_t countOf(std::uint64_t id) const
+    {
+        const auto it = map_.find(id);
+        return it == map_.end() ? 0 : it->second;
+    }
+
     std::uint32_t entries() const { return entries_; }
     std::uint32_t counterBits() const { return counterBits_; }
     std::uint32_t counterMax() const { return counterMax_; }

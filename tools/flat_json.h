@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Shared flat-JSON reader for the CLI tools (perf_tool,
+ * explain_tool): a minimal recursive-descent parser that keeps only
+ * numeric leaves, keyed by dotted path ("summary.ammat_ns",
+ * "wall_seconds.median", "benchmarks[0].wall_ms"). It handles exactly
+ * the JSON this repo writes (objects, arrays, numbers, strings,
+ * bools, null) — no surrogate-pair escapes, no arbitrary-precision
+ * numbers. Header-only so the tools stay single-file executables.
+ */
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace mempod::tools {
+
+/** Numeric leaves of one JSON document, keyed by dotted path. */
+using FlatDoc = std::map<std::string, double>;
+
+/**
+ * Recursive-descent reader over `s` starting at `at`. Object members
+ * extend the path with ".key", array elements with "[i]"; numeric
+ * leaves land in `out`, everything else is parsed and dropped.
+ */
+class FlatParser
+{
+  public:
+    FlatParser(const std::string &s, FlatDoc &out) : s_(s), out_(out) {}
+
+    bool
+    parse()
+    {
+        skipWs();
+        if (!value(""))
+            return false;
+        skipWs();
+        return at_ == s_.size();
+    }
+
+    std::size_t errorAt() const { return at_; }
+
+  private:
+    void
+    skipWs()
+    {
+        while (at_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[at_])))
+            ++at_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s_.compare(at_, n, word) != 0)
+            return false;
+        at_ += n;
+        return true;
+    }
+
+    /** Parse a string token; returns false on malformed input. */
+    bool
+    stringToken(std::string &out)
+    {
+        if (at_ >= s_.size() || s_[at_] != '"')
+            return false;
+        ++at_;
+        out.clear();
+        while (at_ < s_.size() && s_[at_] != '"') {
+            char c = s_[at_++];
+            if (c == '\\' && at_ < s_.size()) {
+                const char esc = s_[at_++];
+                switch (esc) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'u':
+                    // Skip the 4 hex digits; keep a placeholder. The
+                    // sidecars never escape anything but quotes and
+                    // backslashes, so fidelity here doesn't matter.
+                    at_ = std::min(at_ + 4, s_.size());
+                    c = '?';
+                    break;
+                default: c = esc; break;
+                }
+            }
+            out.push_back(c);
+        }
+        if (at_ >= s_.size())
+            return false;
+        ++at_; // closing quote
+        return true;
+    }
+
+    bool
+    value(const std::string &path)
+    {
+        skipWs();
+        if (at_ >= s_.size())
+            return false;
+        const char c = s_[at_];
+        if (c == '{')
+            return object(path);
+        if (c == '[')
+            return array(path);
+        if (c == '"') {
+            std::string ignored;
+            return stringToken(ignored);
+        }
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        // Number.
+        char *end = nullptr;
+        const double v = std::strtod(s_.c_str() + at_, &end);
+        if (end == s_.c_str() + at_)
+            return false;
+        at_ = static_cast<std::size_t>(end - s_.c_str());
+        if (!path.empty())
+            out_[path] = v;
+        return true;
+    }
+
+    bool
+    object(const std::string &path)
+    {
+        ++at_; // '{'
+        skipWs();
+        if (at_ < s_.size() && s_[at_] == '}') {
+            ++at_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!stringToken(key))
+                return false;
+            skipWs();
+            if (at_ >= s_.size() || s_[at_] != ':')
+                return false;
+            ++at_;
+            if (!value(path.empty() ? key : path + "." + key))
+                return false;
+            skipWs();
+            if (at_ < s_.size() && s_[at_] == ',') {
+                ++at_;
+                continue;
+            }
+            if (at_ < s_.size() && s_[at_] == '}') {
+                ++at_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array(const std::string &path)
+    {
+        ++at_; // '['
+        skipWs();
+        if (at_ < s_.size() && s_[at_] == ']') {
+            ++at_;
+            return true;
+        }
+        std::size_t i = 0;
+        while (true) {
+            if (!value(path + "[" + std::to_string(i++) + "]"))
+                return false;
+            skipWs();
+            if (at_ < s_.size() && s_[at_] == ',') {
+                ++at_;
+                continue;
+            }
+            if (at_ < s_.size() && s_[at_] == ']') {
+                ++at_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    FlatDoc &out_;
+    std::size_t at_ = 0;
+};
+
+/**
+ * Load and flatten one JSON file; exits(2) with context (prefixed by
+ * `tool`, the calling program's name) on open or parse failure.
+ */
+inline FlatDoc
+loadFlat(const char *tool, const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open '%s'\n", tool, path);
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    FlatDoc doc;
+    FlatParser p(text, doc);
+    if (!p.parse()) {
+        std::fprintf(stderr,
+                     "%s: '%s' is not valid JSON (error near byte "
+                     "%zu)\n",
+                     tool, path, p.errorAt());
+        std::exit(2);
+    }
+    return doc;
+}
+
+} // namespace mempod::tools

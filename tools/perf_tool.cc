@@ -12,225 +12,36 @@
  *       Compare two sidecars and flag regressions on the tracked
  *       metrics: any `events_per_second` leaf dropping, or any
  *       wall-time leaf (wall_seconds*, wall_ms) rising, by more than
- *       the threshold (default 25%). Exits 1 on regression unless
- *       --warn-only (the CI perf-smoke job runs warn-only: shared
- *       runners are too noisy for a hard gate, but the deltas still
- *       land in the log).
+ *       the threshold (default 25%). Tracked keys present in only one
+ *       file are reported as "(new)" / "(removed)" rather than
+ *       silently skipped or crashed on — schema drift between
+ *       baselines is normal as harnesses grow. Exits 1 on regression
+ *       unless --warn-only (the CI perf-smoke job runs warn-only:
+ *       shared runners are too noisy for a hard gate, but the deltas
+ *       still land in the log).
  *
- * The parser below is a minimal recursive-descent JSON reader that
- * keeps only numeric leaves. It handles exactly the JSON this repo
- * writes (objects, arrays, numbers, strings, bools, null) — no
- * surrogate-pair escapes, no arbitrary-precision numbers.
+ * The JSON reader lives in flat_json.h, shared with explain_tool.
  */
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "flat_json.h"
+
 namespace {
 
-/** Numeric leaves of one JSON document, keyed by dotted path. */
-using FlatDoc = std::map<std::string, double>;
-
-/**
- * Recursive-descent reader over `s` starting at `at`. Object members
- * extend the path with ".key", array elements with "[i]"; numeric
- * leaves land in `out`, everything else is parsed and dropped.
- */
-class FlatParser
-{
-  public:
-    FlatParser(const std::string &s, FlatDoc &out) : s_(s), out_(out) {}
-
-    bool
-    parse()
-    {
-        skipWs();
-        if (!value(""))
-            return false;
-        skipWs();
-        return at_ == s_.size();
-    }
-
-    std::size_t errorAt() const { return at_; }
-
-  private:
-    void
-    skipWs()
-    {
-        while (at_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[at_])))
-            ++at_;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        const std::size_t n = std::strlen(word);
-        if (s_.compare(at_, n, word) != 0)
-            return false;
-        at_ += n;
-        return true;
-    }
-
-    /** Parse a string token; returns false on malformed input. */
-    bool
-    stringToken(std::string &out)
-    {
-        if (at_ >= s_.size() || s_[at_] != '"')
-            return false;
-        ++at_;
-        out.clear();
-        while (at_ < s_.size() && s_[at_] != '"') {
-            char c = s_[at_++];
-            if (c == '\\' && at_ < s_.size()) {
-                const char esc = s_[at_++];
-                switch (esc) {
-                case 'n': c = '\n'; break;
-                case 't': c = '\t'; break;
-                case 'u':
-                    // Skip the 4 hex digits; keep a placeholder. The
-                    // sidecars never escape anything but quotes and
-                    // backslashes, so fidelity here doesn't matter.
-                    at_ = std::min(at_ + 4, s_.size());
-                    c = '?';
-                    break;
-                default: c = esc; break;
-                }
-            }
-            out.push_back(c);
-        }
-        if (at_ >= s_.size())
-            return false;
-        ++at_; // closing quote
-        return true;
-    }
-
-    bool
-    value(const std::string &path)
-    {
-        skipWs();
-        if (at_ >= s_.size())
-            return false;
-        const char c = s_[at_];
-        if (c == '{')
-            return object(path);
-        if (c == '[')
-            return array(path);
-        if (c == '"') {
-            std::string ignored;
-            return stringToken(ignored);
-        }
-        if (c == 't')
-            return literal("true");
-        if (c == 'f')
-            return literal("false");
-        if (c == 'n')
-            return literal("null");
-        // Number.
-        char *end = nullptr;
-        const double v = std::strtod(s_.c_str() + at_, &end);
-        if (end == s_.c_str() + at_)
-            return false;
-        at_ = static_cast<std::size_t>(end - s_.c_str());
-        if (!path.empty())
-            out_[path] = v;
-        return true;
-    }
-
-    bool
-    object(const std::string &path)
-    {
-        ++at_; // '{'
-        skipWs();
-        if (at_ < s_.size() && s_[at_] == '}') {
-            ++at_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            std::string key;
-            if (!stringToken(key))
-                return false;
-            skipWs();
-            if (at_ >= s_.size() || s_[at_] != ':')
-                return false;
-            ++at_;
-            if (!value(path.empty() ? key : path + "." + key))
-                return false;
-            skipWs();
-            if (at_ < s_.size() && s_[at_] == ',') {
-                ++at_;
-                continue;
-            }
-            if (at_ < s_.size() && s_[at_] == '}') {
-                ++at_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    array(const std::string &path)
-    {
-        ++at_; // '['
-        skipWs();
-        if (at_ < s_.size() && s_[at_] == ']') {
-            ++at_;
-            return true;
-        }
-        std::size_t i = 0;
-        while (true) {
-            if (!value(path + "[" + std::to_string(i++) + "]"))
-                return false;
-            skipWs();
-            if (at_ < s_.size() && s_[at_] == ',') {
-                ++at_;
-                continue;
-            }
-            if (at_ < s_.size() && s_[at_] == ']') {
-                ++at_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    const std::string &s_;
-    FlatDoc &out_;
-    std::size_t at_ = 0;
-};
+using mempod::tools::FlatDoc;
 
 /** Load and flatten one sidecar; exits(2) with context on failure. */
 FlatDoc
 loadFlat(const char *path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr, "perf_tool: cannot open '%s'\n", path);
-        std::exit(2);
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    const std::string text = ss.str();
-    FlatDoc doc;
-    FlatParser p(text, doc);
-    if (!p.parse()) {
-        std::fprintf(stderr,
-                     "perf_tool: '%s' is not valid JSON (error near "
-                     "byte %zu)\n",
-                     path, p.errorAt());
-        std::exit(2);
-    }
-    return doc;
+    return mempod::tools::loadFlat("perf_tool", path);
 }
 
 /** Compact numeric rendering: integers plain, else 6 significant. */
@@ -341,17 +152,38 @@ cmdDiff(int argc, char **argv)
     const FlatDoc base = loadFlat(files[0]);
     const FlatDoc cur = loadFlat(files[1]);
 
+    // Union of tracked keys from both files: a metric present in only
+    // one baseline (schema drift as harnesses grow) is reported, not
+    // silently skipped — and never counted as a regression.
+    std::map<std::string, int> tracked; // key -> direction
+    for (const FlatDoc *doc : {&base, &cur})
+        for (const auto &[key, unused] : *doc) {
+            const int dir = trackedDirection(key);
+            if (dir != 0)
+                tracked.emplace(key, dir);
+        }
+
     int regressions = 0, improvements = 0, compared = 0;
+    int added = 0, removed = 0;
     std::printf("%-44s %16s %16s %9s\n", "tracked metric", "base",
                 "current", "delta");
-    for (const auto &[key, bval] : base) {
-        const int dir = trackedDirection(key);
-        if (dir == 0)
+    for (const auto &[key, dir] : tracked) {
+        const auto bit = base.find(key);
+        const auto cit = cur.find(key);
+        if (bit == base.end()) {
+            std::printf("%-44s %16s %16s %9s\n", key.c_str(), "-",
+                        num(cit->second).c_str(), "(new)");
+            ++added;
             continue;
-        const auto it = cur.find(key);
-        if (it == cur.end())
+        }
+        if (cit == cur.end()) {
+            std::printf("%-44s %16s %16s %9s\n", key.c_str(),
+                        num(bit->second).c_str(), "-", "(removed)");
+            ++removed;
             continue;
-        const double cval = it->second;
+        }
+        const double bval = bit->second;
+        const double cval = cit->second;
         if (bval == 0.0)
             continue; // no baseline signal
         ++compared;
@@ -370,8 +202,11 @@ cmdDiff(int argc, char **argv)
                     num(bval).c_str(), num(cval).c_str(), pct, mark);
     }
     std::printf("\n%d tracked metrics compared: %d regression(s), %d "
-                "improvement(s) beyond %.1f%%\n",
+                "improvement(s) beyond %.1f%%",
                 compared, regressions, improvements, threshold_pct);
+    if (added || removed)
+        std::printf("; %d new, %d removed", added, removed);
+    std::printf("\n");
     if (regressions && warn_only)
         std::printf("warn-only: not failing the run.\n");
     return (regressions && !warn_only) ? 1 : 0;
