@@ -55,15 +55,32 @@ splitCommas(const std::string &s)
 void
 listWorkloads()
 {
+    const WorkloadCatalog &cat = WorkloadCatalog::global();
     std::printf("homogeneous (8 copies of one benchmark):\n ");
-    for (const auto &w : homogeneousWorkloads())
-        std::printf(" %s", w.name.c_str());
+    for (const auto &name : cat.homogeneousNames())
+        std::printf(" %s", name.c_str());
     std::printf("\n\nmixed (Table 3, normalized to 8 cores):\n");
-    for (const auto &w : mixedWorkloads()) {
-        std::printf("  %-6s:", w.name.c_str());
-        for (const auto &b : w.benchmarks)
+    for (const auto &name : cat.mixedNames()) {
+        const CatalogEntry &e = cat.find(name);
+        if (e.kind == CatalogEntry::Kind::kExternal)
+            continue; // listed below with its source
+        std::printf("  %-6s:", name.c_str());
+        for (const auto &b : e.synthetic.benchmarks)
             std::printf(" %s", b.c_str());
         std::printf("\n");
+    }
+    bool headed = false;
+    for (const auto &name : cat.names()) {
+        const CatalogEntry &e = cat.find(name);
+        if (e.kind != CatalogEntry::Kind::kExternal)
+            continue;
+        if (!headed) {
+            std::printf("\nexternal traces (from --manifest):\n");
+            headed = true;
+        }
+        std::printf("  %-12s %s (%zu file%s)\n", name.c_str(),
+                    e.external.format.c_str(), e.external.files.size(),
+                    e.external.files.size() == 1 ? "" : "s");
     }
 }
 
@@ -130,6 +147,12 @@ parseOptions(int argc, char **argv, const char *what)
             opt.shards = static_cast<std::uint32_t>(n);
         } else if (arg == "--workloads") {
             opt.workloads = splitCommas(next());
+        } else if (arg == "--manifest") {
+            const char *path = next();
+            // Load immediately: later flags (--list-workloads, the
+            // --workloads validation below) see the external traces.
+            WorkloadCatalog::global().loadManifest(path);
+            opt.manifests.push_back(path);
         } else if (arg == "--stats-out") {
             opt.statsOut = next();
             if (opt.statsOut.empty()) {
@@ -194,6 +217,7 @@ parseOptions(int argc, char **argv, const char *what)
             std::printf(
                 "%s\noptions: --full | --requests N | --seed N |"
                 " --jobs N | --shards N | --workloads a,b,c |"
+                " --manifest FILE |"
                 " --stats-out DIR | --interval-us N | --trace-out DIR |"
                 " --trace-sample N | --perf | --perf-out DIR |"
                 " --decisions-out DIR | --paranoid |"
@@ -207,7 +231,7 @@ parseOptions(int argc, char **argv, const char *what)
         }
     }
     for (const auto &w : opt.workloads)
-        findWorkload(w); // fatal on typo, before any simulation runs
+        WorkloadCatalog::global().find(w); // fatal on typo, up front
     if (!opt.statsOut.empty())
         ensureWritableDir(opt.statsOut, "--stats-out", what);
     if (!opt.traceOut.empty())
@@ -258,13 +282,9 @@ Options::sweepWorkloads() const
 {
     if (!workloads.empty())
         return workloads;
-    if (full) {
-        std::vector<std::string> all;
-        for (const auto &w : allWorkloads())
-            all.push_back(w.name);
-        return all;
-    }
-    return representativeWorkloads();
+    if (full)
+        return WorkloadCatalog::global().names();
+    return WorkloadCatalog::representativeNames();
 }
 
 std::vector<std::string>
@@ -272,10 +292,7 @@ Options::suiteWorkloads() const
 {
     if (!workloads.empty())
         return workloads;
-    std::vector<std::string> all;
-    for (const auto &w : allWorkloads())
-        all.push_back(w.name);
-    return all;
+    return WorkloadCatalog::global().names();
 }
 
 TraceCache &
@@ -285,7 +302,7 @@ traceCache()
     return cache;
 }
 
-std::shared_ptr<const Trace>
+std::shared_ptr<const TraceStore>
 makeTrace(const std::string &workload, std::uint64_t requests,
           std::uint64_t seed)
 {

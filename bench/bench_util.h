@@ -6,9 +6,14 @@
  *
  * Every harness accepts:
  *   --full           paper-scale run (all workloads, long traces)
- *   --requests N     trace length override
+ *   --requests N     trace length override (also caps external traces)
  *   --workloads a,b  explicit workload list
- *   --list-workloads print the suite (incl. Table 3 mixes) and exit
+ *   --manifest FILE  load a traces.json corpus manifest; its traces
+ *                    become named workloads (an entry reusing a
+ *                    synthetic name replays the capture instead of
+ *                    generating — record-and-replay)
+ *   --list-workloads print the suite (incl. Table 3 mixes and loaded
+ *                    external traces) and exit
  *   --seed N         generator seed
  *   --jobs N         worker threads (default: hardware concurrency)
  *   --shards N       intra-simulation PDES shards (sim.shards); 0 =
@@ -41,8 +46,8 @@
 #include "common/perf.h"
 #include "sim/report.h"
 #include "sim/runner.h"
+#include "trace/catalog.h"
 #include "trace/record.h"
-#include "trace/workloads.h"
 
 namespace mempod::bench {
 
@@ -55,6 +60,7 @@ struct Options
     unsigned jobs = 0; //!< worker threads; 0 = hardware concurrency
     std::uint32_t shards = 0; //!< sim.shards; 0 = serial kernel
     std::vector<std::string> workloads; //!< empty = pick by mode
+    std::vector<std::string> manifests; //!< traces.json paths loaded
     std::string statsOut;        //!< stats directory; empty = no export
     std::uint64_t intervalUs = 50; //!< JSONL period (µs); 0 = off
     std::string traceOut;        //!< trace directory; empty = no tracing
@@ -114,17 +120,18 @@ void ensureWritableDir(const std::string &dir, const char *flag,
                        const char *what);
 
 /**
- * The harness-wide trace cache: mutex-guarded, generate-once per
+ * The harness-wide trace cache: mutex-guarded, build-once per
  * (workload, requests, seed). Shared by makeTrace() and every runner
- * built via runnerOptions(), so a trace is never generated twice even
- * across a harness's separate batches.
+ * built via runnerOptions(), so a synthetic trace is never generated
+ * twice — and an external trace is never duplicated — even across a
+ * harness's separate batches.
  */
 TraceCache &traceCache();
 
-/** Fetch/generate a trace through the shared cache. */
-std::shared_ptr<const Trace> makeTrace(const std::string &workload,
-                                       std::uint64_t requests,
-                                       std::uint64_t seed);
+/** Fetch/build the shared trace store through the harness cache. */
+std::shared_ptr<const TraceStore> makeTrace(const std::string &workload,
+                                            std::uint64_t requests,
+                                            std::uint64_t seed);
 
 /** RunnerOptions honoring --jobs, progress on stderr, shared cache. */
 RunnerOptions runnerOptions(const Options &opt);

@@ -38,7 +38,8 @@ main(int argc, char **argv)
     for (std::size_t w = 0; w < workloads.size(); ++w) {
         const std::string &name = workloads[w];
         const IntervalStudyResult &r = needStudy(results[w]);
-        const bool homog = findWorkload(name).homogeneous;
+        const bool homog =
+            WorkloadCatalog::global().find(name).homogeneous;
         for (int t = 0; t < 3; ++t)
             (homog ? hg : mix)[t].push_back(
                 100 * r.meaCountingAccuracy[t]);

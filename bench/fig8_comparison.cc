@@ -71,7 +71,8 @@ main(int argc, char **argv)
     for (std::size_t w = 0; w < workloads.size(); ++w) {
         const std::string &name = workloads[w];
         const double base = need(results[w * stride]).ammatNs;
-        const bool homog = findWorkload(name).homogeneous;
+        const bool homog =
+            WorkloadCatalog::global().find(name).homogeneous;
 
         std::vector<std::string> row{name, homog ? "HG" : "MIX"};
         std::vector<std::string> trow{name};

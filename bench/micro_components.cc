@@ -22,7 +22,7 @@
 #include "sim/simulation.h"
 #include "tracking/full_counters.h"
 #include "tracking/mea.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace {
 
@@ -253,7 +253,7 @@ BM_TraceGeneration(benchmark::State &state)
     gc.totalRequests = 50000;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            buildWorkloadTrace(findWorkload("mix5"), gc));
+            WorkloadCatalog::global().build("mix5", gc));
     }
     state.SetItemsProcessed(state.iterations() * gc.totalRequests);
 }
@@ -264,7 +264,7 @@ BM_EndToEndMemPod(benchmark::State &state)
 {
     GeneratorConfig gc;
     gc.totalRequests = 50000;
-    const Trace trace = buildWorkloadTrace(findWorkload("xalanc"), gc);
+    const Trace trace = WorkloadCatalog::global().build("xalanc", gc);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             runSimulation(SimConfig::paper(Mechanism::kMemPod), trace));
@@ -282,7 +282,7 @@ BM_EndToEndMemPodPerf(benchmark::State &state)
     // the instrumentation is a single branch on a null pointer.
     GeneratorConfig gc;
     gc.totalRequests = 50000;
-    const Trace trace = buildWorkloadTrace(findWorkload("xalanc"), gc);
+    const Trace trace = WorkloadCatalog::global().build("xalanc", gc);
     SimConfig cfg = SimConfig::paper(Mechanism::kMemPod);
     cfg.perfEnabled = true;
     for (auto _ : state) {

@@ -20,7 +20,7 @@
 #include "sim/report.h"
 #include "sim/runner.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace {
 
@@ -73,7 +73,7 @@ main(int argc, char **argv)
 
     GeneratorConfig gen;
     gen.totalRequests = requests;
-    if (!tryFindWorkload(workload)) {
+    if (!WorkloadCatalog::global().tryFind(workload)) {
         std::fprintf(stderr, "unknown workload '%s'\n",
                      workload.c_str());
         return 2;

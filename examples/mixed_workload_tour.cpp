@@ -14,7 +14,7 @@
 
 #include "sim/report.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 int
 main(int argc, char **argv)
@@ -25,15 +25,15 @@ main(int argc, char **argv)
     const std::uint64_t requests =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400'000;
 
-    const WorkloadSpec &spec = findWorkload(name);
-    std::printf("workload %s:", spec.name.c_str());
-    for (const auto &b : spec.benchmarks)
+    const CatalogEntry &entry = WorkloadCatalog::global().find(name);
+    std::printf("workload %s:", entry.name.c_str());
+    for (const auto &b : entry.synthetic.benchmarks)
         std::printf(" %s", b.c_str());
     std::printf("\n\n");
 
     GeneratorConfig gen;
     gen.totalRequests = requests;
-    const Trace trace = buildWorkloadTrace(spec, gen);
+    const Trace trace = WorkloadCatalog::global().build(name, gen);
 
     TablePrinter table({"mechanism", "AMMAT (ns)", "norm.", "fast %",
                         "migrations", "moved (MiB)", "blocked reqs",
@@ -46,7 +46,7 @@ main(int argc, char **argv)
         SimConfig cfg = SimConfig::paper(m);
         if (m == Mechanism::kHma)
             cfg.scaleHmaEpoch(40.0); // see EXPERIMENTS.md scale note
-        const RunResult r = runSimulation(cfg, trace, spec.name);
+        const RunResult r = runSimulation(cfg, trace, entry.name);
         if (m == Mechanism::kNoMigration)
             base = r.ammatNs;
         table.addRow({r.mechanism, TablePrinter::num(r.ammatNs, 1),

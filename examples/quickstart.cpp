@@ -13,7 +13,7 @@
 
 #include "sim/report.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 int
 main(int argc, char **argv)
@@ -28,12 +28,14 @@ main(int argc, char **argv)
     GeneratorConfig gen;
     gen.totalRequests = requests;
     gen.seed = 42;
-    const WorkloadSpec &spec = findWorkload(workload_name);
-    const Trace trace = buildWorkloadTrace(spec, gen);
+    const CatalogEntry &entry =
+        WorkloadCatalog::global().find(workload_name);
+    const Trace trace =
+        WorkloadCatalog::global().build(workload_name, gen);
     const TraceSummary summary = summarize(trace);
     std::printf("workload %s: %llu requests, %.1f req/us, "
                 "%llu distinct pages, %.2f ms of execution\n",
-                spec.name.c_str(),
+                entry.name.c_str(),
                 static_cast<unsigned long long>(summary.records),
                 summary.requestsPerUs,
                 static_cast<unsigned long long>(summary.touchedPages),
@@ -47,7 +49,7 @@ main(int argc, char **argv)
     for (const Mechanism m :
          {Mechanism::kNoMigration, Mechanism::kMemPod}) {
         SimConfig cfg = SimConfig::paper(m);
-        const RunResult r = runSimulation(cfg, trace, spec.name);
+        const RunResult r = runSimulation(cfg, trace, entry.name);
         if (m == Mechanism::kNoMigration)
             base_ammat = r.ammatNs;
         table.addRow({r.mechanism, TablePrinter::num(r.ammatNs, 1),

@@ -61,6 +61,21 @@ pageStreamFromTrace(const Trace &trace)
     return stream;
 }
 
+std::vector<std::uint64_t>
+pageStreamFromSource(TraceSource &source)
+{
+    source.reset();
+    std::vector<std::uint64_t> stream;
+    stream.reserve(source.size());
+    TraceRecord r;
+    while (source.next(r)) {
+        stream.push_back((static_cast<std::uint64_t>(r.core) << 48) |
+                         (r.coreLocal / kPageBytes));
+    }
+    source.reset();
+    return stream;
+}
+
 IntervalStudyResult
 runIntervalStudy(const std::vector<std::uint64_t> &page_stream,
                  const IntervalStudyConfig &config)

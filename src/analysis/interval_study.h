@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "trace/record.h"
+#include "trace/source.h"
 
 namespace mempod {
 
@@ -47,6 +48,9 @@ struct IntervalStudyResult
 
 /** Reduce a trace to its page-id stream (core-disambiguated). */
 std::vector<std::uint64_t> pageStreamFromTrace(const Trace &trace);
+
+/** Same, streaming from a TraceSource (resets it first). */
+std::vector<std::uint64_t> pageStreamFromSource(TraceSource &source);
 
 /** Run the study over a page-id stream. */
 IntervalStudyResult runIntervalStudy(

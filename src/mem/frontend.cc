@@ -18,12 +18,30 @@ TraceFrontend::TraceFrontend(EventQueue &eq, MemoryManager &manager,
 }
 
 void
+TraceFrontend::setSource(TraceSource &source)
+{
+    ownedSource_.reset();
+    source_ = &source;
+    source_->reset();
+    totalRecords_ = source_->size();
+    headValid_ = source_->next(head_);
+}
+
+void
+TraceFrontend::setTrace(const Trace &trace)
+{
+    auto owned = std::make_unique<VectorTraceSource>(trace);
+    setSource(*owned);
+    ownedSource_ = std::move(owned); // keep alive; setSource cleared it
+}
+
+void
 TraceFrontend::start()
 {
-    MEMPOD_ASSERT(trace_ != nullptr, "no trace set");
-    if (trace_->empty())
+    MEMPOD_ASSERT(source_ != nullptr, "no trace source set");
+    if (!headValid_)
         return;
-    schedulePump(std::max(eq_.now(), trace_->front().time));
+    schedulePump(std::max(eq_.now(), head_.time));
 }
 
 void
@@ -45,16 +63,15 @@ TraceFrontend::suspendCores(TimePs duration)
 bool
 TraceFrontend::done() const
 {
-    return trace_ != nullptr && nextIdx_ == trace_->size() &&
-           outstanding_ == 0;
+    return source_ != nullptr && !headValid_ && outstanding_ == 0;
 }
 
 double
 TraceFrontend::ammatPs() const
 {
-    if (trace_ == nullptr || trace_->empty())
+    if (source_ == nullptr || totalRecords_ == 0)
         return 0.0;
-    return totalStallPs_ / static_cast<double>(trace_->size());
+    return totalStallPs_ / static_cast<double>(totalRecords_);
 }
 
 void
@@ -63,7 +80,7 @@ TraceFrontend::registerMetrics(MetricRegistry &reg,
 {
     reg.addCounterFn("frontend.issued",
                      "trace records admitted into the memory system",
-                     [this] { return nextIdx_; });
+                     [this] { return issued_; });
     reg.attachCounter("frontend.completed",
                       "demand requests completed", &completed_);
     reg.addGauge("frontend.outstanding",
@@ -179,15 +196,16 @@ TraceFrontend::pump()
         schedulePump(stalledUntil_);
         return;
     }
-    while (nextIdx_ < trace_->size() && outstanding_ < maxOutstanding_) {
-        const TraceRecord &rec = (*trace_)[nextIdx_];
+    while (headValid_ && outstanding_ < maxOutstanding_) {
+        const TraceRecord rec = head_;
         const TimePs due = rec.time + timeShift_;
         if (due > now) {
             schedulePump(due);
             return;
         }
-        const std::uint64_t record = nextIdx_;
-        ++nextIdx_;
+        const std::uint64_t record = issued_;
+        ++issued_;
+        headValid_ = source_->next(head_);
         ++outstanding_;
         const Addr phys = placement_.physicalAddr(rec.core, rec.coreLocal);
         const TimePs arrival = due;

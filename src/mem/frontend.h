@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/event_queue.h"
 #include "common/metrics.h"
@@ -18,10 +19,11 @@
 #include "mem/address_map.h"
 #include "mem/manager.h"
 #include "trace/record.h"
+#include "trace/source.h"
 
 namespace mempod {
 
-/** Replays a trace through a MemoryManager. */
+/** Replays a trace stream through a MemoryManager. */
 class TraceFrontend
 {
   public:
@@ -35,8 +37,16 @@ class TraceFrontend
                   const LogicalToPhysical &placement,
                   std::uint32_t max_outstanding = 64);
 
-    /** Provide the trace (kept by reference; must outlive the run). */
-    void setTrace(const Trace &trace) { trace_ = &trace; }
+    /**
+     * Provide the record stream (kept by reference; must outlive the
+     * run). The frontend holds a one-record lookahead, so a streaming
+     * source replays in O(1) memory. Resets the source and primes the
+     * lookahead.
+     */
+    void setSource(TraceSource &source);
+
+    /** Convenience: stream an in-memory trace (must outlive the run). */
+    void setTrace(const Trace &trace);
 
     /** Schedule the first arrival. */
     void start();
@@ -108,11 +118,17 @@ class TraceFrontend
     EventQueue &eq_;
     MemoryManager &manager_;
     const LogicalToPhysical &placement_;
-    const Trace *trace_ = nullptr;
+    TraceSource *source_ = nullptr;
+    std::unique_ptr<TraceSource> ownedSource_; //!< setTrace() wrapper
+    std::uint64_t totalRecords_ = 0;
+
+    /** One-record lookahead: the next record to admit, if any. */
+    TraceRecord head_;
+    bool headValid_ = false;
 
     std::uint32_t maxOutstanding_;
     std::uint32_t outstanding_ = 0;
-    std::uint64_t nextIdx_ = 0;
+    std::uint64_t issued_ = 0;
     std::uint64_t completed_ = 0;
     TimePs stalledUntil_ = 0;
     TimePs timeShift_ = 0; //!< accumulated core-suspension time

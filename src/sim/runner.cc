@@ -10,46 +10,45 @@
 
 #include "sim/simulation.h"
 #include "sim/stats_writer.h"
-#include "trace/workloads.h"
 
 namespace mempod {
 
-std::shared_ptr<const Trace>
+std::shared_ptr<const TraceStore>
 TraceCache::get(const std::string &workload, const GeneratorConfig &gen)
 {
     const Key key{workload, gen.totalRequests, gen.seed,
                   gen.footprintScale, gen.rateScale};
 
-    std::shared_future<std::shared_ptr<const Trace>> future;
-    std::promise<std::shared_ptr<const Trace>> promise;
-    bool generate = false;
+    std::shared_future<std::shared_ptr<const TraceStore>> future;
+    std::promise<std::shared_ptr<const TraceStore>> promise;
+    bool build = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = entries_.find(key);
         if (it == entries_.end()) {
             future = promise.get_future().share();
             entries_.emplace(key, future);
-            generate = true;
+            build = true;
         } else {
             future = it->second;
         }
     }
 
-    if (generate) {
-        // Generation runs outside the lock so distinct keys build in
-        // parallel; same-key requesters block on the future instead.
+    if (build) {
+        // Store construction runs outside the lock so distinct keys
+        // build in parallel; same-key requesters block on the future.
         try {
-            const WorkloadSpec *spec = tryFindWorkload(workload);
-            if (!spec)
+            const WorkloadCatalog &cat =
+                catalog_ ? *catalog_ : WorkloadCatalog::global();
+            if (cat.tryFind(workload) == nullptr)
                 throw std::invalid_argument("unknown workload '" +
                                             workload + "'");
-            promise.set_value(std::make_shared<const Trace>(
-                buildWorkloadTrace(*spec, gen)));
+            promise.set_value(cat.makeStore(workload, gen));
         } catch (...) {
             promise.set_exception(std::current_exception());
         }
     }
-    return future.get(); // rethrows the generator's exception, if any
+    return future.get(); // rethrows the builder's exception, if any
 }
 
 std::size_t
@@ -91,13 +90,18 @@ BatchRunner::execute(const BatchJob &job, std::size_t index)
     out.label = job.label;
     const auto t0 = std::chrono::steady_clock::now();
     try {
-        std::shared_ptr<const Trace> trace = job.trace;
-        if (!trace)
-            trace = traceCache().get(job.workload, job.gen);
+        // Each job gets its own single-owner cursor over the shared
+        // backing (explicit trace, or the cache's store).
+        std::unique_ptr<TraceSource> source;
+        if (job.trace) {
+            source = std::make_unique<VectorTraceSource>(job.trace);
+        } else {
+            source = traceCache().get(job.workload, job.gen)->open();
+        }
         switch (job.kind) {
           case JobKind::kTiming: {
             Simulation sim(job.config);
-            out.result = sim.run(*trace, job.workload);
+            out.result = sim.run(*source, job.workload);
             const std::string stem = StatsWriter::jobFileStem(
                 index, job.label, job.workload);
             if (!opt_.statsDir.empty()) {
@@ -134,8 +138,8 @@ BatchRunner::execute(const BatchJob &job, std::size_t index)
             break;
           }
           case JobKind::kIntervalStudy:
-            out.study =
-                runIntervalStudy(pageStreamFromTrace(*trace), job.study);
+            out.study = runIntervalStudy(pageStreamFromSource(*source),
+                                         job.study);
             break;
         }
         out.ok = true;

@@ -34,38 +34,50 @@
 #include "common/perf.h"
 #include "sim/config.h"
 #include "sim/report.h"
+#include "trace/catalog.h"
 #include "trace/generator.h"
 #include "trace/record.h"
 
 namespace mempod {
 
 /**
- * Keyed trace store: at most one generation per
- * (workload, requests, seed, footprintScale, rateScale), safe to hit
- * from many threads. The first requester of a key generates while the
- * lock is released; concurrent requesters of the same key block on its
- * future instead of duplicating the work, and requesters of other keys
- * generate in parallel. Cached traces are immutable.
+ * Keyed store cache: at most one TraceStore per catalog entry +
+ * generator/scaling params (workload, requests, seed, footprintScale,
+ * rateScale), safe to hit from many threads. The first requester of a
+ * key builds the store while the lock is released; concurrent
+ * requesters of the same key block on its future instead of
+ * duplicating the work, and requesters of other keys build in
+ * parallel. For synthetic workloads the store holds the
+ * generated-once trace; for manifest-declared external traces it
+ * holds the validated recipe and each job opens a cheap streaming
+ * cursor — the trace bytes are never duplicated per job.
  */
 class TraceCache
 {
   public:
+    /** Resolves names through this catalog; default is the global. */
+    explicit TraceCache(const WorkloadCatalog *catalog = nullptr)
+        : catalog_(catalog)
+    {
+    }
+
     /**
-     * Fetch (or generate) the trace for `workload` under `gen`.
+     * Fetch (or build) the shared store for `workload` under `gen`.
      * Throws std::invalid_argument for an unknown workload name.
      */
-    std::shared_ptr<const Trace> get(const std::string &workload,
-                                     const GeneratorConfig &gen);
+    std::shared_ptr<const TraceStore> get(const std::string &workload,
+                                          const GeneratorConfig &gen);
 
-    /** Number of distinct traces generated so far. */
+    /** Number of distinct stores built so far. */
     std::size_t size() const;
 
   private:
     using Key = std::tuple<std::string, std::uint64_t, std::uint64_t,
                            double, double>;
 
+    const WorkloadCatalog *catalog_;
     mutable std::mutex mu_;
-    std::map<Key, std::shared_future<std::shared_ptr<const Trace>>>
+    std::map<Key, std::shared_future<std::shared_ptr<const TraceStore>>>
         entries_;
 };
 

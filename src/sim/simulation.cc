@@ -126,8 +126,16 @@ Simulation::~Simulation() = default;
 RunResult
 Simulation::run(const Trace &trace, const std::string &workload_name)
 {
+    VectorTraceSource source(trace);
+    return run(source, workload_name);
+}
+
+RunResult
+Simulation::run(TraceSource &source, const std::string &workload_name)
+{
     PerfScope run_scope(perf_.get(), "run");
-    frontend_->setTrace(trace);
+    const std::uint64_t trace_records = source.size();
+    frontend_->setSource(source);
     manager_->start();
     frontend_->start();
     if (sampler_)
@@ -156,17 +164,18 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
             exec_ ? exec_->totalExecuted() : eq_.executed();
         const std::uint64_t done_n = frontend_->completed();
         const double frac =
-            trace.size() ? static_cast<double>(done_n) /
-                               static_cast<double>(trace.size())
-                         : 0.0;
+            trace_records ? static_cast<double>(done_n) /
+                                static_cast<double>(trace_records)
+                          : 0.0;
         const double sim_ms = static_cast<double>(eq_.now()) / 1e9;
         std::fprintf(
             stderr,
-            "[perf]%s%s sim %.3f ms | %llu/%zu demands | %.2f M ev/s | "
+            "[perf]%s%s sim %.3f ms | %llu/%llu demands | %.2f M ev/s | "
             "%.2f ms sim/s | ETA %.0f s\n",
             workload_name.empty() ? "" : " ",
             workload_name.c_str(), sim_ms,
-            static_cast<unsigned long long>(done_n), trace.size(),
+            static_cast<unsigned long long>(done_n),
+            static_cast<unsigned long long>(trace_records),
             wall > 0 ? static_cast<double>(events) / wall / 1e6 : 0.0,
             wall > 0 ? sim_ms / wall : 0.0,
             frac > 0.0 ? wall * (1.0 - frac) / frac : 0.0);
@@ -242,7 +251,7 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
     r.workload = workload_name;
     r.mechanism = manager_->name();
     r.ammatNs = s.real("frontend.ammat_ps") / 1000.0;
-    r.demandRequests = trace.size();
+    r.demandRequests = trace_records;
     r.completed = s.u64("frontend.completed");
     const std::uint64_t demand_fast = s.u64("mem.demand_fast");
     const std::uint64_t demand_total =
@@ -276,9 +285,9 @@ Simulation::run(const Trace &trace, const std::string &workload_name)
     // AMMAT attribution: the per-stage picosecond sums partition every
     // completed demand's arrival-to-finish interval, so dividing by the
     // AMMAT denominator (the trace length) makes them sum to ammatNs.
-    if (!trace.empty()) {
+    if (trace_records != 0) {
         const double denom =
-            static_cast<double>(trace.size()) * 1000.0; // ps -> ns
+            static_cast<double>(trace_records) * 1000.0; // ps -> ns
         r.attribution.mshrWaitNs =
             static_cast<double>(s.u64("frontend.mshr_wait_ps")) / denom;
         r.attribution.metadataNs =
@@ -415,6 +424,14 @@ runSimulation(const SimConfig &config, const Trace &trace,
 {
     Simulation sim(config);
     return sim.run(trace, workload_name);
+}
+
+RunResult
+runSimulation(const SimConfig &config, TraceSource &source,
+              const std::string &workload_name)
+{
+    Simulation sim(config);
+    return sim.run(source, workload_name);
 }
 
 } // namespace mempod

@@ -23,6 +23,7 @@
 #include "sim/report.h"
 #include "sim/validate.h"
 #include "trace/record.h"
+#include "trace/source.h"
 
 namespace mempod {
 
@@ -36,7 +37,15 @@ class Simulation
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
 
-    /** Replay `trace` to completion and collect statistics. */
+    /**
+     * Replay a record stream to completion and collect statistics.
+     * Streaming sources (disk-backed replays) run in O(1) memory; the
+     * frontend keeps only a one-record lookahead.
+     */
+    RunResult run(TraceSource &source,
+                  const std::string &workload_name = "");
+
+    /** Convenience: replay an in-memory trace. */
     RunResult run(const Trace &trace,
                   const std::string &workload_name = "");
 
@@ -130,6 +139,8 @@ class Simulation
 
 /** Convenience: build + run in one call. */
 RunResult runSimulation(const SimConfig &config, const Trace &trace,
+                        const std::string &workload_name = "");
+RunResult runSimulation(const SimConfig &config, TraceSource &source,
                         const std::string &workload_name = "");
 
 } // namespace mempod

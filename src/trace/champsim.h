@@ -1,0 +1,127 @@
+/**
+ * @file
+ * ChampSim-format trace backend. ChampSim input traces are a flat
+ * array of 64-byte `input_instr` records (no file header): the
+ * instruction pointer, branch bytes, register ids, then two
+ * destination (store) and four source (load) memory addresses, where
+ * an address of zero means "slot unused".
+ *
+ * The format carries neither timestamps nor a core id, so two manifest
+ * knobs recover them:
+ *  - core mapping: one file per core, each manifest entry naming its
+ *    core index; the reader k-way-merges the per-core streams keyed
+ *    (time, core, per-file order) — the exact tie order the synthetic
+ *    generator's stable time sort produces, which is what makes
+ *    record-and-replay through ChampSim files byte-identical.
+ *  - timing: "period" synthesizes time = instruction-index × periodPs
+ *    (for traces from real ChampSim tooling); "ip" reads the arrival
+ *    time in picoseconds out of the ip field (our converter stores it
+ *    there, making the round trip lossless).
+ *
+ * A converter-side address bias (default 64, one line) keeps the
+ * all-zero core-local address representable despite the zero-means-
+ * unused convention; the reader subtracts it back out.
+ *
+ * Only raw (uncompressed) files are supported — decompress .xz/.gz
+ * captures before pointing the manifest at them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/mapped_file.h"
+#include "trace/source.h"
+
+namespace mempod {
+
+namespace champsim {
+constexpr std::uint64_t kInstrBytes = 64;
+constexpr std::uint64_t kDstSlots = 2; //!< store addresses per instr
+constexpr std::uint64_t kSrcSlots = 4; //!< load addresses per instr
+/** Converter default: bias addresses by one line so 0 stays usable. */
+constexpr std::uint64_t kDefaultAddrBias = 64;
+} // namespace champsim
+
+/** How a ChampSim stream gets its timestamps (see file comment). */
+enum class ChampSimTiming
+{
+    kPeriod, //!< time = per-file instruction index × periodPs
+    kIp,     //!< time = the instr's ip field, in picoseconds
+};
+
+/** One per-core ChampSim file. */
+struct ChampSimFileSpec
+{
+    std::string path;
+    std::uint8_t core = 0;
+};
+
+/**
+ * Streaming reader over a set of per-core ChampSim files: decodes
+ * through bounded mmap windows and k-way-merges the per-core streams
+ * into one time-ordered stream. Pre-scans each file once at open to
+ * learn the record count (TraceSource::size contract).
+ */
+class ChampSimTraceSource final : public TraceSource
+{
+  public:
+    ChampSimTraceSource(
+        std::vector<ChampSimFileSpec> files, ChampSimTiming timing,
+        TimePs period_ps, std::uint64_t addr_bias,
+        std::uint64_t max_records = 0,
+        std::uint64_t window_bytes = MappedFile::kDefaultWindowBytes);
+
+    bool next(TraceRecord &out) override;
+    void reset() override;
+    std::uint64_t size() const override { return limit_; }
+    std::uint64_t maxResidentBytes() const override;
+
+  private:
+    /** Per-core cursor: one file, a few pending records per instr. */
+    struct PerFile
+    {
+        std::unique_ptr<MappedFile> file;
+        std::uint8_t core = 0;
+        std::uint64_t instrCount = 0;
+        std::uint64_t instrIdx = 0;
+        TraceRecord pending[champsim::kDstSlots + champsim::kSrcSlots];
+        int pendingN = 0;
+        int pendingI = 0;
+        bool headValid = false;
+        TraceRecord head;
+    };
+
+    void advance(PerFile &pf);
+
+    std::vector<PerFile> files_;
+    ChampSimTiming timing_;
+    TimePs periodPs_;
+    std::uint64_t addrBias_;
+    std::uint64_t limit_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
+/** What convertToChampSim wrote (feed straight into a manifest). */
+struct ChampSimConvertResult
+{
+    std::vector<ChampSimFileSpec> files;
+    std::uint64_t records = 0;
+};
+
+/**
+ * Split a time-ordered stream into per-core ChampSim files named
+ * `<stem>.core<k>.champsim`, one instruction per record. With
+ * ChampSimTiming::kIp the arrival time is stored in the ip field and
+ * the round trip is lossless; with kPeriod the ip holds the original
+ * core-local address (cosmetic) and timing is resynthesized on read.
+ */
+ChampSimConvertResult convertToChampSim(TraceSource &source,
+                                        const std::string &stem,
+                                        ChampSimTiming timing,
+                                        std::uint64_t addr_bias =
+                                            champsim::kDefaultAddrBias);
+
+} // namespace mempod

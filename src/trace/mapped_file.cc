@@ -1,0 +1,88 @@
+#include "trace/mapped_file.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/log.h"
+
+namespace mempod {
+
+MappedFile::MappedFile(const std::string &path,
+                       std::uint64_t window_bytes)
+    : path_(path),
+      windowBytes_(std::max<std::uint64_t>(window_bytes, 4096))
+{
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0) {
+        MEMPOD_FATAL("cannot open trace file '%s': %s", path.c_str(),
+                     std::strerror(errno));
+    }
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) {
+        MEMPOD_FATAL("cannot stat trace file '%s': %s", path.c_str(),
+                     std::strerror(errno));
+    }
+    fileSize_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+MappedFile::~MappedFile()
+{
+    if (base_ != nullptr)
+        ::munmap(base_, mapLen_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+const std::uint8_t *
+MappedFile::at(std::uint64_t off, std::uint64_t len)
+{
+    if (off + len > fileSize_ || off + len < off) {
+        MEMPOD_FATAL("'%s': truncated trace — need bytes [%llu, %llu) "
+                     "but the file is only %llu bytes",
+                     path_.c_str(),
+                     static_cast<unsigned long long>(off),
+                     static_cast<unsigned long long>(off + len),
+                     static_cast<unsigned long long>(fileSize_));
+    }
+    if (base_ == nullptr || off < mapOff_ ||
+        off + len > mapOff_ + mapLen_)
+        remap(off, len);
+    return base_ + (off - mapOff_);
+}
+
+void
+MappedFile::remap(std::uint64_t off, std::uint64_t len)
+{
+    if (base_ != nullptr) {
+        ::munmap(base_, mapLen_);
+        base_ = nullptr;
+    }
+    // Page-align the window start; extend it to cover the request even
+    // when a single record straddles the nominal window size.
+    const std::uint64_t page = 4096;
+    const std::uint64_t new_off = (off / page) * page;
+    std::uint64_t new_len =
+        std::max(windowBytes_, (off - new_off) + len);
+    new_len = std::min(new_len, fileSize_ - new_off);
+    void *m = ::mmap(nullptr, new_len, PROT_READ, MAP_PRIVATE, fd_,
+                     static_cast<off_t>(new_off));
+    if (m == MAP_FAILED) {
+        MEMPOD_FATAL("mmap of '%s' failed at offset %llu: %s",
+                     path_.c_str(),
+                     static_cast<unsigned long long>(new_off),
+                     std::strerror(errno));
+    }
+    ::madvise(m, new_len, MADV_SEQUENTIAL);
+    base_ = static_cast<std::uint8_t *>(m);
+    mapOff_ = new_off;
+    mapLen_ = new_len;
+    maxMapped_ = std::max(maxMapped_, new_len);
+}
+
+} // namespace mempod

@@ -1,75 +1,23 @@
 #include "trace/record.h"
 
-#include <cstdio>
 #include <unordered_set>
 
-#include "common/log.h"
+#include "trace/native.h"
+#include "trace/source.h"
 
 namespace mempod {
-
-namespace {
-constexpr std::uint64_t kTraceMagic = 0x4d454d504f445452ull; // "MEMPODTR"
-} // namespace
 
 void
 saveTrace(const Trace &trace, const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        MEMPOD_FATAL("cannot open trace file '%s' for writing",
-                     path.c_str());
-    const std::uint64_t count = trace.size();
-    std::fwrite(&kTraceMagic, sizeof(kTraceMagic), 1, f);
-    std::fwrite(&count, sizeof(count), 1, f);
-    for (const auto &r : trace) {
-        std::fwrite(&r.time, sizeof(r.time), 1, f);
-        std::fwrite(&r.coreLocal, sizeof(r.coreLocal), 1, f);
-        const std::uint8_t core = r.core;
-        const std::uint8_t type =
-            r.type == AccessType::kWrite ? 1 : 0;
-        std::fwrite(&core, 1, 1, f);
-        std::fwrite(&type, 1, 1, f);
-    }
-    std::fclose(f);
+    writeNativeTrace(trace, path);
 }
 
 Trace
 loadTrace(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        MEMPOD_FATAL("cannot open trace file '%s'", path.c_str());
-    std::uint64_t magic = 0;
-    std::uint64_t count = 0;
-    if (std::fread(&magic, sizeof(magic), 1, f) != 1 ||
-        magic != kTraceMagic) {
-        std::fclose(f);
-        MEMPOD_FATAL("'%s' is not a mempod trace", path.c_str());
-    }
-    if (std::fread(&count, sizeof(count), 1, f) != 1) {
-        std::fclose(f);
-        MEMPOD_FATAL("'%s': truncated header", path.c_str());
-    }
-    Trace trace;
-    trace.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        TraceRecord r;
-        std::uint8_t core = 0;
-        std::uint8_t type = 0;
-        if (std::fread(&r.time, sizeof(r.time), 1, f) != 1 ||
-            std::fread(&r.coreLocal, sizeof(r.coreLocal), 1, f) != 1 ||
-            std::fread(&core, 1, 1, f) != 1 ||
-            std::fread(&type, 1, 1, f) != 1) {
-            std::fclose(f);
-            MEMPOD_FATAL("'%s': truncated at record %llu", path.c_str(),
-                         static_cast<unsigned long long>(i));
-        }
-        r.core = core;
-        r.type = type ? AccessType::kWrite : AccessType::kRead;
-        trace.push_back(r);
-    }
-    std::fclose(f);
-    return trace;
+    NativeTraceSource source(path);
+    return materialize(source);
 }
 
 TraceSummary

@@ -27,10 +27,17 @@ struct TraceRecord
 
 using Trace = std::vector<TraceRecord>;
 
-/** Serialize a trace to a compact binary file. */
+/**
+ * Serialize a trace to the native on-disk format (versioned header;
+ * see trace/native.h).
+ */
 void saveTrace(const Trace &trace, const std::string &path);
 
-/** Load a trace written by saveTrace. Fatal on malformed input. */
+/**
+ * Materialize a trace written by saveTrace. Fatal, with an actionable
+ * message, on foreign/truncated/version- or endian-mismatched files.
+ * Streaming replay should use NativeTraceSource directly.
+ */
 Trace loadTrace(const std::string &path);
 
 /** Summary statistics of a trace (for tests and reports). */

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SIFT-format trace backend (the Sniper frontend's trace format). We
+ * read the uncompressed memory-access subset of SIFT: a header
+ * { u32 magic "SIFT", u32 headerSize, u64 options } followed by
+ * kind-tagged records. Compressed streams (any non-zero options word)
+ * are rejected with an actionable error — decompress with the Sniper
+ * tooling first.
+ *
+ * Record subset (1-byte kind tag):
+ *   0x00 End        — end of stream
+ *   0x01 MemAccess  — { u64 icount, u64 vaddr, u8 isWrite }
+ *
+ * SIFT carries an instruction count per access, not wall time; the
+ * manifest's period_ps converts it (time = icount × periodPs). Like
+ * ChampSim, one file per core, merged on (time, core, file order).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/mapped_file.h"
+#include "trace/source.h"
+
+namespace mempod {
+
+namespace sift {
+constexpr std::uint32_t kMagic = 0x54464953u; // "SIFT" little-endian
+constexpr std::uint64_t kHeaderBytes = 16;
+constexpr std::uint8_t kRecordEnd = 0x00;
+constexpr std::uint8_t kRecordMemAccess = 0x01;
+constexpr std::uint64_t kMemAccessBytes = 18; //!< kind + payload
+} // namespace sift
+
+/** One per-core SIFT file. */
+struct SiftFileSpec
+{
+    std::string path;
+    std::uint8_t core = 0;
+};
+
+/**
+ * Streaming reader over per-core SIFT files: header-validated at open,
+ * decoded through bounded mmap windows, k-way-merged on
+ * (time, core, file order). Pre-scans once to learn the record count.
+ */
+class SiftTraceSource final : public TraceSource
+{
+  public:
+    SiftTraceSource(
+        std::vector<SiftFileSpec> files, TimePs period_ps,
+        std::uint64_t max_records = 0,
+        std::uint64_t window_bytes = MappedFile::kDefaultWindowBytes);
+
+    bool next(TraceRecord &out) override;
+    void reset() override;
+    std::uint64_t size() const override { return limit_; }
+    std::uint64_t maxResidentBytes() const override;
+
+  private:
+    struct PerFile
+    {
+        std::unique_ptr<MappedFile> file;
+        std::uint8_t core = 0;
+        std::uint64_t offset = 0; //!< next record's byte offset
+        bool headValid = false;
+        TraceRecord head;
+    };
+
+    void advance(PerFile &pf);
+
+    std::vector<PerFile> files_;
+    TimePs periodPs_;
+    std::uint64_t limit_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
+/** What convertToSift wrote (feed straight into a manifest). */
+struct SiftConvertResult
+{
+    std::vector<SiftFileSpec> files;
+    std::uint64_t records = 0;
+};
+
+/**
+ * Split a time-ordered stream into per-core SIFT files named
+ * `<stem>.core<k>.sift`, one MemAccess per record with
+ * icount = time / period_ps. Lossless when period_ps is 1 (or divides
+ * every timestamp); otherwise timing quantizes to the period grid.
+ */
+SiftConvertResult convertToSift(TraceSource &source,
+                                const std::string &stem,
+                                TimePs period_ps);
+
+} // namespace mempod

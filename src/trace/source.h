@@ -1,0 +1,119 @@
+/**
+ * @file
+ * TraceSource: the pull-based stream of trace records every frontend
+ * consumes. A source yields TraceRecords in non-decreasing time order,
+ * one at a time, so a multi-GB on-disk trace replays in O(1) memory
+ * (file-backed sources decode through a bounded mmap window) while a
+ * generated synthetic trace streams straight out of its vector.
+ *
+ * Sources are single-owner cursors: cheap to open, not shared across
+ * threads. Shared immutable state (a materialized synthetic trace, a
+ * validated on-disk file) lives behind the TraceCache, which hands
+ * each job its own cursor over the common backing.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/record.h"
+
+namespace mempod {
+
+/** A forward-only stream of time-ordered trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Yield the next record; false at end of stream. */
+    virtual bool next(TraceRecord &out) = 0;
+
+    /** Rewind to the first record. */
+    virtual void reset() = 0;
+
+    /**
+     * Total records this source yields (after any record limit). Known
+     * up front for every backend — the native header carries the
+     * count, and the file readers pre-scan once at open — because the
+     * frontend's AMMAT denominator and progress reporting need it
+     * before the stream is consumed.
+     */
+    virtual std::uint64_t size() const = 0;
+
+    /**
+     * Peak bytes of file data this source keeps mapped at once; 0 for
+     * in-memory sources. Independent of trace length for the streaming
+     * readers (bounded by the mmap window) — the property the
+     * streaming tests pin.
+     */
+    virtual std::uint64_t maxResidentBytes() const { return 0; }
+};
+
+/**
+ * In-memory source over a Trace vector. Non-owning when built from a
+ * raw reference (caller keeps the vector alive); owning when built
+ * from a shared_ptr (the cache's handout path).
+ */
+class VectorTraceSource final : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(const Trace &trace) : trace_(&trace) {}
+    explicit VectorTraceSource(std::shared_ptr<const Trace> trace)
+        : owned_(std::move(trace)), trace_(owned_.get())
+    {
+    }
+
+    bool
+    next(TraceRecord &out) override
+    {
+        if (idx_ >= trace_->size())
+            return false;
+        out = (*trace_)[idx_++];
+        return true;
+    }
+
+    void reset() override { idx_ = 0; }
+    std::uint64_t size() const override { return trace_->size(); }
+
+  private:
+    std::shared_ptr<const Trace> owned_;
+    const Trace *trace_;
+    std::uint64_t idx_ = 0;
+};
+
+/**
+ * Scales every timestamp of an inner source by a constant (manifest
+ * time_scale and the generator's rateScale applied to external
+ * traces). Rounding is llround — fixed and platform-independent, so
+ * scaled replays stay deterministic.
+ */
+class ScaledTraceSource final : public TraceSource
+{
+  public:
+    ScaledTraceSource(std::unique_ptr<TraceSource> inner, double scale)
+        : inner_(std::move(inner)), scale_(scale)
+    {
+    }
+
+    bool next(TraceRecord &out) override;
+    void reset() override { inner_->reset(); }
+    std::uint64_t size() const override { return inner_->size(); }
+    std::uint64_t maxResidentBytes() const override
+    {
+        return inner_->maxResidentBytes();
+    }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    double scale_;
+};
+
+/** Drain a source into a materialized vector (offline analyses). */
+Trace materialize(TraceSource &source);
+
+/** Streaming TraceSummary over a source; resets the source first. */
+TraceSummary summarize(TraceSource &source);
+
+} // namespace mempod

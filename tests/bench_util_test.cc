@@ -140,14 +140,16 @@ TEST(ParseOptionsDeathTest, RejectsZeroTraceSample)
 TEST(WorkloadSelection, SweepDefaultsToRepresentativeSet)
 {
     const Options opt = parse({});
-    EXPECT_EQ(opt.sweepWorkloads(), representativeWorkloads());
+    EXPECT_EQ(opt.sweepWorkloads(),
+              WorkloadCatalog::representativeNames());
 }
 
 TEST(WorkloadSelection, SweepFullCoversSuite)
 {
     const Options opt = parse({"--full"});
-    EXPECT_EQ(opt.sweepWorkloads().size(), allWorkloads().size());
-    EXPECT_EQ(opt.suiteWorkloads().size(), allWorkloads().size());
+    const std::size_t all = WorkloadCatalog::global().names().size();
+    EXPECT_EQ(opt.sweepWorkloads().size(), all);
+    EXPECT_EQ(opt.suiteWorkloads().size(), all);
 }
 
 TEST(WorkloadSelection, ExplicitListWinsEverywhere)
@@ -168,8 +170,8 @@ TEST(BenchTraceCache, MakeTraceMemoizes)
 {
     const auto a = makeTrace("xalanc", 5000, 42);
     const auto b = makeTrace("xalanc", 5000, 42);
-    EXPECT_EQ(a.get(), b.get()); // same cached immutable trace
-    EXPECT_EQ(a->size(), 5000u);
+    EXPECT_EQ(a.get(), b.get()); // same cached immutable store
+    EXPECT_EQ(a->records(), 5000u);
 
     const auto c = makeTrace("xalanc", 5000, 43);
     EXPECT_NE(a.get(), c.get()); // seed participates in the key

@@ -9,7 +9,7 @@
 #include "common/decision_log.h"
 #include "sim/simulation.h"
 #include "sim/stats_writer.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -119,7 +119,7 @@ tinyTrace(std::uint64_t requests = 30000)
     GeneratorConfig gc;
     gc.totalRequests = requests;
     gc.footprintScale = 0.015;
-    return buildWorkloadTrace(findWorkload("xalanc"), gc);
+    return WorkloadCatalog::global().build("xalanc", gc);
 }
 
 TEST(DecisionLog, LedgerJsonlIsByteIdenticalAcrossShardCounts)

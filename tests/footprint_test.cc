@@ -3,7 +3,7 @@
 
 #include "analysis/footprint.h"
 #include "trace/generator.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -50,7 +50,7 @@ TEST(Footprint, ConcentrationCurveIsMonotone)
     GeneratorConfig gc;
     gc.totalRequests = 30000;
     gc.footprintScale = 0.05;
-    const Trace t = buildWorkloadTrace(findWorkload("xalanc"), gc);
+    const Trace t = WorkloadCatalog::global().build("xalanc", gc);
     const FootprintStats s = analyzeFootprint(t);
     for (std::size_t i = 1; i < s.concentration.size(); ++i)
         EXPECT_GE(s.concentration[i], s.concentration[i - 1]);
@@ -63,9 +63,9 @@ TEST(Footprint, SkewedWorkloadMoreConcentratedThanStreaming)
     gc.totalRequests = 40000;
     gc.footprintScale = 0.05;
     const FootprintStats skewed = analyzeFootprint(
-        buildWorkloadTrace(findWorkload("xalanc"), gc));
+        WorkloadCatalog::global().build("xalanc", gc));
     const FootprintStats streaming = analyzeFootprint(
-        buildWorkloadTrace(findWorkload("lbm"), gc));
+        WorkloadCatalog::global().build("lbm", gc));
     // Hottest 100 pages absorb far more of xalanc's traffic.
     EXPECT_GT(skewed.concentration[2], streaming.concentration[2]);
     EXPECT_GT(skewed.skewIndex, streaming.skewIndex);

@@ -19,7 +19,7 @@
 
 #include "sim/runner.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -103,7 +103,7 @@ TEST(GoldenTrace, GeneratorIsPinned)
     gc.totalRequests = kRequests;
     gc.seed = kSeed;
     const Trace trace =
-        buildWorkloadTrace(findWorkload(kWorkload), gc);
+        WorkloadCatalog::global().build(kWorkload, gc);
     const TraceSummary s = summarize(trace);
     if (printGolden()) {
         std::printf("constexpr TraceGolden kTraceGolden = "

@@ -9,7 +9,7 @@
 #include "baselines/thm.h"
 #include "core/mempod_manager.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -20,7 +20,7 @@ paperTrace(const std::string &workload, std::uint64_t requests)
     GeneratorConfig gc;
     gc.totalRequests = requests;
     gc.seed = 42;
-    return buildWorkloadTrace(findWorkload(workload), gc);
+    return WorkloadCatalog::global().build(workload, gc);
 }
 
 TEST(Integration, MemPodImprovesAmmatOnPaperGeometry)

@@ -6,7 +6,7 @@
 #include "analysis/interval_study.h"
 #include "common/rng.h"
 #include "trace/generator.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -111,7 +111,7 @@ TEST(IntervalStudy, CountingAccuracyBelowPerfect)
     GeneratorConfig gc;
     gc.totalRequests = 50000;
     gc.footprintScale = 0.05;
-    const Trace t = buildWorkloadTrace(findWorkload("mix5"), gc);
+    const Trace t = WorkloadCatalog::global().build("mix5", gc);
     const auto stream = pageStreamFromTrace(t);
     const IntervalStudyResult r = runIntervalStudy(stream, smallStudy());
     EXPECT_GT(r.intervals, 10u);
@@ -126,7 +126,7 @@ TEST(IntervalStudy, PredictionsBoundedByMeaCapacity)
     GeneratorConfig gc;
     gc.totalRequests = 30000;
     gc.footprintScale = 0.05;
-    const Trace t = buildWorkloadTrace(findWorkload("xalanc"), gc);
+    const Trace t = WorkloadCatalog::global().build("xalanc", gc);
     const IntervalStudyResult r =
         runIntervalStudy(pageStreamFromTrace(t), smallStudy());
     EXPECT_LE(r.meaPredictionsPerInterval, 128.0);
@@ -138,7 +138,7 @@ TEST(IntervalStudy, HitsNeverExceedTierSize)
     GeneratorConfig gc;
     gc.totalRequests = 30000;
     gc.footprintScale = 0.05;
-    const Trace t = buildWorkloadTrace(findWorkload("mix1"), gc);
+    const Trace t = WorkloadCatalog::global().build("mix1", gc);
     const IntervalStudyResult r =
         runIntervalStudy(pageStreamFromTrace(t), smallStudy());
     for (int tier = 0; tier < 3; ++tier) {

@@ -4,7 +4,7 @@
 #include "common/event_queue.h"
 #include "common/metrics.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -225,7 +225,7 @@ tinyTrace(const std::string &workload, std::uint64_t requests = 30000)
     GeneratorConfig gc;
     gc.totalRequests = requests;
     gc.footprintScale = 0.015;
-    return buildWorkloadTrace(findWorkload(workload), gc);
+    return WorkloadCatalog::global().build(workload, gc);
 }
 
 TEST(SimulationMetrics, EveryMechanismRegistersCoreInstruments)

@@ -15,7 +15,7 @@
 
 #include "sim/runner.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -29,7 +29,7 @@ makeTrace(const char *workload, std::uint64_t seed)
     GeneratorConfig gc;
     gc.totalRequests = kRequests;
     gc.seed = seed;
-    return buildWorkloadTrace(findWorkload(workload), gc);
+    return WorkloadCatalog::global().build(workload, gc);
 }
 
 /** Run one config at one shard count; returns the final snapshot. */

@@ -9,7 +9,7 @@
 #include "core/pod.h"
 #include "dram/channel.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -163,7 +163,7 @@ TEST_P(MechanismSweep, CompletionAndSanity)
     GeneratorConfig gc;
     gc.totalRequests = 15000;
     gc.footprintScale = 0.015;
-    const Trace t = buildWorkloadTrace(findWorkload(workload), gc);
+    const Trace t = WorkloadCatalog::global().build(workload, gc);
     const RunResult r = runSimulation(cfg, t, workload);
     EXPECT_EQ(r.completed, t.size());
     EXPECT_GT(r.ammatNs, 0.0);

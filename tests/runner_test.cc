@@ -15,7 +15,7 @@
 
 #include "sim/runner.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -128,7 +128,7 @@ TEST(BatchRunner, ThrowingJobIsCapturedWithoutKillingTheBatch)
 TEST(BatchRunner, ExplicitTraceBypassesTheCache)
 {
     auto trace = std::make_shared<const Trace>(
-        buildWorkloadTrace(findWorkload("xalanc"), tinyGen()));
+        WorkloadCatalog::global().build("xalanc", tinyGen()));
     BatchRunner runner(withJobs(2));
     BatchJob job = tinyJob(Mechanism::kNoMigration, "xalanc");
     job.trace = trace;
@@ -171,7 +171,7 @@ TEST(BatchRunner, RunAllIsRepeatable)
     EXPECT_TRUE(second[0].ok) << second[0].error;
     EXPECT_EQ(second[0].result.mechanism,
               runSimulation(tinyConfig(Mechanism::kMemPod),
-                            buildWorkloadTrace(findWorkload("xalanc"),
+                            WorkloadCatalog::global().build("xalanc",
                                                tinyGen()),
                             "xalanc")
                   .mechanism);

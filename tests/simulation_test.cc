@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -26,7 +26,7 @@ tinyTrace(const std::string &workload, std::uint64_t requests = 40000)
     GeneratorConfig gc;
     gc.totalRequests = requests;
     gc.footprintScale = 0.015; // fit the tiny geometry's core slices
-    return buildWorkloadTrace(findWorkload(workload), gc);
+    return WorkloadCatalog::global().build(workload, gc);
 }
 
 TEST(Simulation, EveryMechanismRunsToCompletion)

@@ -17,7 +17,7 @@
 #include "bench_util.h"
 #include "sim/runner.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -41,7 +41,7 @@ tinyTrace(const std::string &workload, std::uint64_t requests = 40000)
     GeneratorConfig gc;
     gc.totalRequests = requests;
     gc.footprintScale = 0.015;
-    return buildWorkloadTrace(findWorkload(workload), gc);
+    return WorkloadCatalog::global().build(workload, gc);
 }
 
 void

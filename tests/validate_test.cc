@@ -11,7 +11,7 @@
 #include "sim/report.h"
 #include "sim/simulation.h"
 #include "sim/validate.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
 
 namespace mempod {
 namespace {
@@ -118,7 +118,7 @@ tinyTrace(std::uint64_t requests = 30000)
     GeneratorConfig gc;
     gc.totalRequests = requests;
     gc.footprintScale = 0.015;
-    return buildWorkloadTrace(findWorkload("mix5"), gc);
+    return WorkloadCatalog::global().build("mix5", gc);
 }
 
 TEST(Validate, EveryMechanismPassesParanoidChecks)

@@ -10,11 +10,13 @@
  *              [--epoch-us 50] [--counters 64] [--bits 2]
  *              [--pods 4] [--cache-kb 0] [--future] [--seed 42]
  *              [--trace file.bin] [--per-core]
+ *              [--manifest traces.json] [--record capture.trc]
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -23,7 +25,9 @@
 #include "common/log.h"
 #include "sim/energy.h"
 #include "sim/simulation.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
+#include "trace/native.h"
+#include "trace/source.h"
 
 namespace {
 
@@ -67,6 +71,12 @@ usage()
         "  [--future]           HBM-4GHz + DDR4-2400 system\n"
         "  [--fast-only|--slow-only] single-technology system\n"
         "  [--seed S] [--per-core] [--baseline]\n"
+        "  [--manifest FILE]    load a traces.json corpus manifest;\n"
+        "                       its workloads become --workload names\n"
+        "                       (repeatable)\n"
+        "  [--record FILE]      capture the trace actually simulated\n"
+        "                       to FILE in the native format for\n"
+        "                       byte-identical replay via --trace\n"
         "  [--config FILE]      load a SimConfig JSON file; the knob\n"
         "                       flags above are ignored (use --set)\n"
         "  [--set key=value]    dotted-key override, applied last\n"
@@ -84,6 +94,7 @@ main(int argc, char **argv)
 
     std::string workload = "mix5";
     std::string trace_file;
+    std::string record_file;
     std::string mech_name = "mempod";
     std::uint64_t requests = 500'000;
     std::uint64_t seed = 42;
@@ -109,6 +120,10 @@ main(int argc, char **argv)
             workload = next();
         else if (a == "--trace")
             trace_file = next();
+        else if (a == "--manifest")
+            WorkloadCatalog::global().loadManifest(next());
+        else if (a == "--record")
+            record_file = next();
         else if (a == "--mechanism")
             mech_name = next();
         else if (a == "--requests")
@@ -185,19 +200,35 @@ main(int argc, char **argv)
         return 0;
     }
 
-    Trace trace;
+    // One streaming cursor serves the summary, the optional baseline
+    // and the main run — every consumer resets it before draining, so
+    // external traces never have to be materialized.
+    std::unique_ptr<TraceSource> source;
     if (!trace_file.empty()) {
-        trace = loadTrace(trace_file);
+        source = std::make_unique<NativeTraceSource>(trace_file);
         workload = trace_file;
     } else {
         GeneratorConfig gc;
         gc.totalRequests = requests;
         gc.seed = seed;
-        trace = buildWorkloadTrace(findWorkload(workload), gc);
+        source = WorkloadCatalog::global().open(workload, gc);
+    }
+
+    if (!record_file.empty()) {
+        source->reset();
+        NativeTraceWriter writer(record_file);
+        TraceRecord rec;
+        while (source->next(rec))
+            writer.append(rec);
+        writer.close();
+        std::printf("recorded %llu records to %s\n",
+                    static_cast<unsigned long long>(
+                        writer.recordsWritten()),
+                    record_file.c_str());
     }
 
     std::printf("config: %s\n", cfg.describe().c_str());
-    const TraceSummary ts = summarize(trace);
+    const TraceSummary ts = summarize(*source);
     std::printf("trace: %llu requests, %.1f req/us, %llu pages, "
                 "%.2f ms\n\n",
                 static_cast<unsigned long long>(ts.records),
@@ -209,11 +240,11 @@ main(int argc, char **argv)
     if (baseline) {
         SimConfig bcfg = cfg;
         bcfg.mechanism = Mechanism::kNoMigration;
-        base_ammat = runSimulation(bcfg, trace, workload).ammatNs;
+        base_ammat = runSimulation(bcfg, *source, workload).ammatNs;
         std::printf("no-migration AMMAT: %.2f ns\n", base_ammat);
     }
 
-    const RunResult r = runSimulation(cfg, trace, workload);
+    const RunResult r = runSimulation(cfg, *source, workload);
     std::printf("AMMAT:              %.2f ns", r.ammatNs);
     if (base_ammat > 0)
         std::printf("  (%.3f normalized)", r.ammatNs / base_ammat);

@@ -6,12 +6,21 @@
  *
  * Usage:
  *   trace_tool gen     <workload> <file.bin> [requests] [seed]
+ *   trace_tool record  <workload> <file.trc> [requests] [seed]
+ *                      [--manifest traces.json]...
+ *   trace_tool convert <in.trc> <out-stem> champsim|sift
+ *                      [--timing ip|period] [--period-ps N]
+ *                      [--addr-bias N]
  *   trace_tool info    <file.bin>
  *   trace_tool summary <file.trace.json> [topk] [--json]
  *
- * `summary --json` replaces the human tables with one machine-readable
- * JSON object (event counts, span totals, top-k longest spans) so
- * scripts and CI can digest a trace without scraping table output.
+ * `record` streams any catalog workload (synthetic, or external after
+ * --manifest) into the versioned native trace format; `convert` splits
+ * a native trace into per-core ChampSim or SIFT files and prints the
+ * manifest entry that replays them. `summary --json` replaces the
+ * human tables with one machine-readable JSON object (event counts,
+ * span totals, top-k longest spans) so scripts and CI can digest a
+ * trace without scraping table output.
  */
 #include <algorithm>
 #include <cstdio>
@@ -19,12 +28,16 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/footprint.h"
-#include "trace/workloads.h"
+#include "trace/catalog.h"
+#include "trace/champsim.h"
+#include "trace/native.h"
+#include "trace/sift.h"
 
 namespace {
 
@@ -43,14 +56,148 @@ cmdGen(int argc, char **argv)
     gc.totalRequests =
         argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1'000'000;
     gc.seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
-    const WorkloadSpec &spec = findWorkload(argv[2]);
-    const Trace trace = buildWorkloadTrace(spec, gc);
+    const Trace trace = WorkloadCatalog::global().build(argv[2], gc);
     saveTrace(trace, argv[3]);
     const TraceSummary s = summarize(trace);
     std::printf("wrote %llu records (%.1f req/us, %.2f ms) to %s\n",
                 static_cast<unsigned long long>(s.records),
                 s.requestsPerUs,
                 static_cast<double>(s.duration) / 1e9, argv[3]);
+    return 0;
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    std::vector<const char *> pos;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--manifest") && i + 1 < argc)
+            WorkloadCatalog::global().loadManifest(argv[++i]);
+        else
+            pos.push_back(argv[i]);
+    }
+    if (pos.size() < 2) {
+        std::fprintf(stderr,
+                     "usage: trace_tool record <workload> <file.trc> "
+                     "[requests] [seed] [--manifest traces.json]...\n");
+        return 2;
+    }
+    GeneratorConfig gc;
+    gc.totalRequests =
+        pos.size() > 2 ? std::strtoull(pos[2], nullptr, 10) : 1'000'000;
+    gc.seed = pos.size() > 3 ? std::strtoull(pos[3], nullptr, 10) : 42;
+
+    const auto source = WorkloadCatalog::global().open(pos[0], gc);
+    source->reset();
+    NativeTraceWriter writer(pos[1]);
+    TraceRecord rec;
+    while (source->next(rec))
+        writer.append(rec);
+    writer.close();
+    std::printf("recorded %llu records to %s (peak mapped %llu KiB)\n",
+                static_cast<unsigned long long>(writer.recordsWritten()),
+                pos[1],
+                static_cast<unsigned long long>(
+                    source->maxResidentBytes() / 1024));
+    return 0;
+}
+
+/** The traces.json entry that replays a convert's output, verbatim. */
+void
+printManifestEntry(const char *fmt_line,
+                   const std::vector<std::pair<std::string, unsigned>>
+                       &files)
+{
+    std::printf("manifest entry (paste into traces.json "
+                "\"traces\": [...]):\n");
+    std::printf("  {%s,\n   \"files\": [", fmt_line);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        std::printf("%s{\"path\": \"%s\", \"core\": %u}",
+                    i ? ",\n              " : "", files[i].first.c_str(),
+                    files[i].second);
+    }
+    std::printf("]}\n");
+}
+
+int
+cmdConvert(int argc, char **argv)
+{
+    ChampSimTiming timing = ChampSimTiming::kIp;
+    TimePs period_ps = 1000;
+    std::uint64_t addr_bias = champsim::kDefaultAddrBias;
+    std::vector<const char *> pos;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--timing") && i + 1 < argc) {
+            const std::string t = argv[++i];
+            if (t == "ip")
+                timing = ChampSimTiming::kIp;
+            else if (t == "period")
+                timing = ChampSimTiming::kPeriod;
+            else {
+                std::fprintf(stderr,
+                             "--timing must be ip or period, got "
+                             "'%s'\n",
+                             t.c_str());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--period-ps") &&
+                   i + 1 < argc) {
+            period_ps = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--addr-bias") &&
+                   i + 1 < argc) {
+            addr_bias = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            pos.push_back(argv[i]);
+        }
+    }
+    if (pos.size() < 3) {
+        std::fprintf(stderr,
+                     "usage: trace_tool convert <in.trc> <out-stem> "
+                     "champsim|sift [--timing ip|period] "
+                     "[--period-ps N] [--addr-bias N]\n");
+        return 2;
+    }
+
+    NativeTraceSource source(pos[0]);
+    const std::string fmt = pos[2];
+    std::vector<std::pair<std::string, unsigned>> files;
+    if (fmt == "champsim") {
+        const ChampSimConvertResult res =
+            convertToChampSim(source, pos[1], timing, addr_bias);
+        for (const auto &f : res.files)
+            files.emplace_back(f.path, f.core);
+        std::printf("converted %llu records into %zu ChampSim "
+                    "file(s)\n",
+                    static_cast<unsigned long long>(res.records),
+                    files.size());
+        char fmt_line[160];
+        std::snprintf(fmt_line, sizeof fmt_line,
+                      "\"name\": \"NAME\", \"format\": \"champsim\", "
+                      "\"timing\": \"%s\", \"addr_bias\": %llu",
+                      timing == ChampSimTiming::kIp ? "ip" : "period",
+                      static_cast<unsigned long long>(addr_bias));
+        printManifestEntry(fmt_line, files);
+    } else if (fmt == "sift") {
+        const SiftConvertResult res =
+            convertToSift(source, pos[1], period_ps);
+        for (const auto &f : res.files)
+            files.emplace_back(f.path, f.core);
+        std::printf("converted %llu records into %zu SIFT file(s)\n",
+                    static_cast<unsigned long long>(res.records),
+                    files.size());
+        char fmt_line[160];
+        std::snprintf(fmt_line, sizeof fmt_line,
+                      "\"name\": \"NAME\", \"format\": \"sift\", "
+                      "\"period_ps\": %llu",
+                      static_cast<unsigned long long>(period_ps));
+        printManifestEntry(fmt_line, files);
+    } else {
+        std::fprintf(stderr,
+                     "unknown convert format '%s' (use champsim or "
+                     "sift)\n",
+                     fmt.c_str());
+        return 2;
+    }
     return 0;
 }
 
@@ -323,11 +470,16 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: trace_tool gen|info|summary ...\n");
+        std::fprintf(stderr, "usage: trace_tool "
+                             "gen|record|convert|info|summary ...\n");
         return 2;
     }
     if (!std::strcmp(argv[1], "gen"))
         return cmdGen(argc, argv);
+    if (!std::strcmp(argv[1], "record"))
+        return cmdRecord(argc, argv);
+    if (!std::strcmp(argv[1], "convert"))
+        return cmdConvert(argc, argv);
     if (!std::strcmp(argv[1], "info"))
         return cmdInfo(argc, argv);
     if (!std::strcmp(argv[1], "summary"))
