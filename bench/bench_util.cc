@@ -108,6 +108,8 @@ parseOptions(int argc, char **argv, const char *what)
     if (g_harnessStartNs == 0)
         g_harnessStartNs = perfNowNs();
     Options opt;
+    std::string emit_list;
+    bool emit_given = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -153,24 +155,28 @@ parseOptions(int argc, char **argv, const char *what)
             // --workloads validation below) see the external traces.
             WorkloadCatalog::global().loadManifest(path);
             opt.manifests.push_back(path);
-        } else if (arg == "--stats-out") {
-            opt.statsOut = next();
-            if (opt.statsOut.empty()) {
-                std::fprintf(stderr,
-                             "%s: --stats-out needs a directory\n",
+        } else if (arg == "--out") {
+            opt.artifacts.root = next();
+            if (opt.artifacts.root.empty()) {
+                std::fprintf(stderr, "%s: --out needs a directory\n",
                              what);
                 std::exit(2);
             }
+        } else if (arg == "--emit") {
+            emit_list = next();
+            emit_given = true;
+            std::string bad;
+            if (!applyEmitList(emit_list, opt.artifacts, &bad)) {
+                std::fprintf(stderr,
+                             "%s: --emit: unknown artifact kind '%s' "
+                             "(use stats,traces,decisions,perf)\n",
+                             what, bad.c_str());
+                std::exit(2);
+            }
+            if (opt.artifacts.perf)
+                opt.perf = true; // a perf sidecar implies profiling
         } else if (arg == "--interval-us") {
             opt.intervalUs = parseUint(what, "--interval-us", next());
-        } else if (arg == "--trace-out") {
-            opt.traceOut = next();
-            if (opt.traceOut.empty()) {
-                std::fprintf(stderr,
-                             "%s: --trace-out needs a directory\n",
-                             what);
-                std::exit(2);
-            }
         } else if (arg == "--trace-sample") {
             opt.traceSample =
                 parseUint(what, "--trace-sample", next());
@@ -183,23 +189,26 @@ parseOptions(int argc, char **argv, const char *what)
             }
         } else if (arg == "--perf") {
             opt.perf = true;
-        } else if (arg == "--perf-out") {
-            opt.perfOut = next();
-            if (opt.perfOut.empty()) {
+        } else if (arg == "--fidelity") {
+            opt.fidelity = next();
+            if (opt.fidelity != "detailed" && opt.fidelity != "fast" &&
+                opt.fidelity != "sampled") {
                 std::fprintf(stderr,
-                             "%s: --perf-out needs a directory\n",
-                             what);
+                             "%s: --fidelity must be detailed, fast "
+                             "or sampled, got '%s'\n",
+                             what, opt.fidelity.c_str());
                 std::exit(2);
             }
-            opt.perf = true; // a sidecar dir implies profiling
-        } else if (arg == "--decisions-out") {
-            opt.decisionsOut = next();
-            if (opt.decisionsOut.empty()) {
+        } else if (arg == "--set") {
+            const std::string kv = next();
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0) {
                 std::fprintf(stderr,
-                             "%s: --decisions-out needs a directory\n",
-                             what);
+                             "%s: --set expects key=value, got '%s'\n",
+                             what, kv.c_str());
                 std::exit(2);
             }
+            opt.sets.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
         } else if (arg == "--paranoid") {
             opt.paranoid = true;
         } else if (arg == "--bench-out") {
@@ -218,10 +227,10 @@ parseOptions(int argc, char **argv, const char *what)
                 "%s\noptions: --full | --requests N | --seed N |"
                 " --jobs N | --shards N | --workloads a,b,c |"
                 " --manifest FILE |"
-                " --stats-out DIR | --interval-us N | --trace-out DIR |"
-                " --trace-sample N | --perf | --perf-out DIR |"
-                " --decisions-out DIR | --paranoid |"
-                " --bench-out DIR | --list-workloads\n",
+                " --out DIR | --emit stats,traces,decisions,perf |"
+                " --interval-us N | --trace-sample N | --perf |"
+                " --fidelity detailed|fast|sampled | --set key=value |"
+                " --paranoid | --bench-out DIR | --list-workloads\n",
                 what);
             std::exit(0);
         } else {
@@ -232,14 +241,12 @@ parseOptions(int argc, char **argv, const char *what)
     }
     for (const auto &w : opt.workloads)
         WorkloadCatalog::global().find(w); // fatal on typo, up front
-    if (!opt.statsOut.empty())
-        ensureWritableDir(opt.statsOut, "--stats-out", what);
-    if (!opt.traceOut.empty())
-        ensureWritableDir(opt.traceOut, "--trace-out", what);
-    if (!opt.perfOut.empty())
-        ensureWritableDir(opt.perfOut, "--perf-out", what);
-    if (!opt.decisionsOut.empty())
-        ensureWritableDir(opt.decisionsOut, "--decisions-out", what);
+    if (emit_given && !opt.artifacts.enabled()) {
+        std::fprintf(stderr, "%s: --emit requires --out DIR\n", what);
+        std::exit(2);
+    }
+    if (opt.artifacts.enabled())
+        ensureWritableDir(opt.artifacts.root, "--out", what);
     if (opt.benchOut != ".")
         ensureWritableDir(opt.benchOut, "--bench-out", what);
     return opt;
@@ -319,10 +326,7 @@ runnerOptions(const Options &opt)
     ro.jobs = opt.jobs;
     ro.progress = true;
     ro.cache = &traceCache();
-    ro.statsDir = opt.statsOut;
-    ro.traceDir = opt.traceOut;
-    ro.perfDir = opt.perfOut;
-    ro.decisionsDir = opt.decisionsOut;
+    ro.artifacts = opt.artifacts;
     return ro;
 }
 
@@ -335,11 +339,19 @@ timingJob(const SimConfig &config, const std::string &workload,
     job.config = config;
     job.config.shards = opt.shards;
     job.config.statsIntervalPs = opt.statsIntervalPs();
-    job.config.tracer.enabled = !opt.traceOut.empty();
+    job.config.tracer.enabled = opt.artifacts.wantTraces();
     job.config.tracer.sampleEvery = opt.traceSample;
     job.config.tracer.seed = opt.seed;
     job.config.perfEnabled = opt.perf;
     job.config.validateParanoid = opt.paranoid;
+    // Fidelity first, then --set, so window lengths etc. can fine-tune
+    // the mode a run selected.
+    if (opt.fidelity == "fast")
+        job.config.set("dram.model", "fast");
+    else if (opt.fidelity == "sampled")
+        job.config.set("sim.sampling.enabled", "true");
+    for (const auto &[key, value] : opt.sets)
+        job.config.set(key, value);
     job.workload = workload;
     job.gen.totalRequests = opt.timingRequests();
     job.gen.seed = opt.seed;
@@ -410,6 +422,7 @@ BenchReport::addResults(const std::vector<JobResult> &results)
             continue;
         jobWallSeconds_.push_back(r.wallSeconds);
         events_ += r.result.eventsExecuted;
+        simulatedPs_ += r.result.simulatedPs;
         const std::string entry =
             r.label.empty() ? r.workload : r.label + "/" + r.workload;
         entries_.emplace_back(entry, r.wallSeconds * 1e3);
@@ -484,6 +497,25 @@ BenchReport::write()
     key_num("events_per_second",
             total_wall > 0 ? static_cast<double>(events_) / total_wall
                            : 0.0);
+    out += ",\n  ";
+    // Fidelity-fair throughput: simulated milliseconds retired per
+    // host second (events/s rewards models that spend *more* events
+    // per request). Wall-clock based, so noisy on shared runners.
+    key_num("sim_ms_per_second",
+            total_wall > 0
+                ? static_cast<double>(simulatedPs_) / 1e9 / total_wall
+                : 0.0);
+    out += ",\n  ";
+    // Simulation cost: events executed per simulated millisecond — a
+    // pure function of the configs and traces, so byte-deterministic
+    // across hosts. The sampled-speedup CI gate compares this leaf
+    // (perf_tool diff --require-speedup): sampling's whole point is
+    // retiring the same simulated time in ~10x fewer events.
+    key_num("events_per_sim_ms",
+            simulatedPs_ > 0
+                ? static_cast<double>(events_) /
+                      (static_cast<double>(simulatedPs_) / 1e9)
+                : 0.0);
     out += ",\n  \"phases_ns\": {";
     bool first = true;
     for (const auto &[phase, ns] : mergedPerf_.phasesNs) {

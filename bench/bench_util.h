@@ -19,19 +19,28 @@
  *   --shards N       intra-simulation PDES shards (sim.shards); 0 =
  *                    serial kernel. Output is byte-identical at any
  *                    value — only host parallelism changes.
- *   --stats-out DIR  write per-job JSON (and JSONL) registry exports
+ *   --out DIR        run directory for every per-job artifact; fixed
+ *                    subdirs stats/ (JSON + JSONL registry exports),
+ *                    traces/ (Chrome trace-event JSON), decisions/
+ *                    ("mempod-decisions-v1" ledgers) and perf/
+ *                    (host-profile sidecars)
+ *   --emit LIST      comma list of artifact kinds to write under
+ *                    --out (stats,traces,decisions,perf); default
+ *                    stats,traces,decisions. "perf" implies --perf.
  *   --interval-us N  JSONL sampling period in simulated µs (default
  *                    50, the migration epoch; 0 = summary JSON only)
- *   --trace-out DIR  write per-job Chrome trace-event JSON (Perfetto)
  *   --trace-sample N trace 1 in N demand requests (default 64)
- *   --decisions-out DIR  write per-job migration decision ledgers
- *                    ("mempod-decisions-v1" JSONL); deterministic at
- *                    any --jobs/--shards, safe to diff -r
+ *   --fidelity M     detailed (default) | fast (fixed-latency DRAM
+ *                    model, dram.model=fast) | sampled (SMARTS-style
+ *                    alternating fidelity, sim.sampling.enabled)
+ *   --set key=value  dotted-key config override applied to every
+ *                    timing job after --fidelity (repeatable; e.g.
+ *                    --set sim.sampling.measure_ps=20000000)
  *   --paranoid       deep invariant scans every epoch (O(pages) remap
  *                    walks); for CI smokes, not perf runs
  *
  * Results are identical at any --jobs value (same seed => same
- * numbers); only wall-clock time changes. Both output directories are
+ * numbers); only wall-clock time changes. The run directory is
  * validated up front (created if missing, probed for writability) so a
  * bad path fails before hours of simulation, not after.
  */
@@ -61,25 +70,25 @@ struct Options
     std::uint32_t shards = 0; //!< sim.shards; 0 = serial kernel
     std::vector<std::string> workloads; //!< empty = pick by mode
     std::vector<std::string> manifests; //!< traces.json paths loaded
-    std::string statsOut;        //!< stats directory; empty = no export
+    ArtifactSink artifacts; //!< --out run dir + --emit enable bits
     std::uint64_t intervalUs = 50; //!< JSONL period (µs); 0 = off
-    std::string traceOut;        //!< trace directory; empty = no tracing
     std::uint64_t traceSample = 64; //!< trace 1 in N demand requests
     bool perf = false;      //!< host profiling + one-page table (stderr)
-    std::string perfOut;    //!< perf.json sidecar dir; implies perf
-    std::string decisionsOut; //!< decision-ledger dir; empty = no export
+    std::string fidelity = "detailed"; //!< detailed | fast | sampled
+    //! dotted-key overrides applied to every timing job, in order
+    std::vector<std::pair<std::string, std::string>> sets;
     bool paranoid = false;  //!< deep invariant scans every epoch
     std::string benchOut = "."; //!< where BENCH_<name>.json lands
 
     /**
-     * Sampling period in picoseconds for timing jobs: 0 unless
-     * --stats-out was given (the sampler adds events, so it stays off
-     * when nobody consumes the records).
+     * Sampling period in picoseconds for timing jobs: 0 unless the
+     * sink emits stats (the sampler adds events, so it stays off when
+     * nobody consumes the records).
      */
     TimePs
     statsIntervalPs() const
     {
-        return statsOut.empty() ? 0 : intervalUs * 1'000'000;
+        return artifacts.wantStats() ? intervalUs * 1'000'000 : 0;
     }
 
     /** Trace length for timing simulations. */
@@ -147,6 +156,19 @@ BatchJob studyJob(const IntervalStudyConfig &study,
 /** Unwrap a timing result; fatal (with job context) on failure. */
 const RunResult &need(const JobResult &r);
 
+/**
+ * The run's measured AMMAT: the SMARTS window estimate on sampled
+ * runs (the full-run average is meaningless there — fast-forwarded
+ * demands complete without stall accounting), the exact full-run
+ * average otherwise. Figure harnesses normalize with this so every
+ * --fidelity mode produces comparable tables.
+ */
+inline double
+measuredAmmat(const RunResult &r)
+{
+    return r.sampled ? r.sampledAmmatNs : r.ammatNs;
+}
+
 /** Unwrap an interval-study result; fatal on failure. */
 const IntervalStudyResult &needStudy(const JobResult &r);
 
@@ -187,6 +209,7 @@ class BenchReport
     std::vector<double> jobWallSeconds_;
     std::vector<std::pair<std::string, double>> entries_;
     std::uint64_t events_ = 0;
+    std::uint64_t simulatedPs_ = 0;
     PerfReport mergedPerf_;
     bool havePerf_ = false;
 };

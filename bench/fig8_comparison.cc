@@ -68,9 +68,13 @@ main(int argc, char **argv)
     const std::vector<JobResult> results = runner.runAll();
     const std::size_t stride = 1 + configs.size();
 
+    TablePrinter ci({"workload", "mechanism", "AMMAT ns", "+/-95% CI",
+                     "windows"});
+    bool anySampled = false;
+
     for (std::size_t w = 0; w < workloads.size(); ++w) {
         const std::string &name = workloads[w];
-        const double base = need(results[w * stride]).ammatNs;
+        const double base = measuredAmmat(need(results[w * stride]));
         const bool homog =
             WorkloadCatalog::global().find(name).homogeneous;
 
@@ -78,7 +82,7 @@ main(int argc, char **argv)
         std::vector<std::string> trow{name};
         for (std::size_t c = 0; c < configs.size(); ++c) {
             const RunResult &r = need(results[w * stride + 1 + c]);
-            const double norm = r.ammatNs / base;
+            const double norm = measuredAmmat(r) / base;
             (homog ? hg : mx)[c].push_back(norm);
             row.push_back(TablePrinter::num(norm, 3));
             if (configs[c].label == std::string("MemPod")) {
@@ -100,6 +104,15 @@ main(int argc, char **argv)
         for (std::size_t c = 0; c <= configs.size(); ++c) {
             const RunResult &r = need(results[w * stride + c]);
             const char *label = c == 0 ? "TLM" : configs[c - 1].label;
+            if (r.sampled) {
+                anySampled = true;
+                ci.addRow({name, label,
+                           TablePrinter::num(r.sampledAmmatNs, 2),
+                           TablePrinter::num(r.sampledCiNs, 2),
+                           TablePrinter::num(
+                               static_cast<double>(r.sampleWindows),
+                               0)});
+            }
             attr.addRow({name, label, TablePrinter::num(r.ammatNs, 2),
                          TablePrinter::num(r.attribution.mshrWaitNs, 2),
                          TablePrinter::num(r.attribution.metadataNs, 2),
@@ -129,6 +142,12 @@ main(int argc, char **argv)
     avgRow("AVG ALL", hg, &mx);
 
     table.print();
+    if (anySampled) {
+        std::printf("\nsampled AMMAT estimates (Student-t 95%% CI over "
+                    "measurement windows; the normalized table above "
+                    "uses these means):\n");
+        ci.print();
+    }
     std::printf("\nmigration traffic (paper: CAMEO 3.9 GB > MemPod "
                 "3.1 GB total / 804 MB per pod > THM 865 MB > HMA "
                 "578 MB on full-length traces):\n");

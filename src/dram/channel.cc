@@ -208,6 +208,17 @@ Channel::scheduleTick(TimePs when)
 }
 
 void
+Channel::resumeAt(TimePs now)
+{
+    const TimePs refi = spec_.timing.tREFI;
+    if (refi == 0 || nextRefreshAt_ > now)
+        return;
+    const std::uint64_t missed = (now - nextRefreshAt_) / refi + 1;
+    nextRefreshAt_ += missed * refi;
+    stats_.refreshes += missed;
+}
+
+void
 Channel::performRefresh()
 {
     const TimePs now = eq_.now();

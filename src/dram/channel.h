@@ -29,18 +29,12 @@
 #include "common/event_queue.h"
 #include "common/types.h"
 #include "dram/bank.h"
+#include "dram/memory_model.h"
 #include "dram/spec.h"
 #include "dram/telemetry.h"
 #include "mem/request.h"
 
 namespace mempod {
-
-/** Bank/row coordinates of a request within one channel. */
-struct ChannelAddr
-{
-    std::uint32_t bank = 0; //!< rank-merged bank index
-    std::int64_t row = 0;
-};
 
 /** Controller policy knobs (defaults match the paper's setup). */
 struct ControllerPolicy
@@ -58,8 +52,8 @@ struct ControllerPolicy
     bool fcfs = false;
 };
 
-/** One memory channel and its controller. */
-class Channel
+/** One memory channel and its controller (the detailed model). */
+class Channel final : public MemoryModel
 {
   public:
     using Stats = ChannelStats;
@@ -84,7 +78,17 @@ class Channel
     Channel &operator=(const Channel &) = delete;
 
     /** Queue one line transfer. The controller wakes itself up. */
-    void enqueue(Request req, ChannelAddr where);
+    void enqueue(Request req, ChannelAddr where) override;
+
+    /**
+     * Fidelity switch-in: re-phase the refresh clock past `now`,
+     * forgiving intervals that elapsed while another model carried
+     * the traffic (the real device refreshed on schedule meanwhile).
+     * Skipped cycles still count as refreshes so the rate stays
+     * physical. Without this, every measurement window would open
+     * with ~window/tREFI back-to-back catch-up refreshes.
+     */
+    void resumeAt(TimePs now) override;
 
     /**
      * Invoked inside every completion event, before the request's own
@@ -93,24 +97,24 @@ class Channel
      * closure. Set once at construction time.
      */
     void
-    setCompletionHook(std::function<void(TimePs)> hook)
+    setCompletionHook(std::function<void(TimePs)> hook) override
     {
         completionHook_ = std::move(hook);
     }
 
     /** Requests accepted but not yet issued to the device. */
     std::size_t
-    queued() const
+    queued() const override
     {
         return static_cast<std::size_t>(stats_.queuedNow);
     }
 
     /** True when no request is queued (in-flight data may remain). */
-    bool idle() const { return queued() == 0; }
+    bool idle() const override { return queued() == 0; }
 
-    const Stats &stats() const { return stats_; }
-    const DramSpec &spec() const { return spec_; }
-    const std::string &name() const { return name_; }
+    const Stats &stats() const override { return stats_; }
+    const DramSpec &spec() const override { return spec_; }
+    const std::string &name() const override { return name_; }
 
     /** Fraction of CAS commands that were row-buffer hits. */
     double rowHitRate() const { return channelRowHitRate(stats_); }
@@ -128,25 +132,12 @@ class Channel
      * The MemorySystem registers this once; src/common observers
      * never touch Channel internals.
      */
-    ChannelTelemetry telemetry() const;
+    ChannelTelemetry telemetry() const override;
 
-    /**
-     * FR-FCFS arbiter mechanics for the host profiler. Deterministic
-     * (functions of the simulated request stream only) and always
-     * counted — same cheap-increment policy as ChannelStats.
-     */
-    struct HostStats
-    {
-        std::uint64_t ticks = 0;     //!< controller tick() invocations
-        std::uint64_t arbPasses = 0; //!< per-queue arbitration passes
-        std::uint64_t issued = 0;    //!< ticks that issued a command
-        /** Sum over arbitration passes of banks-with-work (density =
-         *  workBanks / arbPasses: how much of the ready-bank bitmask
-         *  each FR-FCFS pass actually walks). */
-        std::uint64_t workBanks = 0;
-    };
+    /** FR-FCFS arbiter mechanics for the host profiler. */
+    using HostStats = ChannelHostStats;
 
-    const HostStats &hostStats() const { return hostStats_; }
+    const HostStats &hostStats() const override { return hostStats_; }
 
   private:
     /** Sentinel index for intrusive lists and callback slots. */

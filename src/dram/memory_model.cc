@@ -1,0 +1,80 @@
+#include "dram/memory_model.h"
+
+#include "common/tracer.h"
+#include "dram/functional_model.h"
+
+namespace mempod {
+
+const char *
+dramModelName(DramModel m)
+{
+    switch (m) {
+      case DramModel::kDetailed:
+        return "detailed";
+      case DramModel::kFast:
+        return "fast";
+      case DramModel::kFunctional:
+        return "functional";
+    }
+    return "detailed";
+}
+
+bool
+dramModelFromName(const std::string &name, DramModel &out)
+{
+    if (name == "detailed") {
+        out = DramModel::kDetailed;
+        return true;
+    }
+    if (name == "fast") {
+        out = DramModel::kFast;
+        return true;
+    }
+    if (name == "functional") {
+        out = DramModel::kFunctional;
+        return true;
+    }
+    return false;
+}
+
+void
+FunctionalModel::enqueue(Request req, ChannelAddr)
+{
+    const TimePs now = eq_.now();
+
+    if (req.type == AccessType::kWrite)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    if (req.traceId != 0) {
+        // Zero-length service span: the sampled request keeps its
+        // per-channel trace presence across fidelity modes.
+        if (Tracer *tr = eq_.tracer()) {
+            const std::uint32_t tid = tr->track(name_);
+            tr->asyncBegin(tid, now, "req", req.traceId, "service");
+            tr->asyncEnd(tid, now, "req", req.traceId, "service");
+        }
+    }
+
+    // Synchronous completion: hook first (in-flight accounting), then
+    // the request's own callback, both at the current time. The
+    // callback is moved out first because it may enqueue again.
+    CompletionCallback cb = std::move(req.onComplete);
+    if (completionHook_)
+        completionHook_(now);
+    if (cb)
+        cb(now);
+}
+
+ChannelTelemetry
+FunctionalModel::telemetry() const
+{
+    ChannelTelemetry v;
+    v.name = name_;
+    v.stats = &stats_;
+    v.numBanks = 0;
+    return v;
+}
+
+} // namespace mempod

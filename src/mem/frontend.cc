@@ -60,6 +60,13 @@ TraceFrontend::suspendCores(TimePs duration)
     stallUntil(eq_.now() + duration);
 }
 
+void
+TraceFrontend::setFastForward(bool on, bool batch_admit)
+{
+    fastForward_ = on;
+    batchAdmit_ = on && batch_admit;
+}
+
 bool
 TraceFrontend::done() const
 {
@@ -196,13 +203,23 @@ TraceFrontend::pump()
         schedulePump(stalledUntil_);
         return;
     }
+    inPump_ = true;
     while (headValid_ && outstanding_ < maxOutstanding_) {
         const TraceRecord rec = head_;
         const TimePs due = rec.time + timeShift_;
         if (due > now) {
-            schedulePump(due);
-            return;
+            // Fast-forward batch admission: with an instant-completion
+            // warm model, future records may be admitted early — but
+            // never past the next scheduled event (window boundary,
+            // migration timer), which must observe the record stream
+            // at its own instant.
+            if (!batchAdmit_ || due >= eq_.nextTime()) {
+                schedulePump(due);
+                inPump_ = false;
+                return;
+            }
         }
+        const bool ff = fastForward_;
         const std::uint64_t record = issued_;
         ++issued_;
         headValid_ = source_->next(head_);
@@ -213,7 +230,8 @@ TraceFrontend::pump()
         if (core >= perCore_.size())
             perCore_.resize(core + 1);
         ++perCore_[core].requests;
-        mshrWaitPs_ += now - arrival;
+        if (!ff)
+            mshrWaitPs_ += now - arrival;
         std::uint64_t trace_id = 0;
         if (Tracer *tr = eq_.tracer();
             tr != nullptr && tr->sampleDemand(record)) {
@@ -226,7 +244,7 @@ TraceFrontend::pump()
                 .add("record", record);
             tr->asyncBegin(tid, arrival, "req", trace_id, "demand",
                            a.str());
-            if (now > arrival) {
+            if (!ff && now > arrival) {
                 tr->asyncBegin(tid, arrival, "req", trace_id,
                                "mshr_wait");
                 tr->asyncEnd(tid, now, "req", trace_id, "mshr_wait");
@@ -238,29 +256,42 @@ TraceFrontend::pump()
         d.arrival = arrival;
         d.core = rec.core;
         d.traceId = trace_id;
-        d.done = [this, arrival, core, trace_id](TimePs fin) {
-            MEMPOD_ASSERT(fin >= arrival, "completion precedes arrival");
-            totalStallPs_ += static_cast<double>(fin - arrival);
-            perCore_[core].stallPs +=
-                static_cast<double>(fin - arrival);
+        d.done = [this, arrival, core, trace_id, ff](TimePs fin) {
+            if (!ff) {
+                MEMPOD_ASSERT(fin >= arrival,
+                              "completion precedes arrival");
+                totalStallPs_ += static_cast<double>(fin - arrival);
+                perCore_[core].stallPs +=
+                    static_cast<double>(fin - arrival);
+                latencyNs_.sample((fin - arrival) / 1000);
+                perCore_[core].latencyNs.sample((fin - arrival) / 1000);
+            }
             ++perCore_[core].completed;
-            latencyNs_.sample((fin - arrival) / 1000);
-            perCore_[core].latencyNs.sample((fin - arrival) / 1000);
             if (trace_id != 0) {
                 if (Tracer *tr = eq_.tracer()) {
                     TraceArgs a;
-                    a.add("latency_ns", (fin - arrival) / 1000);
-                    tr->asyncEnd(coreTrack(*tr, core), fin, "req",
+                    if (!ff)
+                        a.add("latency_ns", (fin - arrival) / 1000);
+                    // Batch-admitted records can complete "before"
+                    // their arrival timestamp; clamp so the span
+                    // stays well-formed (zero-length).
+                    tr->asyncEnd(coreTrack(*tr, core),
+                                 std::max(fin, arrival), "req",
                                  trace_id, "demand", a.str());
                 }
             }
             ++completed_;
             MEMPOD_ASSERT(outstanding_ > 0, "completion underflow");
             --outstanding_;
-            pump();
+            // Instant (functional) completions land while the pump
+            // loop is still running; it will admit the next record
+            // itself, so re-entering here would recurse unboundedly.
+            if (!inPump_)
+                pump();
         };
         manager_.handleDemand(std::move(d));
     }
+    inPump_ = false;
 }
 
 std::uint32_t

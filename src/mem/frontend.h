@@ -55,6 +55,24 @@ class TraceFrontend
     void stallUntil(TimePs until);
 
     /**
+     * Fast-forward mode (sampled simulation): demands keep flowing —
+     * every tracker, remap table and decision ledger downstream stays
+     * warm, and completed_/per-core issue counters still advance — but
+     * stall-time, MSHR-wait and latency-histogram accounting is
+     * suppressed, so measurement-window deltas are untouched by
+     * warm-up traffic. With `batch_admit` (functional warm model only)
+     * the pump also admits future-timestamped records early, bounded
+     * by the next scheduled event, collapsing per-record pump events
+     * into one sweep per window/timer boundary. Record-index tracer
+     * sampling is fidelity-independent, so the set of traced demand
+     * ids matches a detailed replay either way.
+     */
+    void setFastForward(bool on, bool batch_admit);
+
+    /** True while in a fast-forward window. */
+    bool fastForward() const { return fastForward_; }
+
+    /**
      * Suspend the cores for `duration` (HMA's OS sorting interrupt):
      * no requests are issued meanwhile and the remaining trace shifts
      * later by `duration`, so the pause does not masquerade as memory
@@ -127,6 +145,9 @@ class TraceFrontend
     bool headValid_ = false;
 
     std::uint32_t maxOutstanding_;
+    bool fastForward_ = false;
+    bool batchAdmit_ = false;
+    bool inPump_ = false; //!< guards against pump reentry on instant completion
     std::uint32_t outstanding_ = 0;
     std::uint64_t issued_ = 0;
     std::uint64_t completed_ = 0;

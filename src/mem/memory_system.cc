@@ -1,13 +1,70 @@
 #include "mem/memory_system.h"
 
 #include "common/log.h"
+#include "dram/fast_channel.h"
+#include "dram/functional_model.h"
 
 namespace mempod {
+
+void
+MemorySystem::Slot::add(DramModel kind,
+                        std::unique_ptr<MemoryModel> m)
+{
+    models_.emplace_back(kind, std::move(m));
+    if (!primary_) {
+        primary_ = models_.back().second.get();
+        active_ = primary_;
+    }
+}
+
+void
+MemorySystem::Slot::select(DramModel kind)
+{
+    MemoryModel *m = find(kind);
+    MEMPOD_ASSERT(m != nullptr,
+                  "memory model '%s' was not built for this run",
+                  dramModelName(kind));
+    active_ = m;
+}
+
+MemoryModel *
+MemorySystem::Slot::find(DramModel kind) const
+{
+    for (const auto &[k, m] : models_)
+        if (k == kind)
+            return m.get();
+    return nullptr;
+}
+
+namespace {
+
+std::unique_ptr<MemoryModel>
+makeModel(DramModel kind, EventQueue &eq, const DramSpec &spec,
+          std::string name, TimePs extra_latency_ps,
+          ControllerPolicy policy, DomainId domain)
+{
+    switch (kind) {
+      case DramModel::kDetailed:
+        return std::make_unique<Channel>(eq, spec, std::move(name),
+                                         extra_latency_ps, policy,
+                                         domain);
+      case DramModel::kFast:
+        return std::make_unique<FastChannel>(
+            eq, spec, std::move(name), extra_latency_ps);
+      case DramModel::kFunctional:
+        return std::make_unique<FunctionalModel>(eq, spec,
+                                                 std::move(name));
+    }
+    MEMPOD_FATAL("unknown memory model %d", static_cast<int>(kind));
+}
+
+} // namespace
 
 MemorySystem::MemorySystem(EventQueue &eq, const SystemGeometry &geom,
                            const DramSpec &fast, const DramSpec &slow,
                            TimePs extra_latency_ps,
-                           ControllerPolicy policy, const ShardPlan *plan)
+                           ControllerPolicy policy, const ShardPlan *plan,
+                           const ModelPlan &models)
     : eq_(eq),
       map_(geom,
            fast.withChannelBytes(geom.fastBytes / geom.fastChannels).org,
@@ -15,7 +72,8 @@ MemorySystem::MemorySystem(EventQueue &eq, const SystemGeometry &geom,
                ? slow.withChannelBytes(geom.slowBytes / geom.slowChannels)
                      .org
                : slow.org),
-      dispatch_(plan ? plan->dispatch : nullptr)
+      dispatch_(plan ? plan->dispatch : nullptr),
+      activeModel_(models.primary)
 {
     // Channel i always owns execution domain 1 + i — also in the
     // serial single-queue run, so the canonical event order (and thus
@@ -23,36 +81,68 @@ MemorySystem::MemorySystem(EventQueue &eq, const SystemGeometry &geom,
     const auto queue_for = [&](std::size_t i) -> EventQueue & {
         return plan ? *plan->channelQueues[i] : eq_;
     };
+    const auto add_channel = [&](const DramSpec &spec,
+                                 const std::string &base) {
+        const std::size_t i = slots_.size();
+        const DomainId domain = static_cast<DomainId>(1 + i);
+        auto slot = std::make_unique<Slot>();
+        // Primary first: it owns the base name and the observer API.
+        slot->add(models.primary,
+                  makeModel(models.primary, queue_for(i), spec, base,
+                            extra_latency_ps, policy, domain));
+        if (models.wantsWarm())
+            slot->add(models.warm,
+                      makeModel(models.warm, queue_for(i), spec,
+                                base + ".warm", extra_latency_ps,
+                                policy, domain));
+        slots_.push_back(std::move(slot));
+    };
+
     const DramSpec fast_sized =
         fast.withChannelBytes(geom.fastBytes / geom.fastChannels);
-    channels_.reserve(geom.fastChannels + geom.slowChannels);
-    for (std::uint32_t c = 0; c < geom.fastChannels; ++c) {
-        channels_.push_back(std::make_unique<Channel>(
-            queue_for(channels_.size()), fast_sized,
-            "fast" + std::to_string(c), extra_latency_ps, policy,
-            static_cast<DomainId>(1 + channels_.size())));
-    }
+    slots_.reserve(geom.fastChannels + geom.slowChannels);
+    for (std::uint32_t c = 0; c < geom.fastChannels; ++c)
+        add_channel(fast_sized, "fast" + std::to_string(c));
     if (geom.slowChannels > 0) {
         const DramSpec slow_sized =
             slow.withChannelBytes(geom.slowBytes / geom.slowChannels);
-        for (std::uint32_t c = 0; c < geom.slowChannels; ++c) {
-            channels_.push_back(std::make_unique<Channel>(
-                queue_for(channels_.size()), slow_sized,
-                "slow" + std::to_string(c), extra_latency_ps, policy,
-                static_cast<DomainId>(1 + channels_.size())));
-        }
+        for (std::uint32_t c = 0; c < geom.slowChannels; ++c)
+            add_channel(slow_sized, "slow" + std::to_string(c));
     }
     // One shared hook per channel keeps in-flight tracking off the
     // per-request path: requests carry their own callback unwrapped.
-    for (auto &ch : channels_)
-        ch->setCompletionHook([this](TimePs) { --inFlight_; });
+    for (auto &slot : slots_)
+        slot->setCompletionHook([this](TimePs) { --inFlight_; });
 
-    views_.reserve(channels_.size());
-    for (std::size_t c = 0; c < channels_.size(); ++c) {
-        ChannelTelemetry v = channels_[c]->telemetry();
-        v.tier = c < geom.fastChannels ? MemTier::kFast : MemTier::kSlow;
+    views_.reserve(slots_.size() * (models.wantsWarm() ? 2 : 1));
+    for (std::size_t c = 0; c < slots_.size(); ++c) {
+        const MemTier tier =
+            c < geom.fastChannels ? MemTier::kFast : MemTier::kSlow;
+        ChannelTelemetry v = slots_[c]->telemetry();
+        v.tier = tier;
         views_.push_back(std::move(v));
+        if (models.wantsWarm()) {
+            ChannelTelemetry w =
+                slots_[c]->find(models.warm)->telemetry();
+            w.tier = tier;
+            views_.push_back(std::move(w));
+        }
     }
+}
+
+void
+MemorySystem::setModel(DramModel m)
+{
+    if (m == activeModel_)
+        return;
+    for (auto &slot : slots_) {
+        slot->select(m);
+        // The incoming model sat idle while the outgoing one served
+        // traffic; let it forgive time-based obligations (refresh
+        // debt) before the first enqueue lands.
+        slot->find(m)->resumeAt(eq_.now());
+    }
+    activeModel_ = m;
 }
 
 void
@@ -80,8 +170,8 @@ MemorySystem::access(Request req)
         dispatch_(d.channel, std::move(req), ChannelAddr{d.bank, d.row});
         return;
     }
-    channels_[d.channel]->enqueue(std::move(req),
-                                  ChannelAddr{d.bank, d.row});
+    slots_[d.channel]->enqueue(std::move(req),
+                               ChannelAddr{d.bank, d.row});
 }
 
 std::uint64_t

@@ -47,6 +47,17 @@ struct SimConfig
     /** Far (slow, off-chip) memory device; `dram.far.*` keys. */
     DramSpec far = DramSpec::ddr4_1600();
 
+    /**
+     * Measurement-fidelity memory model (`dram.model` dotted key):
+     * "detailed" is the cycle-faithful bank/row controller the paper's
+     * numbers come from; "fast" replaces every channel with a
+     * fixed-service-latency, bandwidth-capped queue (dram/fast_channel.h)
+     * for quick sweeps; "functional" completes every access instantly
+     * and is only meaningful as a sampling warm-up model. Detailed runs
+     * are byte-identical to the pre-model-abstraction simulator.
+     */
+    DramModel dramModel = DramModel::kDetailed;
+
     MemPodParams mempod;
     HmaParams hma;
     ThmParams thm;
@@ -76,6 +87,43 @@ struct SimConfig
      * is purely a host-parallelism knob. Clamped to the channel count.
      */
     std::uint32_t shards = 0;
+
+    /**
+     * SMARTS-style sampled simulation (`sim.sampling.*` dotted keys).
+     * When enabled, the FidelityController (sim/fidelity.h) alternates
+     * fast-forward warm-up windows — run under `fastfwdModel`, with
+     * MEA trackers, remap tables and the decision ledger still live —
+     * with detailed measurement windows run under `dram.model`. Each
+     * period is `fastfwdPs + measurePs` of simulated time; the first
+     * `warmupPct` percent of every measurement window re-warms queue
+     * and bank state and is excluded from the AMMAT sample. The run
+     * reports the sample mean with a Student-t confidence interval and
+     * panics if fewer than `minWindows` windows complete.
+     *
+     * Pick a period (`fastfwdPs + measurePs`) coprime with the
+     * mechanism's migration interval: a period that divides evenly
+     * into epochs pins every measurement slice to the same phase of
+     * the migration cycle and aliases the estimate (the default
+     * 183 + 20 us period deliberately strides the paper's 50 us
+     * MemPod interval).
+     */
+    struct SamplingParams
+    {
+        bool enabled = false;
+        /** Detailed measurement window length, simulated ps. */
+        TimePs measurePs = 20'000'000;
+        /** Fast-forward window length between measurements, ps. */
+        TimePs fastfwdPs = 183'000'000;
+        /** Leading fraction of each measurement window (percent,
+         *  0..99) treated as detailed warm-up, not measured. */
+        std::uint32_t warmupPct = 30;
+        /** Minimum completed measurement windows; fewer is an error. */
+        std::uint32_t minWindows = 3;
+        /** Model for fast-forward windows; functional (instant
+         *  completion) or fast (latency/bandwidth queue). */
+        DramModel fastfwdModel = DramModel::kFunctional;
+    };
+    SamplingParams sampling;
 
     /**
      * Causal event tracing (Chrome trace-event JSON). Disabled by

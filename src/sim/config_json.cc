@@ -72,6 +72,16 @@ parseValue(Mechanism &dst, const std::string &v, const char *key)
     }
 }
 
+void
+parseValue(DramModel &dst, const std::string &v, const char *key)
+{
+    if (!dramModelFromName(v, dst)) {
+        MEMPOD_PANIC("config key '%s': unknown memory model '%s' "
+                     "(detailed, fast or functional)",
+                     key, v.c_str());
+    }
+}
+
 std::string
 quoted(const std::string &s)
 {
@@ -100,6 +110,12 @@ std::string
 printValue(Mechanism m)
 {
     return quoted(mechanismName(m));
+}
+
+std::string
+printValue(DramModel m)
+{
+    return quoted(dramModelName(m));
 }
 
 template <typename T>
@@ -188,6 +204,7 @@ fieldTable()
         MEMPOD_CONFIG_FIELD("geom.fastChannels", geom.fastChannels),
         MEMPOD_CONFIG_FIELD("geom.slowChannels", geom.slowChannels),
         MEMPOD_CONFIG_FIELD("geom.numPods", geom.numPods),
+        MEMPOD_CONFIG_FIELD("dram.model", dramModel),
         MEMPOD_CONFIG_DRAM_FIELDS("near", near),
         MEMPOD_CONFIG_DRAM_FIELDS("far", far),
         MEMPOD_CONFIG_FIELD("mempod.interval", mempod.interval),
@@ -239,6 +256,17 @@ fieldTable()
         MEMPOD_CONFIG_FIELD("controller.fcfs", controller.fcfs),
         MEMPOD_CONFIG_FIELD("statsIntervalPs", statsIntervalPs),
         MEMPOD_CONFIG_FIELD("sim.shards", shards),
+        MEMPOD_CONFIG_FIELD("sim.sampling.enabled", sampling.enabled),
+        MEMPOD_CONFIG_FIELD("sim.sampling.measure_ps",
+                            sampling.measurePs),
+        MEMPOD_CONFIG_FIELD("sim.sampling.fastfwd_ps",
+                            sampling.fastfwdPs),
+        MEMPOD_CONFIG_FIELD("sim.sampling.warmup_pct",
+                            sampling.warmupPct),
+        MEMPOD_CONFIG_FIELD("sim.sampling.min_windows",
+                            sampling.minWindows),
+        MEMPOD_CONFIG_FIELD("sim.sampling.fastfwd_model",
+                            sampling.fastfwdModel),
         MEMPOD_CONFIG_FIELD("tracer.enabled", tracer.enabled),
         MEMPOD_CONFIG_FIELD("tracer.sampleEvery", tracer.sampleEvery),
         MEMPOD_CONFIG_FIELD("tracer.seed", tracer.seed),

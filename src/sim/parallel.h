@@ -98,7 +98,7 @@ class ParallelExecutor
     std::vector<EventQueue *> channelQueues();
     EventQueue &channelQueue(std::size_t ch);
 
-    /** Resolve Channel pointers once the MemorySystem exists. */
+    /** Resolve memory-model pointers once the MemorySystem exists. */
     void bindChannels(MemorySystem &mem);
 
     /** Termination predicate, checked after every coordinator event. */
@@ -176,7 +176,7 @@ class ParallelExecutor
         EventQueue q;
         std::vector<Delivery> inbox;
         std::size_t inboxPos = 0;
-        Channel *chan = nullptr;
+        MemoryModel *chan = nullptr;
         std::unique_ptr<Tracer> staging;
     };
 

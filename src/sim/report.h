@@ -81,6 +81,17 @@ struct RunResult
     /** Per-core request-latency percentiles (index = core id). */
     std::vector<LatencyPercentiles> perCoreLatency;
 
+    /**
+     * Sampled-simulation estimate (sim.sampling.enabled runs only):
+     * mean per-window AMMAT with a 95% Student-t CI half-width and
+     * the number of completed measurement windows. All zero — and the
+     * keys absent from exported JSON — on detailed runs.
+     */
+    bool sampled = false;
+    double sampledAmmatNs = 0.0;
+    double sampledCiNs = 0.0;
+    std::uint64_t sampleWindows = 0;
+
     /** Migration data volume in MiB. */
     double
     dataMovedMiB() const

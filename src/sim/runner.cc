@@ -104,8 +104,10 @@ BatchRunner::execute(const BatchJob &job, std::size_t index)
             out.result = sim.run(*source, job.workload);
             const std::string stem = StatsWriter::jobFileStem(
                 index, job.label, job.workload);
-            if (!opt_.statsDir.empty()) {
-                const std::string base = opt_.statsDir + "/" + stem;
+            const ArtifactSink &sink = opt_.artifacts;
+            if (sink.wantStats()) {
+                const std::string base =
+                    sink.statsDir() + "/" + stem;
                 StatsWriter::writeFile(
                     base + ".json",
                     StatsWriter::toJson(sim.registry(),
@@ -117,22 +119,23 @@ BatchRunner::execute(const BatchJob &job, std::size_t index)
                         StatsWriter::toJsonl(
                             sim.sampler()->records()));
             }
-            if (!opt_.decisionsDir.empty() && sim.decisionLog())
+            if (sink.wantDecisions() && sim.decisionLog())
                 StatsWriter::writeFile(
-                    opt_.decisionsDir + "/" + stem + ".decisions.jsonl",
+                    sink.decisionsDir() + "/" + stem +
+                        ".decisions.jsonl",
                     StatsWriter::decisionsToJsonl(*sim.decisionLog(),
                                                   job.workload,
                                                   out.result.mechanism));
-            if (!opt_.traceDir.empty() && sim.tracer())
-                StatsWriter::writeFile(opt_.traceDir + "/" + stem +
+            if (sink.wantTraces() && sim.tracer())
+                StatsWriter::writeFile(sink.tracesDir() + "/" + stem +
                                            ".trace.json",
                                        sim.tracer()->toJson());
             if (const PerfReport *pr = sim.perfReport()) {
                 out.perf = *pr;
                 out.hasPerf = true;
-                if (!opt_.perfDir.empty())
+                if (sink.wantPerf())
                     StatsWriter::writeFile(
-                        opt_.perfDir + "/" + stem + ".perf.json",
+                        sink.perfDir() + "/" + stem + ".perf.json",
                         StatsWriter::perfToJson(*pr));
             }
             break;
@@ -164,16 +167,9 @@ BatchRunner::runAll()
     if (jobs.empty())
         return results;
 
-    // Create the stats directory once, from the main thread, before
-    // any worker races to write into it.
-    if (!opt_.statsDir.empty())
-        std::filesystem::create_directories(opt_.statsDir);
-    if (!opt_.traceDir.empty())
-        std::filesystem::create_directories(opt_.traceDir);
-    if (!opt_.perfDir.empty())
-        std::filesystem::create_directories(opt_.perfDir);
-    if (!opt_.decisionsDir.empty())
-        std::filesystem::create_directories(opt_.decisionsDir);
+    // Create the run directory tree once, from the main thread,
+    // before any worker races to write into it.
+    opt_.artifacts.prepare();
 
     // Stats files are numbered by overall submission order so repeated
     // runAll() batches on one runner never overwrite each other.
@@ -277,6 +273,13 @@ serializeRunResult(const RunResult &r)
     field("workload", "%s", r.workload.c_str());
     field("mechanism", "%s", r.mechanism.c_str());
     field("ammatNs", "%a", r.ammatNs); // hex float: bit-exact
+    // Only sampled runs carry these; detailed baselines stay stable.
+    if (r.sampled) {
+        field("sampledAmmatNs", "%a", r.sampledAmmatNs);
+        field("sampledCiNs", "%a", r.sampledCiNs);
+        field("sampleWindows", "%llu",
+              static_cast<unsigned long long>(r.sampleWindows));
+    }
     field("demandRequests", "%llu",
           static_cast<unsigned long long>(r.demandRequests));
     field("completed", "%llu",

@@ -32,6 +32,7 @@
 
 #include "analysis/interval_study.h"
 #include "common/perf.h"
+#include "sim/artifacts.h"
 #include "sim/config.h"
 #include "sim/report.h"
 #include "trace/catalog.h"
@@ -144,40 +145,31 @@ struct RunnerOptions
     TraceCache *cache = nullptr;
 
     /**
-     * When non-empty, every timing job writes its registry export to
-     * "<statsDir>/job<NNN>[_<label>]_<workload>.json" (plus ".jsonl"
-     * when the job's config armed the interval sampler). NNN is the
-     * submission index, so the file set and its bytes are identical at
-     * any worker count.
+     * Run-directory sink for every per-job artifact. When its root is
+     * non-empty, each timing job writes the enabled kinds under fixed
+     * subdirectories:
+     *
+     *   stats/      "job<NNN>[_<label>]_<workload>.json" (plus
+     *               ".jsonl" when the job's config armed the interval
+     *               sampler); NNN is the submission index, so the file
+     *               set and its bytes are identical at any worker
+     *               count.
+     *   traces/     "<same stem>.trace.json" (Chrome trace-event
+     *               JSON) when the job's config armed the tracer;
+     *               deterministic sampling keeps the bytes identical
+     *               at any worker count.
+     *   decisions/  "<same stem>.decisions.jsonl"
+     *               ("mempod-decisions-v1") when the job's config
+     *               enabled the ledger; populated entirely in the
+     *               coordinator domain, so deterministic and safe to
+     *               `diff -r` across --jobs/--shards settings.
+     *   perf/       "<same stem>.perf.json" when the job's config
+     *               enabled the host profiler. Deliberately a sibling
+     *               of stats/: perf sidecars carry wall times and are
+     *               *not* byte-deterministic, so determinism checks
+     *               diff the other subdirectories and skip this one.
      */
-    std::string statsDir;
-
-    /**
-     * When non-empty, every timing job whose config armed the tracer
-     * writes "<traceDir>/<same stem>.trace.json" (Chrome trace-event
-     * JSON). Deterministic sampling plus submission-index naming makes
-     * the trace bytes identical at any worker count.
-     */
-    std::string traceDir;
-
-    /**
-     * When non-empty, every timing job whose config enabled the host
-     * profiler writes "<perfDir>/<same stem>.perf.json". Deliberately
-     * a separate directory from statsDir: perf sidecars carry wall
-     * times and are *not* byte-deterministic, and the CI determinism
-     * checks `diff -r` the stats/trace directories whole.
-     */
-    std::string perfDir;
-
-    /**
-     * When non-empty, every timing job whose config enabled the
-     * decision ledger writes "<decisionsDir>/<same stem>
-     * .decisions.jsonl" ("mempod-decisions-v1"). The ledger is
-     * populated entirely in the coordinator domain, so — unlike perf
-     * sidecars — these bytes are deterministic and the directory CAN
-     * be `diff -r`'d across jobs/shards settings.
-     */
-    std::string decisionsDir;
+    ArtifactSink artifacts;
 };
 
 /**

@@ -36,6 +36,18 @@ Simulation::Simulation(const SimConfig &config) : config_(config)
     PerfScope setup_scope(perf_.get(), "setup");
 
     config_.geom.validate();
+    if (config_.dramModel == DramModel::kFunctional) {
+        MEMPOD_PANIC("dram.model=functional is not a measurement "
+                     "model; use it as sim.sampling.fastfwd_model");
+    }
+    if (config_.sampling.enabled && config_.shards > 0 &&
+        config_.sampling.fastfwdModel == DramModel::kFunctional) {
+        MEMPOD_PANIC(
+            "sampled simulation with the functional fast-forward "
+            "model requires the serial kernel (sim.shards=0): "
+            "functional completions run frontend and manager code "
+            "synchronously inside the channel lane");
+    }
     if (config_.shards > 0) {
         const std::size_t channels =
             config_.geom.fastChannels + config_.geom.slowChannels;
@@ -62,11 +74,16 @@ Simulation::Simulation(const SimConfig &config) : config_(config)
             ex->dispatch(ch, std::move(req), where);
         };
     }
+    ModelPlan models;
+    models.primary = config_.dramModel;
+    models.warmEnabled = config_.sampling.enabled;
+    models.warm = config_.sampling.fastfwdModel;
     mem_ = std::make_unique<MemorySystem>(eq_, config_.geom, config_.near,
                                           config_.far,
                                           config_.extraLatencyPs,
                                           config_.controller,
-                                          exec_ ? &plan : nullptr);
+                                          exec_ ? &plan : nullptr,
+                                          models);
     if (exec_)
         exec_->bindChannels(*mem_);
     placement_ = std::make_unique<LogicalToPhysical>(
@@ -95,6 +112,11 @@ Simulation::Simulation(const SimConfig &config) : config_(config)
         validator_ = std::make_unique<InvariantChecker>(
             config_, *frontend_, *mem_, *manager_, decisions_.get(),
             epoch_ps);
+    }
+    if (config_.sampling.enabled) {
+        fidelity_ = std::make_unique<FidelityController>(
+            eq_, *mem_, *frontend_, config_.sampling,
+            config_.dramModel);
     }
 
     registerAllMetrics();
@@ -140,6 +162,8 @@ Simulation::run(TraceSource &source, const std::string &workload_name)
     frontend_->start();
     if (sampler_)
         sampler_->start();
+    if (fidelity_)
+        fidelity_->begin();
 
     auto drained = [&] {
         return frontend_->done() && mem_->inFlight() == 0 &&
@@ -303,6 +327,15 @@ Simulation::run(TraceSource &source, const std::string &workload_name)
     r.latency.p50Ns = s.real("frontend.latency_p50_ns");
     r.latency.p95Ns = s.real("frontend.latency_p95_ns");
     r.latency.p99Ns = s.real("frontend.latency_p99_ns");
+
+    if (fidelity_) {
+        fidelity_->finish();
+        const WindowStats &w = fidelity_->windowStats();
+        r.sampled = true;
+        r.sampledAmmatNs = w.mean() / 1000.0;
+        r.sampledCiNs = w.ciHalfWidth() / 1000.0;
+        r.sampleWindows = w.count();
+    }
 
     // Per-core metrics are registered for [0, numCores); a trace with
     // out-of-range core ids still gets its AMMAT from the frontend.

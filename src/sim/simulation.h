@@ -19,6 +19,7 @@
 #include "mem/manager.h"
 #include "mem/memory_system.h"
 #include "sim/config.h"
+#include "sim/fidelity.h"
 #include "sim/parallel.h"
 #include "sim/report.h"
 #include "sim/validate.h"
@@ -84,6 +85,9 @@ class Simulation
     /** Invariant checker, or nullptr when validation is disabled. */
     const InvariantChecker *validator() const { return validator_.get(); }
 
+    /** Sampling controller, or nullptr when sampling is disabled. */
+    const FidelityController *fidelity() const { return fidelity_.get(); }
+
     /**
      * The per-touch fast-vs-slow latency gap (ns) used to price
      * predicted migration benefit: the difference in tRCD+tCL+tBL
@@ -130,6 +134,7 @@ class Simulation
     std::unique_ptr<TraceFrontend> frontend_;
     std::unique_ptr<DecisionLog> decisions_;
     std::unique_ptr<InvariantChecker> validator_;
+    std::unique_ptr<FidelityController> fidelity_;
     MetricRegistry registry_;
     std::unique_ptr<IntervalSampler> sampler_;
     MetricSnapshot finalSnapshot_;

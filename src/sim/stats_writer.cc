@@ -177,6 +177,16 @@ StatsWriter::toJson(const MetricRegistry &reg, const MetricSnapshot &snap,
     out += ",\n  \"summary\": {\n    ";
     appendKeyDouble(out, "ammat_ns", r.ammatNs);
     out += ",\n    ";
+    // Sampled-simulation keys appear only on sampled runs so detailed
+    // goldens stay byte-identical.
+    if (r.sampled) {
+        appendKeyDouble(out, "sampled_ammat_ns", r.sampledAmmatNs);
+        out += ",\n    ";
+        appendKeyDouble(out, "sampled_ci_ns", r.sampledCiNs);
+        out += ",\n    ";
+        appendKeyU64(out, "sample_windows", r.sampleWindows);
+        out += ",\n    ";
+    }
     appendKeyU64(out, "demand_requests", r.demandRequests);
     out += ",\n    ";
     appendKeyU64(out, "completed", r.completed);

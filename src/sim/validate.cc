@@ -182,7 +182,12 @@ InvariantChecker::finalCheck(const RunResult &r)
             static_cast<unsigned long long>(demand_lines),
             static_cast<unsigned long long>(r.demandRequests));
 
-    checkAmmatAttribution(r);
+    // Sampled runs suppress stall accounting during fast-forward
+    // windows while the channel counters keep accumulating, so the
+    // exact partition only holds at uniform fidelity. The sampled
+    // estimate is validated against the detailed golden by CI instead.
+    if (!config_.sampling.enabled)
+        checkAmmatAttribution(r);
 
     // Migration traffic conservation: each committed swap reads and
     // writes both sides, so the channels must have seen exactly two

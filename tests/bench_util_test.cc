@@ -118,16 +118,69 @@ TEST(ParseOptionsDeathTest, RejectsUnknownWorkload)
                 ::testing::ExitedWithCode(1), "unknown workload");
 }
 
-TEST(ParseOptions, TraceFlags)
+TEST(ParseOptions, ArtifactFlags)
 {
     const Options opt =
-        parse({"--trace-out", "/tmp", "--trace-sample", "16"});
-    EXPECT_EQ(opt.traceOut, "/tmp");
+        parse({"--out", "/tmp", "--trace-sample", "16"});
+    EXPECT_EQ(opt.artifacts.root, "/tmp");
+    // Default emit set: stats, traces and decisions, no perf.
+    EXPECT_TRUE(opt.artifacts.wantStats());
+    EXPECT_TRUE(opt.artifacts.wantTraces());
+    EXPECT_TRUE(opt.artifacts.wantDecisions());
+    EXPECT_FALSE(opt.artifacts.wantPerf());
     EXPECT_EQ(opt.traceSample, 16u);
-    // Defaults: off, 1-in-64.
+    // Defaults: no sink at all, 1-in-64 sampling.
     const Options def = parse({});
-    EXPECT_TRUE(def.traceOut.empty());
+    EXPECT_FALSE(def.artifacts.enabled());
     EXPECT_EQ(def.traceSample, 64u);
+}
+
+TEST(ParseOptions, EmitSelectsArtifactKinds)
+{
+    const Options opt =
+        parse({"--out", "/tmp", "--emit", "stats,perf"});
+    EXPECT_TRUE(opt.artifacts.wantStats());
+    EXPECT_FALSE(opt.artifacts.wantTraces());
+    EXPECT_FALSE(opt.artifacts.wantDecisions());
+    EXPECT_TRUE(opt.artifacts.wantPerf());
+    // Asking for perf artifacts implies host profiling.
+    EXPECT_TRUE(opt.perf);
+}
+
+TEST(ParseOptions, FidelityFlag)
+{
+    EXPECT_EQ(parse({}).fidelity, "detailed");
+    EXPECT_EQ(parse({"--fidelity", "fast"}).fidelity, "fast");
+    EXPECT_EQ(parse({"--fidelity", "sampled"}).fidelity, "sampled");
+}
+
+TEST(ParseOptions, SetCollectsOverridesInOrder)
+{
+    const Options opt = parse({"--set", "sim.sampling.measure_ps=1000",
+                               "--set", "dram.model=fast"});
+    ASSERT_EQ(opt.sets.size(), 2u);
+    EXPECT_EQ(opt.sets[0].first, "sim.sampling.measure_ps");
+    EXPECT_EQ(opt.sets[0].second, "1000");
+    EXPECT_EQ(opt.sets[1].first, "dram.model");
+    EXPECT_EQ(opt.sets[1].second, "fast");
+}
+
+TEST(ParseOptionsDeathTest, RejectsUnknownEmitKind)
+{
+    EXPECT_EXIT(parse({"--out", "/tmp", "--emit", "stats,bogus"}),
+                ::testing::ExitedWithCode(2), "unknown artifact kind");
+}
+
+TEST(ParseOptionsDeathTest, EmitRequiresOut)
+{
+    EXPECT_EXIT(parse({"--emit", "stats"}),
+                ::testing::ExitedWithCode(2), "--emit requires --out");
+}
+
+TEST(ParseOptionsDeathTest, RejectsUnknownFidelity)
+{
+    EXPECT_EXIT(parse({"--fidelity", "turbo"}),
+                ::testing::ExitedWithCode(2), "--fidelity must be");
 }
 
 TEST(ParseOptionsDeathTest, RejectsZeroTraceSample)

@@ -131,7 +131,13 @@ class CatalogManifest : public ::testing::Test
   protected:
     void SetUp() override
     {
-        dir_ = ::testing::TempDir() + "catalog_manifest";
+        // Unique per test: ctest runs sibling tests as concurrent
+        // processes, and a shared dir races a reader in one test
+        // against the fixture rewriting tiny.trc in another.
+        dir_ = ::testing::TempDir() + "catalog_manifest_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
         const std::string mkdir = "mkdir -p " + dir_;
         ASSERT_EQ(std::system(mkdir.c_str()), 0);
 

@@ -242,7 +242,7 @@ runStatsBatch(unsigned workers, const std::filesystem::path &dir)
 {
     RunnerOptions opt;
     opt.jobs = workers;
-    opt.statsDir = dir.string();
+    opt.artifacts.root = dir.string();
     BatchRunner runner(opt);
     for (auto &job : sampleJobs()) {
         job.config.statsIntervalPs = 20_us;
@@ -251,7 +251,7 @@ runStatsBatch(unsigned workers, const std::filesystem::path &dir)
     const auto results = runner.runAll();
     for (const auto &r : results)
         EXPECT_TRUE(r.ok) << r.error;
-    return slurpDir(dir);
+    return slurpDir(dir / "stats");
 }
 
 TEST(BatchRunner, StatsFilesIdenticalAtAnyWorkerCount)
@@ -285,7 +285,7 @@ TEST(BatchRunner, StatsFilesNumberAcrossRepeatedBatches)
     std::filesystem::remove_all(dir);
     RunnerOptions opt;
     opt.jobs = 2;
-    opt.statsDir = dir.string();
+    opt.artifacts.root = dir.string();
     BatchRunner runner(opt);
     runner.add(tinyJob(Mechanism::kNoMigration, "xalanc"));
     runner.runAll();
@@ -294,9 +294,9 @@ TEST(BatchRunner, StatsFilesNumberAcrossRepeatedBatches)
     // The second batch continues the numbering instead of clobbering
     // the first batch's job000.
     EXPECT_TRUE(std::filesystem::exists(
-        dir / "job000_NoMigration_xalanc.json"));
+        dir / "stats" / "job000_NoMigration_xalanc.json"));
     EXPECT_TRUE(std::filesystem::exists(
-        dir / "job001_MemPod_xalanc.json"));
+        dir / "stats" / "job001_MemPod_xalanc.json"));
     std::filesystem::remove_all(dir);
 }
 

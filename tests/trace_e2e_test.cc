@@ -155,8 +155,7 @@ TEST(TraceE2E, TraceBytesIdenticalAcrossWorkerCounts)
     auto runBatch = [&](unsigned jobs, const std::string &sub) {
         RunnerOptions ro;
         ro.jobs = jobs;
-        ro.traceDir = (base / sub).string();
-        ro.statsDir = (base / (sub + "_stats")).string();
+        ro.artifacts.root = (base / sub).string();
         BatchRunner runner(ro);
         for (Mechanism m : {Mechanism::kMemPod, Mechanism::kHma,
                             Mechanism::kNoMigration}) {
@@ -177,10 +176,11 @@ TEST(TraceE2E, TraceBytesIdenticalAcrossWorkerCounts)
     runBatch(4, "j4");
 
     std::size_t files = 0;
-    for (const auto &e :
-         std::filesystem::directory_iterator(base / "j1")) {
+    for (const auto &e : std::filesystem::directory_iterator(
+             base / "j1" / "traces")) {
         ++files;
-        const auto other = base / "j4" / e.path().filename();
+        const auto other =
+            base / "j4" / "traces" / e.path().filename();
         ASSERT_TRUE(std::filesystem::exists(other))
             << e.path().filename();
         EXPECT_EQ(slurp(e.path()), slurp(other))
@@ -188,8 +188,8 @@ TEST(TraceE2E, TraceBytesIdenticalAcrossWorkerCounts)
     }
     EXPECT_EQ(files, 3u);
     for (const auto &e : std::filesystem::directory_iterator(
-             base / "j1_stats")) {
-        const auto other = base / "j4_stats" / e.path().filename();
+             base / "j1" / "stats")) {
+        const auto other = base / "j4" / "stats" / e.path().filename();
         ASSERT_TRUE(std::filesystem::exists(other));
         EXPECT_EQ(slurp(e.path()), slurp(other))
             << e.path().filename();
@@ -197,7 +197,7 @@ TEST(TraceE2E, TraceBytesIdenticalAcrossWorkerCounts)
     std::filesystem::remove_all(base);
 }
 
-TEST(OutputDirs, UnwritableTraceOutFailsFast)
+TEST(OutputDirs, UnwritableOutDirFailsFast)
 {
     // A path *under an existing file* can never become a directory.
     const std::filesystem::path file =
@@ -206,11 +206,10 @@ TEST(OutputDirs, UnwritableTraceOutFailsFast)
     ASSERT_NE(f, nullptr);
     std::fclose(f);
     const std::string bad = (file / "sub").string();
+    EXPECT_EXIT(bench::ensureWritableDir(bad, "--out", "test"),
+                ::testing::ExitedWithCode(2), "--out");
     EXPECT_EXIT(
-        bench::ensureWritableDir(bad, "--trace-out", "test"),
-        ::testing::ExitedWithCode(2), "--trace-out");
-    EXPECT_EXIT(
-        bench::ensureWritableDir(file.string(), "--stats-out", "test"),
+        bench::ensureWritableDir(file.string(), "--out", "test"),
         ::testing::ExitedWithCode(2), "ot a directory");
     std::filesystem::remove(file);
 }

@@ -6,7 +6,8 @@
  *                [--decisions BASE_JSONL CUR_JSONL]
  *
  * Given two per-job stats exports ("mempod-stats-v1", written under
- * --stats-out), explain *where* an AMMAT difference comes from:
+ * a run directory's stats/ subdir by --out), explain *where* an
+ * AMMAT difference comes from:
  *
  *   - per-component attribution: the delta in each of the five AMMAT
  *     components (mshr_wait, metadata, blocked, queue_wait, service).

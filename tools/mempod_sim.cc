@@ -245,6 +245,12 @@ main(int argc, char **argv)
     }
 
     const RunResult r = runSimulation(cfg, *source, workload);
+    if (r.sampled) {
+        std::printf("sampled AMMAT:      %.2f ns +/- %.2f (95%% CI, "
+                    "%llu windows)\n",
+                    r.sampledAmmatNs, r.sampledCiNs,
+                    static_cast<unsigned long long>(r.sampleWindows));
+    }
     std::printf("AMMAT:              %.2f ns", r.ammatNs);
     if (base_ammat > 0)
         std::printf("  (%.3f normalized)", r.ammatNs / base_ammat);

@@ -9,16 +9,30 @@
  *       side by side.
  *
  *   perf_tool diff BASE CURRENT [--threshold-pct P] [--warn-only]
+ *                               [--require-speedup N]
  *       Compare two sidecars and flag regressions on the tracked
- *       metrics: any `events_per_second` leaf dropping, or any
- *       wall-time leaf (wall_seconds*, wall_ms) rising, by more than
- *       the threshold (default 25%). Tracked keys present in only one
- *       file are reported as "(new)" / "(removed)" rather than
- *       silently skipped or crashed on — schema drift between
- *       baselines is normal as harnesses grow. Exits 1 on regression
- *       unless --warn-only (the CI perf-smoke job runs warn-only:
- *       shared runners are too noisy for a hard gate, but the deltas
- *       still land in the log).
+ *       metrics: any throughput leaf (`events_per_second`,
+ *       `sim_ms_per_second`) dropping, or any wall-time leaf
+ *       (wall_seconds*, wall_ms) rising, by more than the threshold
+ *       (default 25%). Tracked keys present in only one file are
+ *       reported as "(new)" / "(removed)" rather than silently
+ *       skipped or crashed on — schema drift between baselines is
+ *       normal as harnesses grow. Exits 1 on regression unless
+ *       --warn-only (the CI perf-smoke job runs warn-only: shared
+ *       runners are too noisy for a hard gate, but the deltas still
+ *       land in the log).
+ *
+ *       --require-speedup N is a hard gate on simulation cost: every
+ *       `events_per_sim_ms` leaf in CURRENT must be at most 1/N of
+ *       its BASE value — i.e. the current run retires the same
+ *       simulated time in at least N times fewer events. Event
+ *       counts are a pure function of configs and traces (no
+ *       wall-clock noise), so this is safe as a hard CI gate even on
+ *       shared runners; the CI fidelity job uses it to enforce the
+ *       sampled-mode >= 10x floor against the detailed sidecar.
+ *       Fails when no such leaf exists in both files, so the gate
+ *       cannot silently pass on schema drift; --warn-only does not
+ *       soften it.
  *
  * The JSON reader lives in flat_json.h, shared with explain_tool.
  */
@@ -96,10 +110,11 @@ cmdSummary(int argc, char **argv)
  * Regression direction for a tracked metric: +1 when higher is worse
  * (wall time), -1 when lower is worse (throughput), 0 = not tracked.
  */
-int
-trackedDirection(const std::string &key)
+/** Leaf name of a flattened key: last dotted component, minus any
+ *  [i] suffix. */
+std::string
+leafName(const std::string &key)
 {
-    // Leaf name = last dotted component, minus any [i] suffix.
     std::size_t end = key.size();
     if (end && key[end - 1] == ']') {
         const std::size_t open = key.rfind('[');
@@ -107,11 +122,18 @@ trackedDirection(const std::string &key)
             end = open;
     }
     const std::size_t dot = key.rfind('.', end ? end - 1 : 0);
-    const std::string leaf =
-        key.substr(dot == std::string::npos ? 0 : dot + 1,
-                   end - (dot == std::string::npos ? 0 : dot + 1));
-    if (leaf == "events_per_second")
+    return key.substr(dot == std::string::npos ? 0 : dot + 1,
+                      end - (dot == std::string::npos ? 0 : dot + 1));
+}
+
+int
+trackedDirection(const std::string &key)
+{
+    const std::string leaf = leafName(key);
+    if (leaf == "events_per_second" || leaf == "sim_ms_per_second")
         return -1;
+    if (leaf == "events_per_sim_ms")
+        return +1; // cost: more events per simulated ms = more work
     if (leaf == "wall_seconds" || leaf == "wall_ms" || leaf == "median" ||
         leaf == "p90") {
         // median/p90 only count when they hang off a wall_seconds
@@ -128,11 +150,21 @@ int
 cmdDiff(int argc, char **argv)
 {
     double threshold_pct = 25.0;
+    double require_speedup = 0.0;
     bool warn_only = false;
     std::vector<const char *> files;
     for (int i = 2; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--threshold-pct") && i + 1 < argc) {
             threshold_pct = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(argv[i], "--require-speedup") &&
+                   i + 1 < argc) {
+            require_speedup = std::strtod(argv[++i], nullptr);
+            if (require_speedup <= 0.0) {
+                std::fprintf(stderr,
+                             "perf_tool diff: --require-speedup needs "
+                             "a positive factor\n");
+                return 2;
+            }
         } else if (!std::strcmp(argv[i], "--warn-only")) {
             warn_only = true;
         } else if (argv[i][0] == '-') {
@@ -146,7 +178,8 @@ cmdDiff(int argc, char **argv)
     if (files.size() != 2) {
         std::fprintf(stderr,
                      "usage: perf_tool diff BASE CURRENT "
-                     "[--threshold-pct P] [--warn-only]\n");
+                     "[--threshold-pct P] [--warn-only] "
+                     "[--require-speedup N]\n");
         return 2;
     }
     const FlatDoc base = loadFlat(files[0]);
@@ -165,6 +198,7 @@ cmdDiff(int argc, char **argv)
 
     int regressions = 0, improvements = 0, compared = 0;
     int added = 0, removed = 0;
+    int speedup_checked = 0, speedup_failures = 0;
     std::printf("%-44s %16s %16s %9s\n", "tracked metric", "base",
                 "current", "delta");
     for (const auto &[key, dir] : tracked) {
@@ -187,6 +221,21 @@ cmdDiff(int argc, char **argv)
         if (bval == 0.0)
             continue; // no baseline signal
         ++compared;
+        if (require_speedup > 0.0 &&
+            leafName(key) == "events_per_sim_ms") {
+            ++speedup_checked;
+            // Cost metric: fewer events per simulated ms is faster.
+            const double speedup = bval / cval;
+            const bool pass = speedup >= require_speedup;
+            if (!pass)
+                ++speedup_failures;
+            std::printf("%-44s %16s %16s %8.2fx  speedup %s "
+                        "(need %.1fx)\n",
+                        key.c_str(), num(bval).c_str(),
+                        num(cval).c_str(), speedup,
+                        pass ? "OK" : "FAIL", require_speedup);
+            continue;
+        }
         const double pct = 100.0 * (cval - bval) / bval;
         // Positive `worse` = regression in this metric's direction.
         const double worse = pct * dir;
@@ -209,6 +258,20 @@ cmdDiff(int argc, char **argv)
     std::printf("\n");
     if (regressions && warn_only)
         std::printf("warn-only: not failing the run.\n");
+    if (require_speedup > 0.0) {
+        if (speedup_checked == 0) {
+            std::fprintf(stderr,
+                         "perf_tool diff: --require-speedup given but "
+                         "no events_per_sim_ms leaf exists in both "
+                         "files\n");
+            return 1;
+        }
+        std::printf("speedup gate: %d leaf(s) checked, %d below the "
+                    "%.1fx floor\n",
+                    speedup_checked, speedup_failures, require_speedup);
+        if (speedup_failures)
+            return 1; // hard gate: --warn-only does not soften it
+    }
     return (regressions && !warn_only) ? 1 : 0;
 }
 
